@@ -1,0 +1,17 @@
+//! # am-bench — benchmark harnesses
+//!
+//! Criterion benchmarks that regenerate every table and figure of the
+//! paper (at a reduced probe budget per iteration, so criterion can
+//! sample the runtime), plus microbenchmarks of the substrates. The
+//! full-budget regeneration lives in the `repro` binary of the `testbed`
+//! crate; these benches measure how fast the harness itself is and act as
+//! performance regression guards for the simulator.
+
+#![warn(missing_docs)]
+
+/// Probe budget used per bench iteration — small enough for criterion to
+/// take many samples, large enough to exercise every code path.
+pub const BENCH_K: u32 = 10;
+
+/// Seed used by all benches (determinism makes timings comparable).
+pub const BENCH_SEED: u64 = 2016;

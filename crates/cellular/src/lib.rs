@@ -1,0 +1,25 @@
+//! # cellular — the RRC substrate
+//!
+//! The paper's §4 extension target: "Although AcuteMon is designed mainly
+//! for WiFi networks, it can be easily extended to cellular environment,
+//! mitigating the effect of RRC (Radio Resource Control) state
+//! transition." This crate builds that environment:
+//!
+//! * [`Rrc`]: a tier-based inactivity state machine covering LTE
+//!   (connected → short DRX → long DRX → idle) and UMTS (DCH → FACH →
+//!   IDLE) with per-tier promotion/paging costs;
+//! * [`CellNode`]: the radio-bearer hop between a phone and the wired
+//!   core, which is also the first-hop gateway (TTL handling) so
+//!   AcuteMon's TTL-1 keep-awake traffic behaves exactly as on WiFi.
+//!
+//! The `testbed` crate's `ablate_cellular` experiment and the
+//! `cellular_rrc` example show AcuteMon's warm-up/background scheme
+//! removing RRC promotions from sparse measurements.
+
+#![warn(missing_docs)]
+
+mod cell;
+mod rrc;
+
+pub use cell::{CellConfig, CellNode, CellStats};
+pub use rrc::{Rrc, RrcConfig, RrcStats, RrcTier};

@@ -1,0 +1,297 @@
+//! The RRC (Radio Resource Control) state machine.
+//!
+//! The paper notes (§4) that AcuteMon "can be easily extended to cellular
+//! environment, mitigating the effect of RRC state transition". This
+//! module provides that substrate: a tier-based inactivity model that
+//! covers both LTE (connected → short DRX → long DRX → idle) and
+//! UMTS/3G (DCH → FACH → IDLE) with per-tier wake costs.
+//!
+//! A tier is entered after `after` of inactivity. Sending uplink from a
+//! tier pays its `ul_wake` (the promotion delay); a downlink packet
+//! arriving while in a tier pays `dl_wake` (DRX cycle alignment, or the
+//! paging procedure from idle). Like the SDIO bus model, evaluation is
+//! lazy — the state is a pure function of the time since last activity —
+//! and a wake in progress future-dates the activity clock.
+
+use simcore::{DetRng, LatencyDist, SimDuration, SimTime};
+
+/// One RRC tier.
+#[derive(Debug, Clone)]
+pub struct RrcTier {
+    /// Human-readable name ("DCH", "short DRX", "idle", ...).
+    pub name: &'static str,
+    /// Inactivity after which this tier is entered.
+    pub after: SimDuration,
+    /// Uplink wake cost when transmitting from this tier, ms.
+    pub ul_wake: LatencyDist,
+    /// Downlink wake cost when a packet arrives in this tier, ms.
+    pub dl_wake: LatencyDist,
+}
+
+/// RRC configuration: tiers ordered by increasing `after`; tier 0 must be
+/// the fully-active state with `after == 0`.
+#[derive(Debug, Clone)]
+pub struct RrcConfig {
+    /// The tiers.
+    pub tiers: Vec<RrcTier>,
+}
+
+impl RrcConfig {
+    /// LTE-flavoured defaults: connected → short DRX (100 ms, ~8 ms DL
+    /// cost) → long DRX (1.28 s, ~25 ms) → idle (10 s; ~110 ms uplink
+    /// promotion, paging-scale downlink cost).
+    pub fn lte() -> RrcConfig {
+        RrcConfig {
+            tiers: vec![
+                RrcTier {
+                    name: "connected",
+                    after: SimDuration::ZERO,
+                    ul_wake: LatencyDist::fixed(0.0),
+                    dl_wake: LatencyDist::fixed(0.0),
+                },
+                RrcTier {
+                    name: "short-drx",
+                    after: SimDuration::from_millis(100),
+                    ul_wake: LatencyDist::normal(1.0, 0.4, 0.2, 3.0),
+                    dl_wake: LatencyDist::normal(8.0, 3.0, 1.0, 20.0),
+                },
+                RrcTier {
+                    name: "long-drx",
+                    after: SimDuration::from_millis(1280),
+                    ul_wake: LatencyDist::normal(5.0, 2.0, 1.0, 15.0),
+                    dl_wake: LatencyDist::normal(25.0, 8.0, 5.0, 60.0),
+                },
+                RrcTier {
+                    name: "idle",
+                    after: SimDuration::from_secs(10),
+                    ul_wake: LatencyDist::normal(110.0, 20.0, 60.0, 200.0),
+                    dl_wake: LatencyDist::normal(450.0, 150.0, 80.0, 900.0),
+                },
+            ],
+        }
+    }
+
+    /// UMTS/3G-flavoured defaults: DCH → FACH (5 s; promotion back to DCH
+    /// costs hundreds of ms) → IDLE (17 s; seconds-scale promotions).
+    pub fn umts() -> RrcConfig {
+        RrcConfig {
+            tiers: vec![
+                RrcTier {
+                    name: "DCH",
+                    after: SimDuration::ZERO,
+                    ul_wake: LatencyDist::fixed(0.0),
+                    dl_wake: LatencyDist::fixed(0.0),
+                },
+                RrcTier {
+                    name: "FACH",
+                    after: SimDuration::from_secs(5),
+                    ul_wake: LatencyDist::normal(350.0, 80.0, 150.0, 700.0),
+                    dl_wake: LatencyDist::normal(400.0, 100.0, 150.0, 800.0),
+                },
+                RrcTier {
+                    name: "IDLE",
+                    after: SimDuration::from_secs(17),
+                    ul_wake: LatencyDist::normal(1600.0, 300.0, 800.0, 2500.0),
+                    dl_wake: LatencyDist::normal(1900.0, 400.0, 900.0, 3000.0),
+                },
+            ],
+        }
+    }
+
+    fn validate(&self) {
+        assert!(!self.tiers.is_empty(), "RRC needs at least one tier");
+        assert_eq!(
+            self.tiers[0].after,
+            SimDuration::ZERO,
+            "tier 0 must be the active state"
+        );
+        for w in self.tiers.windows(2) {
+            assert!(w[0].after < w[1].after, "tiers must be ordered by `after`");
+        }
+    }
+}
+
+/// Counters for the RRC machine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RrcStats {
+    /// Uplink operations that paid a non-zero wake.
+    pub ul_wakes: u64,
+    /// Downlink operations that paid a non-zero wake.
+    pub dl_wakes: u64,
+    /// Operations served in the fully-active tier.
+    pub active_ops: u64,
+}
+
+/// The RRC state machine.
+#[derive(Debug, Clone)]
+pub struct Rrc {
+    cfg: RrcConfig,
+    last_activity: SimTime,
+    ever_active: bool,
+    /// Public counters.
+    pub stats: RrcStats,
+}
+
+impl Rrc {
+    /// Create a machine; the radio starts idle (deepest tier).
+    pub fn new(cfg: RrcConfig) -> Rrc {
+        cfg.validate();
+        Rrc {
+            cfg,
+            last_activity: SimTime::ZERO,
+            ever_active: false,
+            stats: RrcStats::default(),
+        }
+    }
+
+    /// Index of the tier occupied at `now`.
+    pub fn tier_index(&self, now: SimTime) -> usize {
+        if !self.ever_active {
+            return self.cfg.tiers.len() - 1;
+        }
+        let idle = now.saturating_since(self.last_activity);
+        let mut idx = 0;
+        for (i, t) in self.cfg.tiers.iter().enumerate() {
+            if idle >= t.after {
+                idx = i;
+            }
+        }
+        idx
+    }
+
+    /// Name of the tier occupied at `now`.
+    pub fn tier_name(&self, now: SimTime) -> &'static str {
+        self.cfg.tiers[self.tier_index(now)].name
+    }
+
+    /// Cost of an uplink transmission at `now`; records the activity
+    /// (completing at `now + cost`).
+    pub fn uplink(&mut self, now: SimTime, rng: &mut DetRng) -> SimDuration {
+        let tier = self.tier_index(now);
+        let cost = self.cfg.tiers[tier].ul_wake.sample(rng);
+        self.note(now, now + cost, tier, true);
+        cost
+    }
+
+    /// Cost of delivering a downlink packet arriving at `now`; records
+    /// the activity.
+    pub fn downlink(&mut self, now: SimTime, rng: &mut DetRng) -> SimDuration {
+        let tier = self.tier_index(now);
+        let cost = self.cfg.tiers[tier].dl_wake.sample(rng);
+        self.note(now, now + cost, tier, false);
+        cost
+    }
+
+    fn note(&mut self, _now: SimTime, ready_at: SimTime, tier: usize, ul: bool) {
+        if tier == 0 {
+            self.stats.active_ops += 1;
+        } else if ul {
+            self.stats.ul_wakes += 1;
+        } else {
+            self.stats.dl_wakes += 1;
+        }
+        self.ever_active = true;
+        self.last_activity = self.last_activity.max(ready_at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn starts_in_deepest_tier() {
+        let rrc = Rrc::new(RrcConfig::lte());
+        assert_eq!(rrc.tier_name(SimTime::ZERO), "idle");
+        assert_eq!(rrc.tier_name(t(100_000)), "idle");
+    }
+
+    #[test]
+    fn tiers_by_idle_time() {
+        let mut rrc = Rrc::new(RrcConfig::lte());
+        let mut rng = DetRng::new(1);
+        rrc.uplink(t(0), &mut rng); // wake; activity ends ~t(0)+promotion
+        let base = rrc.last_activity;
+        assert_eq!(
+            rrc.tier_name(base + SimDuration::from_millis(50)),
+            "connected"
+        );
+        assert_eq!(
+            rrc.tier_name(base + SimDuration::from_millis(200)),
+            "short-drx"
+        );
+        assert_eq!(
+            rrc.tier_name(base + SimDuration::from_millis(2000)),
+            "long-drx"
+        );
+        assert_eq!(rrc.tier_name(base + SimDuration::from_secs(11)), "idle");
+    }
+
+    #[test]
+    fn idle_uplink_pays_promotion() {
+        let mut rrc = Rrc::new(RrcConfig::lte());
+        let mut rng = DetRng::new(2);
+        let cost = rrc.uplink(t(0), &mut rng);
+        assert!(cost >= SimDuration::from_millis(60), "{cost}");
+        assert_eq!(rrc.stats.ul_wakes, 1);
+        // Immediately after, the radio is connected: next uplink is free.
+        let now = rrc.last_activity;
+        let cost2 = rrc.uplink(now, &mut rng);
+        assert_eq!(cost2, SimDuration::ZERO);
+        assert_eq!(rrc.stats.active_ops, 1);
+    }
+
+    #[test]
+    fn idle_downlink_pays_paging() {
+        let mut rrc = Rrc::new(RrcConfig::lte());
+        let mut rng = DetRng::new(3);
+        let cost = rrc.downlink(t(0), &mut rng);
+        assert!(cost >= SimDuration::from_millis(80), "{cost}");
+        assert_eq!(rrc.stats.dl_wakes, 1);
+    }
+
+    #[test]
+    fn keepalive_prevents_demotion() {
+        let mut rrc = Rrc::new(RrcConfig::lte());
+        let mut rng = DetRng::new(4);
+        rrc.uplink(t(0), &mut rng);
+        let mut now = rrc.last_activity;
+        // Touch every 80 ms (< 100 ms short-DRX threshold) for 5 s.
+        for _ in 0..60 {
+            now += SimDuration::from_millis(80);
+            let cost = rrc.uplink(now, &mut rng);
+            assert_eq!(cost, SimDuration::ZERO, "demoted during keepalive");
+        }
+    }
+
+    #[test]
+    fn umts_is_slower_than_lte() {
+        let mut lte = Rrc::new(RrcConfig::lte());
+        let mut umts = Rrc::new(RrcConfig::umts());
+        let mut rng1 = DetRng::new(5);
+        let mut rng2 = DetRng::new(5);
+        let c_lte = lte.uplink(t(0), &mut rng1);
+        let c_umts = umts.uplink(t(0), &mut rng2);
+        assert!(c_umts > c_lte * 3, "umts {c_umts} vs lte {c_lte}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn misordered_tiers_rejected() {
+        let mut cfg = RrcConfig::lte();
+        cfg.tiers.swap(1, 2);
+        let _ = Rrc::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "active state")]
+    fn missing_active_tier_rejected() {
+        let mut cfg = RrcConfig::lte();
+        cfg.tiers.remove(0);
+        let _ = Rrc::new(cfg);
+    }
+}

@@ -1,0 +1,123 @@
+//! Residual-overhead calibration (§4.2.2):
+//!
+//! > "the delay overheads for AcuteMon are independent of nRTTs, and the
+//! > values of the overheads are much more stable. Therefore, the true
+//! > value can be obtained by performing calibration."
+//!
+//! A [`Calibration`] is learned from one run against a path of known RTT
+//! (or from the phone profile's expected driver costs) and then subtracts
+//! the stable residual from subsequent user-level measurements.
+
+use am_stats::median;
+
+/// A learned calibration for one phone (+ runtime kind).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// The stable residual overhead to subtract, ms.
+    pub overhead_ms: f64,
+    /// Spread of the residual in the calibration run (median absolute
+    /// deviation), ms — a quality indicator.
+    pub spread_ms: f64,
+    /// Samples the calibration was learned from.
+    pub n: usize,
+}
+
+impl Calibration {
+    /// Learn from a calibration run: user-level RTTs (`du`, ms) measured
+    /// against a path whose true RTT is known (e.g. from sniffers or an
+    /// emulated link). Returns `None` on an empty run.
+    pub fn from_run(du_ms: &[f64], true_rtt_ms: f64) -> Option<Calibration> {
+        let med = median(du_ms)?;
+        let overhead = med - true_rtt_ms;
+        let deviations: Vec<f64> = du_ms.iter().map(|d| (d - med).abs()).collect();
+        let spread = median(&deviations).unwrap_or(0.0);
+        Some(Calibration {
+            overhead_ms: overhead,
+            spread_ms: spread,
+            n: du_ms.len(),
+        })
+    }
+
+    /// Apply the calibration to a measured user-level RTT.
+    pub fn apply(&self, du_ms: f64) -> f64 {
+        (du_ms - self.overhead_ms).max(0.0)
+    }
+
+    /// Combine calibrations from several runs (weighted by sample count).
+    pub fn merge(cals: &[Calibration]) -> Option<Calibration> {
+        if cals.is_empty() {
+            return None;
+        }
+        let total: usize = cals.iter().map(|c| c.n).sum();
+        if total == 0 {
+            return None;
+        }
+        let w = |c: &Calibration| c.n as f64 / total as f64;
+        Some(Calibration {
+            overhead_ms: cals.iter().map(|c| c.overhead_ms * w(c)).sum(),
+            spread_ms: cals.iter().map(|c| c.spread_ms * w(c)).sum(),
+            n: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_median_offset() {
+        let du = [32.0, 32.5, 31.8, 32.2, 40.0]; // one outlier
+        let cal = Calibration::from_run(&du, 30.0).unwrap();
+        assert!((cal.overhead_ms - 2.2).abs() < 1e-9);
+        assert!((cal.apply(52.2) - 50.0).abs() < 1e-9);
+        assert_eq!(cal.n, 5);
+    }
+
+    #[test]
+    fn empty_run_is_none() {
+        assert!(Calibration::from_run(&[], 30.0).is_none());
+    }
+
+    #[test]
+    fn apply_never_negative() {
+        let cal = Calibration {
+            overhead_ms: 5.0,
+            spread_ms: 0.1,
+            n: 10,
+        };
+        assert_eq!(cal.apply(3.0), 0.0);
+    }
+
+    #[test]
+    fn merge_weights_by_samples() {
+        let a = Calibration {
+            overhead_ms: 2.0,
+            spread_ms: 0.2,
+            n: 10,
+        };
+        let b = Calibration {
+            overhead_ms: 4.0,
+            spread_ms: 0.4,
+            n: 30,
+        };
+        let m = Calibration::merge(&[a, b]).unwrap();
+        assert!((m.overhead_ms - 3.5).abs() < 1e-9);
+        assert_eq!(m.n, 40);
+        assert!(Calibration::merge(&[]).is_none());
+    }
+
+    #[test]
+    fn calibration_recovers_true_rtt_within_spread() {
+        // Synthetic AcuteMon-like residual: ~2 ± 0.5 ms.
+        let du: Vec<f64> = (0..50)
+            .map(|i| 85.0 + 2.0 + ((i % 5) as f64 - 2.0) * 0.25)
+            .collect();
+        let cal = Calibration::from_run(&du, 85.0).unwrap();
+        for &d in &du {
+            let corrected = cal.apply(d);
+            assert!((corrected - 85.0).abs() < 1.0, "corrected={corrected}");
+        }
+        assert!(cal.spread_ms < 0.6);
+    }
+}

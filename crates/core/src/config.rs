@@ -1,0 +1,135 @@
+//! AcuteMon configuration (§4.1).
+
+use simcore::{SimDuration, SimTime};
+use wire::Ip;
+
+/// What the measurement thread sends (§4.1: "AcuteMon uses TCP control
+/// messages (TCP SYN/ACK packets) and TCP data packets (HTTP request and
+/// response)… easily extended to UDP and ICMP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// TCP control messages: SYN → SYN/ACK.
+    TcpConnect,
+    /// TCP data packets: HTTP request → HTTP response.
+    TcpData,
+    /// ICMP echo.
+    Icmp,
+    /// UDP echo.
+    Udp,
+}
+
+/// AcuteMon configuration.
+#[derive(Debug, Clone)]
+pub struct AcuteMonConfig {
+    /// The target server to measure.
+    pub target: Ip,
+    /// Target TCP port (for the TCP probe kinds).
+    pub target_port: u16,
+    /// Warm-up/background destination. Any routable address works: the
+    /// packets carry `warmup_ttl` and die at the first hop.
+    pub warmup_dst: Ip,
+    /// Number of probes `K`.
+    pub k: u32,
+    /// Probe kind.
+    pub probe: ProbeKind,
+    /// Warm-up lead time `dpre`; must satisfy
+    /// `Tprom < dpre < min(Tis, Tip)`. Default 20 ms (§4.1).
+    pub dpre: SimDuration,
+    /// Background inter-packet interval `db < min(Tis, Tip)`. Default
+    /// 20 ms (§4.1).
+    pub db: SimDuration,
+    /// TTL of warm-up/background packets. Default 1: dropped at the
+    /// first-hop gateway so they never load the measured path.
+    pub warmup_ttl: u8,
+    /// Per-probe timeout (lost probes are recorded and skipped).
+    pub probe_timeout: SimDuration,
+    /// When to begin the warm-up phase (simulation time).
+    pub start: SimTime,
+    /// ICMP ident / base source port discriminator for this session.
+    pub session: u16,
+    /// Whether the BT sends background traffic after the warm-up packet.
+    /// Fig. 9 disables this (with bus sleep also disabled) to show the
+    /// background traffic itself is harmless.
+    pub background_enabled: bool,
+}
+
+impl AcuteMonConfig {
+    /// The paper's defaults: TCP connect probes, `dpre = db = 20 ms`,
+    /// TTL 1.
+    pub fn new(target: Ip, k: u32) -> AcuteMonConfig {
+        AcuteMonConfig {
+            target,
+            target_port: 80,
+            warmup_dst: target,
+            k,
+            probe: ProbeKind::TcpConnect,
+            dpre: SimDuration::from_millis(20),
+            db: SimDuration::from_millis(20),
+            warmup_ttl: 1,
+            probe_timeout: SimDuration::from_secs(2),
+            start: SimTime::ZERO,
+            session: 0x7A00,
+            background_enabled: true,
+        }
+    }
+
+    /// Builder: disable the background keep-awake traffic (warm-up packet
+    /// only) — the Fig. 9 comparison arm.
+    pub fn without_background(mut self) -> Self {
+        self.background_enabled = false;
+        self
+    }
+
+    /// Builder: set the probe kind.
+    pub fn with_probe(mut self, probe: ProbeKind) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Builder: set `dpre` and `db` (the ablation sweeps these).
+    pub fn with_timing(mut self, dpre: SimDuration, db: SimDuration) -> Self {
+        self.dpre = dpre;
+        self.db = db;
+        self
+    }
+
+    /// Builder: set the warm-up TTL (the TTL ablation uses 64).
+    pub fn with_warmup_ttl(mut self, ttl: u8) -> Self {
+        self.warmup_ttl = ttl;
+        self
+    }
+
+    /// Builder: start the measurement at `start`.
+    pub fn starting_at(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AcuteMonConfig::new(Ip::new(10, 0, 0, 1), 100);
+        assert_eq!(c.dpre, SimDuration::from_millis(20));
+        assert_eq!(c.db, SimDuration::from_millis(20));
+        assert_eq!(c.warmup_ttl, 1);
+        assert_eq!(c.k, 100);
+        assert_eq!(c.probe, ProbeKind::TcpConnect);
+    }
+
+    #[test]
+    fn builders() {
+        let c = AcuteMonConfig::new(Ip::new(10, 0, 0, 1), 5)
+            .with_probe(ProbeKind::Icmp)
+            .with_timing(SimDuration::from_millis(10), SimDuration::from_millis(40))
+            .with_warmup_ttl(64)
+            .starting_at(SimTime::from_secs(1));
+        assert_eq!(c.probe, ProbeKind::Icmp);
+        assert_eq!(c.db, SimDuration::from_millis(40));
+        assert_eq!(c.warmup_ttl, 64);
+        assert_eq!(c.start, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,47 @@
+//! # acutemon — the paper's contribution
+//!
+//! AcuteMon (Li, Wu, Chang, Mok — CoNEXT 2016) measures network-level RTT
+//! from an unrooted Android phone by *keeping the phone awake* for the
+//! duration of the measurement, so that neither the SDIO bus sleep nor
+//! 802.11 PSM inflates the probes:
+//!
+//! * a **background-traffic thread** sends one warm-up packet, waits
+//!   `dpre` (default 20 ms, > the bus promotion delay), then sends a
+//!   keep-awake packet every `db` (default 20 ms, < `min(Tis, Tip)`), all
+//!   with TTL 1 so they die at the first-hop gateway;
+//! * a **measurement thread** (native code, no DVM overhead) sends `K`
+//!   TCP probes sequentially.
+//!
+//! This crate provides the simulated app ([`AcuteMonApp`]) evaluated
+//! against the paper's numbers by the `testbed` crate, plus the two
+//! extensions the paper sketches: timeout **training**
+//! ([`TimeoutInferApp`]/[`estimate_tis`], §4.1 future work) and residual
+//! **calibration** ([`Calibration`], §4.2.2). A real-socket Linux
+//! implementation of the same algorithm lives in the `acutemon-live`
+//! crate.
+//!
+//! ```
+//! use acutemon::{AcuteMonConfig, ProbeKind};
+//! use wire::Ip;
+//!
+//! let cfg = AcuteMonConfig::new(Ip::new(10, 0, 0, 1), 100)
+//!     .with_probe(ProbeKind::TcpConnect);
+//! assert_eq!(cfg.dpre.as_ms_f64(), 20.0);
+//! assert_eq!(cfg.warmup_ttl, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod app;
+mod calibrate;
+mod config;
+mod infer;
+mod multi;
+mod trained;
+
+pub use app::{AcuteMonApp, BtStats};
+pub use calibrate::Calibration;
+pub use config::{AcuteMonConfig, ProbeKind};
+pub use infer::{estimate_tis, GapSample, TimeoutEstimate, TimeoutInferApp, TimeoutInferConfig};
+pub use multi::{MultiAcuteMonApp, MultiTargetConfig};
+pub use trained::{TrainedAcuteMonApp, TrainedConfig, TrainedPhase};

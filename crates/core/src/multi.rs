@@ -1,0 +1,332 @@
+//! Multi-target measurement: one AcuteMon session measuring several
+//! servers (the MopEye \[5, 38\] crowdsourcing scenario the paper's
+//! introduction motivates — per-app/per-server RTTs from one phone).
+//!
+//! A single background thread keeps the phone awake for the whole session
+//! — its cost is paid once, not per target — while the measurement thread
+//! round-robins sequential probes across the targets. With `T` targets
+//! and `K` probes each over paths of mean RTT `r`, the keep-awake budget
+//! is still `≈ T·K·r / db` packets to the first hop and nothing beyond.
+
+use phone::{App, AppCtx};
+use simcore::SimTime;
+use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
+
+use crate::app::BtStats;
+use crate::config::AcuteMonConfig;
+use measure::RttRecord;
+
+/// Configuration for a multi-target session.
+#[derive(Debug, Clone)]
+pub struct MultiTargetConfig {
+    /// The servers to measure (TCP-connect probing).
+    pub targets: Vec<Ip>,
+    /// Probes per target.
+    pub k_per_target: u32,
+    /// Timing/TTL/session parameters (the `target` field inside is
+    /// ignored; `warmup_dst` is used as on the single-target app).
+    pub base: AcuteMonConfig,
+}
+
+impl MultiTargetConfig {
+    /// Paper-default timings against the given targets.
+    pub fn new(targets: Vec<Ip>, k_per_target: u32) -> MultiTargetConfig {
+        let warmup = targets.first().copied().unwrap_or(Ip::UNSPECIFIED);
+        let total = targets.len() as u64 * u64::from(k_per_target);
+        assert!(
+            total < 50_000,
+            "probe space exceeds the port-encoding range"
+        );
+        MultiTargetConfig {
+            targets,
+            k_per_target,
+            base: AcuteMonConfig::new(warmup, k_per_target),
+        }
+    }
+}
+
+const TAG_MT_START: u32 = 1;
+const TAG_BG: u32 = 2;
+const TAG_TIMEOUT_BASE: u32 = 1000;
+
+/// The multi-target app.
+pub struct MultiAcuteMonApp {
+    cfg: MultiTargetConfig,
+    /// Per-target probe records: `records[t][p]`.
+    pub records: Vec<Vec<RttRecord>>,
+    /// Background-traffic accounting (shared across all targets).
+    pub bt: BtStats,
+    /// Linear probe cursor: `sent = t * k + p` for the next probe.
+    sent: u32,
+    bt_active: bool,
+    finished_at: Option<SimTime>,
+}
+
+impl MultiAcuteMonApp {
+    /// Create a session.
+    pub fn new(cfg: MultiTargetConfig) -> MultiAcuteMonApp {
+        let records = vec![Vec::new(); cfg.targets.len()];
+        MultiAcuteMonApp {
+            cfg,
+            records,
+            bt: BtStats::default(),
+            sent: 0,
+            bt_active: false,
+            finished_at: None,
+        }
+    }
+
+    /// Records for one target.
+    pub fn records_for(&self, target: usize) -> &[RttRecord] {
+        &self.records[target]
+    }
+
+    /// When the last probe completed.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    fn total(&self) -> u32 {
+        self.cfg.targets.len() as u32 * self.cfg.k_per_target
+    }
+
+    /// Round-robin decode: linear index → (target, probe).
+    fn decompose(&self, linear: u32) -> (usize, u32) {
+        let t = (linear % self.cfg.targets.len() as u32) as usize;
+        let p = linear / self.cfg.targets.len() as u32;
+        (t, p)
+    }
+
+    fn src_port(&self, linear: u32) -> u16 {
+        self.cfg.base.session.wrapping_add(linear as u16)
+    }
+
+    fn linear_for_port(&self, dst_port: u16) -> Option<u32> {
+        let idx = dst_port.wrapping_sub(self.cfg.base.session) as u32;
+        (idx < self.sent).then_some(idx)
+    }
+
+    fn send_background(&mut self, ctx: &mut AppCtx<'_, '_>, warmup: bool) {
+        ctx.send(
+            self.cfg.base.warmup_dst,
+            self.cfg.base.warmup_ttl,
+            L4::Udp {
+                src_port: self.cfg.base.session,
+                dst_port: 33434,
+            },
+            8,
+            if warmup {
+                PacketTag::WarmUp
+            } else {
+                PacketTag::Background
+            },
+        );
+        if warmup {
+            self.bt.warmup_sent += 1;
+        } else {
+            self.bt.background_sent += 1;
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let linear = self.sent;
+        let (t, p) = self.decompose(linear);
+        let id = ctx.send(
+            self.cfg.targets[t],
+            64,
+            L4::Tcp {
+                src_port: self.src_port(linear),
+                dst_port: self.cfg.base.target_port,
+                flags: TcpFlags::SYN,
+                seq: 0x6000 + linear,
+                ack: 0,
+            },
+            0,
+            PacketTag::Probe(linear),
+        );
+        self.records[t].push(RttRecord {
+            probe: p,
+            req_id: id,
+            resp_id: None,
+            tou: ctx.now(),
+            tiu: None,
+            reported_ms: None,
+        });
+        self.sent += 1;
+        ctx.set_timer(self.cfg.base.probe_timeout, TAG_TIMEOUT_BASE + linear);
+    }
+
+    fn advance(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        if self.sent < self.total() {
+            self.send_probe(ctx);
+        } else if self.finished_at.is_none() {
+            self.finished_at = Some(ctx.now());
+            self.bt_active = false;
+        }
+    }
+}
+
+impl App for MultiAcuteMonApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let delay = self.cfg.base.start.saturating_since(ctx.now());
+        self.bt_active = true;
+        ctx.set_timer(delay, TAG_BG);
+        ctx.set_timer(delay + self.cfg.base.dpre, TAG_MT_START);
+    }
+
+    fn wants(&self, packet: &Packet) -> bool {
+        matches!(
+            packet.l4,
+            L4::Tcp { src_port, dst_port, .. }
+                if src_port == self.cfg.base.target_port
+                    && self.linear_for_port(dst_port).is_some()
+        )
+    }
+
+    fn on_packet(&mut self, ctx: &mut AppCtx<'_, '_>, packet: Packet) {
+        let L4::Tcp { dst_port, .. } = packet.l4 else {
+            return;
+        };
+        let Some(linear) = self.linear_for_port(dst_port) else {
+            return;
+        };
+        let (t, p) = self.decompose(linear);
+        let rec = &mut self.records[t][p as usize];
+        if rec.tiu.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        rec.resp_id = Some(packet.id);
+        rec.tiu = Some(now);
+        rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+        if linear + 1 == self.sent {
+            self.advance(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {
+        match tag {
+            TAG_MT_START => self.advance(ctx),
+            TAG_BG => {
+                if !self.bt_active {
+                    return;
+                }
+                let warmup = self.bt.warmup_sent == 0;
+                if !warmup && !self.cfg.base.background_enabled {
+                    return;
+                }
+                self.send_background(ctx, warmup);
+                ctx.set_timer(self.cfg.base.db, TAG_BG);
+            }
+            t if t >= TAG_TIMEOUT_BASE => {
+                let linear = t - TAG_TIMEOUT_BASE;
+                let (tt, p) = self.decompose(linear);
+                let lost = self.records[tt]
+                    .get(p as usize)
+                    .map(|r| r.tiu.is_none())
+                    .unwrap_or(false);
+                if lost && linear + 1 == self.sent {
+                    self.advance(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::RecordSet;
+    use netem::{LinkNode, LinkParams, ServerConfig, ServerNode, SwitchNode};
+    use phone::{PhoneNode, RuntimeKind};
+    use simcore::{Sim, SimDuration};
+    use wire::Msg;
+
+    const NEAR: Ip = Ip::new(10, 0, 0, 1);
+    const FAR: Ip = Ip::new(10, 0, 0, 2);
+
+    /// Phone → switch → {20 ms link → near server, 80 ms link → far}.
+    fn world(k: u32) -> (Sim<Msg>, simcore::NodeId, usize) {
+        let mut sim = Sim::new(55);
+        let sw = sim.add_node(Box::new(SwitchNode::new(SimDuration::from_micros(20))));
+        let near = sim.add_node(Box::new(ServerNode::new(50, ServerConfig::standard(NEAR))));
+        let far = sim.add_node(Box::new(ServerNode::new(51, ServerConfig::standard(FAR))));
+        let l_near = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(10))));
+        let l_far = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(40))));
+        sim.node_mut::<LinkNode>(l_near).connect(sw, near);
+        sim.node_mut::<LinkNode>(l_far).connect(sw, far);
+        sim.node_mut::<SwitchNode>(sw).add_route(NEAR, l_near);
+        sim.node_mut::<SwitchNode>(sw).add_route(FAR, l_far);
+        let mut ph = PhoneNode::new(1, phone::nexus5(), phone::wlan_ip(100), sw);
+        let app = ph.install_app(
+            Box::new(MultiAcuteMonApp::new(MultiTargetConfig::new(
+                vec![NEAR, FAR],
+                k,
+            ))),
+            RuntimeKind::Native,
+        );
+        let phone_id = sim.add_node(Box::new(ph));
+        // Responses route back to the phone.
+        sim.node_mut::<SwitchNode>(sw)
+            .add_route(phone::wlan_ip(100), phone_id);
+        (sim, phone_id, app)
+    }
+
+    #[test]
+    fn per_target_rtts_separate_cleanly() {
+        let (mut sim, phone_id, app) = world(10);
+        sim.run_until(SimTime::from_secs(10));
+        let m = sim.node::<PhoneNode>(phone_id).app::<MultiAcuteMonApp>(app);
+        assert!(m.finished_at().is_some());
+        let near = m.records_for(0);
+        let far = m.records_for(1);
+        assert_eq!(near.len(), 10);
+        assert_eq!(far.len(), 10);
+        assert!((near.completion() - 1.0).abs() < 1e-12);
+        assert!((far.completion() - 1.0).abs() < 1e-12);
+        let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let m_near = mean(near.du());
+        let m_far = mean(far.du());
+        assert!((m_near - 20.0).abs() < 5.0, "near {m_near}");
+        assert!((m_far - 80.0).abs() < 5.0, "far {m_far}");
+    }
+
+    #[test]
+    fn background_cost_is_shared_not_per_target() {
+        let (mut sim, phone_id, app) = world(5);
+        sim.run_until(SimTime::from_secs(10));
+        let m = sim.node::<PhoneNode>(phone_id).app::<MultiAcuteMonApp>(app);
+        assert_eq!(m.bt.warmup_sent, 1);
+        // Duration ≈ 5×20 + 5×80 ms = 500 ms → ~25 background packets,
+        // NOT 2× that.
+        let dur_ms = m.finished_at().unwrap().as_ms_f64();
+        let expect = dur_ms / 20.0;
+        let got = m.bt.background_sent as f64;
+        assert!(
+            (got - expect).abs() <= 4.0,
+            "bg {got} vs expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn probes_interleave_round_robin() {
+        let (mut sim, phone_id, app) = world(4);
+        sim.run_until(SimTime::from_secs(10));
+        let m = sim.node::<PhoneNode>(phone_id).app::<MultiAcuteMonApp>(app);
+        // Target 0's probe p is always sent before target 0's probe p+1,
+        // and between them a probe to target 1 happened.
+        let near = m.records_for(0);
+        let far = m.records_for(1);
+        for p in 0..3 {
+            assert!(near[p].tou < far[p].tou);
+            assert!(far[p].tou < near[p + 1].tou);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "port-encoding range")]
+    fn oversized_session_rejected() {
+        let _ = MultiTargetConfig::new(vec![NEAR; 100], 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! `acutemon-cli` — measure network RTT with the AcuteMon technique over
+//! real sockets.
+//!
+//! ```text
+//! acutemon-cli HOST:PORT [--k N] [--dpre MS] [--db MS] [--ttl N]
+//!              [--probe tcp|udp] [--timeout MS] [--no-background]
+//!              [--warmup-dst HOST:PORT] [--json]
+//! ```
+//!
+//! Defaults mirror the paper: K=100, dpre=db=20 ms, warm-up TTL 1 (the
+//! keep-awake datagrams die at your gateway), TCP-connect probing.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use acutemon_live::{run, LiveConfig, LiveProbe};
+
+struct Cli {
+    cfg: LiveConfig,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: acutemon-cli HOST:PORT [--k N] [--dpre MS] [--db MS] [--ttl N]\n\
+         \x20                [--probe tcp|udp] [--timeout MS] [--no-background]\n\
+         \x20                [--warmup-dst HOST:PORT] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let Some(target) = args.next() else { usage() };
+    if target == "--help" || target == "-h" {
+        usage();
+    }
+    let target: SocketAddr = target.parse().unwrap_or_else(|_| {
+        eprintln!("acutemon-cli: bad target address (need HOST:PORT)");
+        std::process::exit(2);
+    });
+    let mut cfg = LiveConfig::new(target, 100);
+    let mut json = false;
+    let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("acutemon-cli: {what} needs a number");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--k" => cfg.k = next_num(&mut args, "--k") as u32,
+            "--dpre" => cfg.dpre = Duration::from_millis(next_num(&mut args, "--dpre")),
+            "--db" => cfg.db = Duration::from_millis(next_num(&mut args, "--db")),
+            "--ttl" => cfg.warmup_ttl = next_num(&mut args, "--ttl") as u32,
+            "--timeout" => {
+                cfg.probe_timeout = Duration::from_millis(next_num(&mut args, "--timeout"))
+            }
+            "--probe" => match args.next().as_deref() {
+                Some("tcp") => cfg.probe = LiveProbe::TcpConnect,
+                Some("udp") => cfg.probe = LiveProbe::UdpEcho,
+                _ => usage(),
+            },
+            "--no-background" => cfg.background_enabled = false,
+            "--warmup-dst" => {
+                cfg.warmup_dst = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+    Cli { cfg, json }
+}
+
+fn main() {
+    let cli = parse();
+    let report = match run(cli.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("acutemon-cli: {e}");
+            std::process::exit(1);
+        }
+    };
+    if cli.json {
+        // Hand-rolled JSON keeps the CLI dependency-free.
+        let rtts: Vec<String> = report.rtts_ms().iter().map(|r| format!("{r:.4}")).collect();
+        println!(
+            "{{\"completion\":{:.4},\"warmup_sent\":{},\"background_sent\":{},\
+             \"send_errors\":{},\"elapsed_ms\":{:.3},\"rtts_ms\":[{}]}}",
+            report.completion(),
+            report.bt.warmup_sent,
+            report.bt.background_sent,
+            report.bt.send_errors,
+            report.elapsed.as_secs_f64() * 1e3,
+            rtts.join(",")
+        );
+        return;
+    }
+    println!("probes:      {}", report.samples.len());
+    println!("completion:  {:.0}%", report.completion() * 100.0);
+    match report.summary() {
+        Some(s) => println!(
+            "RTT:         {} ms  (min {:.3}, max {:.3}, n {})",
+            s.cell(),
+            s.min,
+            s.max,
+            s.n
+        ),
+        None => println!("RTT:         no probe completed"),
+    }
+    println!(
+        "background:  {} warm-up + {} keep-awake, {} send errors",
+        report.bt.warmup_sent, report.bt.background_sent, report.bt.send_errors
+    );
+    println!("elapsed:     {:.1} ms", report.elapsed.as_secs_f64() * 1e3);
+}

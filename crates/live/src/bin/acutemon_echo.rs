@@ -1,0 +1,66 @@
+//! `acutemon-echo` — the measurement-server side of the live pair: a TCP
+//! acceptor (for `--probe tcp` connect probing) and a UDP echo service
+//! (for `--probe udp`) on one port number.
+//!
+//! ```text
+//! acutemon-echo [PORT]      # default 7777
+//! ```
+//!
+//! Run this on the machine you want to measure towards, then point
+//! `acutemon-cli HOST:PORT` at it.
+
+use std::io::Read;
+use std::net::{TcpListener, UdpSocket};
+use std::thread;
+use std::time::Duration;
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                eprintln!("acutemon-echo: bad port {p}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(7777);
+
+    let tcp = TcpListener::bind(("0.0.0.0", port)).unwrap_or_else(|e| {
+        eprintln!("acutemon-echo: tcp bind :{port}: {e}");
+        std::process::exit(1);
+    });
+    let udp = UdpSocket::bind(("0.0.0.0", port)).unwrap_or_else(|e| {
+        eprintln!("acutemon-echo: udp bind :{port}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("acutemon-echo: serving TCP accept + UDP echo on :{port}");
+
+    // TCP: accept, drain whatever arrives briefly, close. The connect
+    // completing is all the prober needs.
+    thread::spawn(move || {
+        for stream in tcp.incoming() {
+            if let Ok(mut s) = stream {
+                let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+                thread::spawn(move || {
+                    let mut buf = [0u8; 512];
+                    let _ = s.read(&mut buf);
+                    // Dropped: RST/FIN closes the probe connection.
+                });
+            }
+        }
+    });
+
+    // UDP: echo every datagram back to its sender.
+    let mut buf = [0u8; 2048];
+    loop {
+        match udp.recv_from(&mut buf) {
+            Ok((n, from)) => {
+                let _ = udp.send_to(&buf[..n], from);
+            }
+            Err(e) => {
+                eprintln!("acutemon-echo: udp recv: {e}");
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # acutemon-live — AcuteMon over real sockets
+//!
+//! The artifact a downstream user can actually run: the paper's warm-up +
+//! background keep-awake measurement scheme (§4.1) implemented with
+//! `std::net` sockets on Linux, no root required.
+//!
+//! * The **background thread** binds a UDP socket, sets its TTL (default
+//!   1 — datagrams die at the first-hop gateway and never load the
+//!   measured path), sends one warm-up datagram, sleeps `dpre`, then
+//!   keeps sending every `db`.
+//! * The **measurement loop** fires `K` sequential probes: fresh TCP
+//!   connects (RTT = connect latency) or UDP echoes.
+//!
+//! On a phone-grade device this prevents the SDIO-bus and 802.11-PSM
+//! demotions the paper demonstrates; on any device it also counters NIC
+//! power-save (`iw dev wlan0 set power_save off` territory) without
+//! needing privileges.
+//!
+//! ```no_run
+//! use acutemon_live::{run, LiveConfig};
+//!
+//! let cfg = LiveConfig::new("93.184.216.34:80".parse().unwrap(), 100);
+//! let report = run(cfg).unwrap();
+//! println!("median RTT: {:?} ms", report.summary().map(|s| s.mean));
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod session;
+
+pub use config::{LiveConfig, LiveProbe};
+pub use session::{run, LiveBtStats, LiveReport, LiveSample};

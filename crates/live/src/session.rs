@@ -1,0 +1,320 @@
+//! The live measurement session: a background-traffic thread (BT) and a
+//! measurement loop (MT), exactly the Fig. 6 choreography of the paper,
+//! over real sockets.
+
+use std::io;
+use std::net::{TcpStream, UdpSocket};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::config::{LiveConfig, LiveProbe};
+
+/// One probe's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveSample {
+    /// Probe index.
+    pub probe: u32,
+    /// RTT in ms, if the probe completed in time.
+    pub rtt_ms: Option<f64>,
+}
+
+/// Counters from the background thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LiveBtStats {
+    /// Warm-up datagrams sent (normally 1).
+    pub warmup_sent: u64,
+    /// Background datagrams sent.
+    pub background_sent: u64,
+    /// Send errors (e.g. ICMP errors surfaced on the UDP socket) — these
+    /// are expected with TTL=1 and are ignored, like the paper ignores
+    /// the responses.
+    pub send_errors: u64,
+}
+
+/// The result of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Per-probe samples, in probe order.
+    pub samples: Vec<LiveSample>,
+    /// Background accounting.
+    pub bt: LiveBtStats,
+    /// Wall-clock duration of the measurement phase.
+    pub elapsed: Duration,
+}
+
+impl LiveReport {
+    /// Completed RTTs in ms.
+    pub fn rtts_ms(&self) -> Vec<f64> {
+        self.samples.iter().filter_map(|s| s.rtt_ms).collect()
+    }
+
+    /// Completion fraction.
+    pub fn completion(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.rtt_ms.is_some()).count() as f64
+            / self.samples.len() as f64
+    }
+
+    /// Mean/CI summary of the completed RTTs.
+    pub fn summary(&self) -> Option<am_stats::Summary> {
+        am_stats::Summary::of(&self.rtts_ms())
+    }
+}
+
+/// The background thread body: one warm-up datagram, then keep-awake
+/// datagrams every `db` until `stop` fires.
+fn bt_loop(cfg: LiveConfig, stats: Arc<Mutex<LiveBtStats>>, stop: Receiver<()>) -> io::Result<()> {
+    let socket = UdpSocket::bind("0.0.0.0:0")?;
+    socket.set_ttl(cfg.warmup_ttl)?;
+    // Warm-up packet.
+    match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
+        Ok(_) => stats.lock().warmup_sent += 1,
+        Err(_) => stats.lock().send_errors += 1,
+    }
+    if !cfg.background_enabled {
+        // Warm-up only: wait for the stop signal so the session still
+        // controls our lifetime.
+        let _ = stop.recv();
+        return Ok(());
+    }
+    loop {
+        // `recv_timeout` doubles as the db pacing clock.
+        match stop.recv_timeout(cfg.db) {
+            Ok(()) => return Ok(()),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
+                    Ok(_) => stats.lock().background_sent += 1,
+                    // With TTL=1 the kernel may surface the gateway's ICMP
+                    // Time Exceeded as an error on the next send; that is
+                    // exactly the by-design behaviour — count and go on.
+                    Err(_) => stats.lock().send_errors += 1,
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+fn probe_once(cfg: &LiveConfig, probe: u32) -> Option<f64> {
+    match cfg.probe {
+        LiveProbe::TcpConnect => {
+            let t0 = Instant::now();
+            match TcpStream::connect_timeout(&cfg.target, cfg.probe_timeout) {
+                Ok(stream) => {
+                    let rtt = t0.elapsed();
+                    drop(stream);
+                    Some(rtt.as_secs_f64() * 1e3)
+                }
+                Err(_) => None,
+            }
+        }
+        LiveProbe::UdpEcho => {
+            let socket = UdpSocket::bind("0.0.0.0:0").ok()?;
+            socket.set_read_timeout(Some(cfg.probe_timeout)).ok()?;
+            let payload = probe.to_be_bytes();
+            let t0 = Instant::now();
+            socket.send_to(&payload, cfg.target).ok()?;
+            let mut buf = [0u8; 64];
+            loop {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, from)) => {
+                        if from == cfg.target && n >= 4 && buf[..4] == payload {
+                            return Some(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        if t0.elapsed() >= cfg.probe_timeout {
+                            return None;
+                        }
+                        // A stray datagram; keep waiting.
+                    }
+                    Err(_) => return None,
+                }
+            }
+        }
+    }
+}
+
+/// Run a complete AcuteMon session over real sockets: start the BT, wait
+/// `dpre`, fire `K` sequential probes, stop the BT.
+pub fn run(cfg: LiveConfig) -> io::Result<LiveReport> {
+    let stats = Arc::new(Mutex::new(LiveBtStats::default()));
+    let (stop_tx, stop_rx): (Sender<()>, Receiver<()>) = bounded(1);
+    let bt_cfg = cfg.clone();
+    let bt_stats = Arc::clone(&stats);
+    let bt = thread::Builder::new()
+        .name("acutemon-bt".into())
+        .spawn(move || bt_loop(bt_cfg, bt_stats, stop_rx))?;
+
+    thread::sleep(cfg.dpre);
+    let t_start = Instant::now();
+    let mut samples = Vec::with_capacity(cfg.k as usize);
+    for probe in 0..cfg.k {
+        let rtt_ms = probe_once(&cfg, probe);
+        samples.push(LiveSample { probe, rtt_ms });
+    }
+    let elapsed = t_start.elapsed();
+
+    let _ = stop_tx.send(());
+    let _ = bt.join().expect("bt thread panicked");
+    let bt_stats = *stats.lock();
+    Ok(LiveReport {
+        samples,
+        bt: bt_stats,
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{SocketAddr, TcpListener};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// A loopback TCP acceptor that accepts and drops connections.
+    fn tcp_server() -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let s2 = Arc::clone(&stop);
+        listener.set_nonblocking(true).expect("nonblocking");
+        thread::spawn(move || {
+            while !s2.load(Ordering::Relaxed) {
+                // Drain the whole backlog before napping, or a burst of
+                // connects overflows it and SYNs retransmit after 1 s.
+                while let Ok((stream, _)) = listener.accept() {
+                    drop(stream);
+                }
+                thread::sleep(Duration::from_micros(200));
+            }
+        });
+        (addr, stop)
+    }
+
+    /// A loopback UDP echo server.
+    fn udp_echo_server() -> (SocketAddr, Arc<AtomicBool>) {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let addr = socket.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let s2 = Arc::clone(&stop);
+        socket
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("timeout");
+        thread::spawn(move || {
+            let mut buf = [0u8; 256];
+            while !s2.load(Ordering::Relaxed) {
+                if let Ok((n, from)) = socket.recv_from(&mut buf) {
+                    let _ = socket.send_to(&buf[..n], from);
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    #[test]
+    fn tcp_connect_probing_on_loopback() {
+        let (addr, stop) = tcp_server();
+        // Loopback probes are microseconds, so stretch the session with a
+        // large K and a 1 ms db to observe background pacing at all.
+        let cfg = LiveConfig::new(addr, 200)
+            .with_timing(Duration::from_millis(2), Duration::from_millis(1))
+            // Loopback has no gateway: use a TTL that still delivers so
+            // the BT socket sees no errors.
+            .with_warmup_ttl(8);
+        let report = run(cfg).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(report.samples.len(), 200);
+        assert!(
+            report.completion() > 0.9,
+            "completion {}",
+            report.completion()
+        );
+        // Sandboxed/proxied environments occasionally add a retransmit-
+        // scale outlier to a loopback connect; judge the bulk, not the
+        // worst case.
+        let mut rtts = report.rtts_ms();
+        rtts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let p90 = rtts[rtts.len() * 9 / 10];
+        assert!(p90 < 200.0, "loopback p90 rtt {p90}");
+        assert_eq!(report.bt.warmup_sent, 1);
+        assert!(report.bt.background_sent > 0);
+        assert!(report.summary().is_some());
+    }
+
+    #[test]
+    fn udp_echo_probing_on_loopback() {
+        let (addr, stop) = udp_echo_server();
+        let cfg = LiveConfig::new(addr, 8)
+            .with_probe(LiveProbe::UdpEcho)
+            .with_timing(Duration::from_millis(2), Duration::from_millis(5))
+            .with_warmup_ttl(8);
+        let report = run(cfg).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(report.samples.len(), 8);
+        assert!(
+            report.completion() > 0.8,
+            "completion {}",
+            report.completion()
+        );
+    }
+
+    #[test]
+    fn without_background_sends_only_warmup() {
+        let (addr, stop) = tcp_server();
+        let cfg = LiveConfig::new(addr, 3)
+            .with_timing(Duration::from_millis(2), Duration::from_millis(5))
+            .with_warmup_ttl(8)
+            .without_background();
+        let report = run(cfg).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(report.bt.warmup_sent, 1);
+        assert_eq!(report.bt.background_sent, 0);
+        assert_eq!(report.samples.len(), 3);
+    }
+
+    #[test]
+    fn refused_target_reports_losses_not_hangs() {
+        // Bind a port, then free it: connects to it are refused, and the
+        // probe must come back as lost quickly (no hang, no panic).
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let cfg = LiveConfig {
+            probe_timeout: Duration::from_millis(50),
+            ..LiveConfig::new(addr, 3)
+        }
+        .with_timing(Duration::from_millis(1), Duration::from_millis(5))
+        .with_warmup_ttl(8);
+        let t0 = Instant::now();
+        let report = run(cfg).expect("run");
+        assert_eq!(report.completion(), 0.0);
+        assert!(t0.elapsed() < Duration::from_secs(3));
+    }
+
+    #[test]
+    fn background_pacing_roughly_matches_db() {
+        let (addr, stop) = tcp_server();
+        let cfg = LiveConfig::new(addr, 1)
+            .with_timing(Duration::from_millis(2), Duration::from_millis(10))
+            .with_warmup_ttl(8);
+        // One fast probe: the session lives ~dpre + probe time. To get a
+        // stable count, use a UDP-echo target that responds slowly? —
+        // instead run with more probes to stretch the session.
+        let cfg = LiveConfig { k: 20, ..cfg };
+        let t0 = Instant::now();
+        let report = run(cfg).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let expected = elapsed_ms / 10.0;
+        assert!(
+            (report.bt.background_sent as f64) < expected * 2.0 + 6.0,
+            "bg={} expected~{expected}",
+            report.bt.background_sent
+        );
+    }
+}

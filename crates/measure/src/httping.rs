@@ -1,0 +1,199 @@
+//! `httping` \[18\], cross-compiled for Android in the paper's comparison
+//! (§4.3): per probe it opens a fresh TCP connection to the web server and
+//! measures the connect (SYN → SYN/ACK) round trip, at a 1 s default
+//! interval — so every probe pays the energy-saving wake-up penalties.
+
+use phone::{App, AppCtx};
+use simcore::SimDuration;
+use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
+
+use crate::record::RttRecord;
+
+/// httping configuration.
+#[derive(Debug, Clone)]
+pub struct HttpingConfig {
+    /// Target server.
+    pub dst: Ip,
+    /// Target TCP port.
+    pub port: u16,
+    /// Number of probes.
+    pub count: u32,
+    /// Inter-probe interval (httping default 1 s).
+    pub interval: SimDuration,
+    /// Base source port; each probe uses `base + probe`.
+    pub src_port_base: u16,
+}
+
+impl HttpingConfig {
+    /// Standard httping run against port 80.
+    pub fn new(dst: Ip, count: u32, interval: SimDuration) -> HttpingConfig {
+        HttpingConfig {
+            dst,
+            port: 80,
+            count,
+            interval,
+            src_port_base: 42_000,
+        }
+    }
+}
+
+const TAG_SEND: u32 = 1;
+
+/// The httping app.
+pub struct HttpingApp {
+    cfg: HttpingConfig,
+    /// Per-probe records.
+    pub records: Vec<RttRecord>,
+    sent: u32,
+}
+
+impl HttpingApp {
+    /// Create an httping session.
+    pub fn new(cfg: HttpingConfig) -> HttpingApp {
+        HttpingApp {
+            cfg,
+            records: Vec::new(),
+            sent: 0,
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let src_port = self.cfg.src_port_base.wrapping_add(self.sent as u16);
+        let id = ctx.send(
+            self.cfg.dst,
+            64,
+            L4::Tcp {
+                src_port,
+                dst_port: self.cfg.port,
+                flags: TcpFlags::SYN,
+                seq: 1000 + self.sent,
+                ack: 0,
+            },
+            0,
+            PacketTag::Probe(self.sent),
+        );
+        self.records.push(RttRecord {
+            probe: self.sent,
+            req_id: id,
+            resp_id: None,
+            tou: ctx.now(),
+            tiu: None,
+            reported_ms: None,
+        });
+        self.sent += 1;
+        if self.sent < self.cfg.count {
+            ctx.set_timer(self.cfg.interval, TAG_SEND);
+        }
+    }
+
+    fn probe_for_port(&self, dst_port: u16) -> Option<usize> {
+        let base = self.cfg.src_port_base;
+        let idx = dst_port.wrapping_sub(base) as u32;
+        (idx < self.sent).then_some(idx as usize)
+    }
+}
+
+impl App for HttpingApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        self.send_probe(ctx);
+    }
+
+    fn wants(&self, packet: &Packet) -> bool {
+        match packet.l4 {
+            L4::Tcp {
+                src_port, dst_port, ..
+            } => src_port == self.cfg.port && self.probe_for_port(dst_port).is_some(),
+            _ => false,
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut AppCtx<'_, '_>, packet: Packet) {
+        if !packet.tcp_has(TcpFlags::SYN | TcpFlags::ACK) {
+            return;
+        }
+        let L4::Tcp { dst_port, .. } = packet.l4 else {
+            return;
+        };
+        let Some(idx) = self.probe_for_port(dst_port) else {
+            return;
+        };
+        let rec = &mut self.records[idx];
+        if rec.tiu.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        rec.resp_id = Some(packet.id);
+        rec.tiu = Some(now);
+        rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {
+        if tag == TAG_SEND {
+            self.send_probe(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordSet;
+    use crate::testutil::{EchoWire, TestWorld};
+    use phone::RuntimeKind;
+
+    #[test]
+    fn connect_rtt_measured() {
+        let mut w = TestWorld::new(7, EchoWire::delay_ms(30));
+        let app = w.install(
+            Box::new(HttpingApp::new(HttpingConfig::new(
+                phone::wired_ip(1),
+                10,
+                SimDuration::from_millis(200),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(10);
+        let h = w.app::<HttpingApp>(app);
+        assert_eq!(h.records.len(), 10);
+        assert!((h.records.completion() - 1.0).abs() < 1e-12);
+        for du in h.records.du() {
+            assert!((30.0..60.0).contains(&du), "du={du}");
+        }
+    }
+
+    #[test]
+    fn default_interval_pays_wake_penalty() {
+        let mut w = TestWorld::new(8, EchoWire::delay_ms(30));
+        let app = w.install(
+            Box::new(HttpingApp::new(HttpingConfig::new(
+                phone::wired_ip(1),
+                10,
+                SimDuration::from_secs(1),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(15);
+        let du = w.app::<HttpingApp>(app).records.du();
+        let mean = du.iter().sum::<f64>() / du.len() as f64;
+        // Every probe pays ~10 ms TX wake on a Nexus 5.
+        assert!(mean > 39.0, "mean={mean}");
+    }
+
+    #[test]
+    fn each_probe_uses_fresh_connection() {
+        let mut w = TestWorld::new(9, EchoWire::delay_ms(10));
+        let app = w.install(
+            Box::new(HttpingApp::new(HttpingConfig::new(
+                phone::wired_ip(1),
+                5,
+                SimDuration::from_millis(100),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(5);
+        let h = w.app::<HttpingApp>(app);
+        let mut req_ids: Vec<u64> = h.records.iter().map(|r| r.req_id).collect();
+        req_ids.dedup();
+        assert_eq!(req_ids.len(), 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! "Java ping": MobiPerf's second measurement method (§4.3), reimplemented
+//! the way the paper did — a Java app using `InetAddress`-style
+//! reachability probes, which boil down to TCP control messages
+//! (SYN → RST on a closed port). Because it runs in the Dalvik VM it also
+//! pays the user–kernel overhead a native tool avoids; install it with
+//! [`phone::RuntimeKind::Dalvik`].
+
+use phone::{App, AppCtx};
+use simcore::SimDuration;
+use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
+
+use crate::record::RttRecord;
+
+/// Java-ping configuration.
+#[derive(Debug, Clone)]
+pub struct JavaPingConfig {
+    /// Target server.
+    pub dst: Ip,
+    /// Target port; `InetAddress.isReachable` falls back to TCP port 7
+    /// (echo), normally closed → RST.
+    pub port: u16,
+    /// Number of probes.
+    pub count: u32,
+    /// Inter-probe interval.
+    pub interval: SimDuration,
+    /// Base source port.
+    pub src_port_base: u16,
+}
+
+impl JavaPingConfig {
+    /// The MobiPerf-style configuration.
+    pub fn new(dst: Ip, count: u32, interval: SimDuration) -> JavaPingConfig {
+        JavaPingConfig {
+            dst,
+            port: 7,
+            count,
+            interval,
+            src_port_base: 51_000,
+        }
+    }
+}
+
+const TAG_SEND: u32 = 1;
+
+/// The Java-ping app.
+pub struct JavaPingApp {
+    cfg: JavaPingConfig,
+    /// Per-probe records.
+    pub records: Vec<RttRecord>,
+    sent: u32,
+}
+
+impl JavaPingApp {
+    /// Create a session.
+    pub fn new(cfg: JavaPingConfig) -> JavaPingApp {
+        JavaPingApp {
+            cfg,
+            records: Vec::new(),
+            sent: 0,
+        }
+    }
+
+    fn probe_for_port(&self, dst_port: u16) -> Option<usize> {
+        let idx = dst_port.wrapping_sub(self.cfg.src_port_base) as u32;
+        (idx < self.sent).then_some(idx as usize)
+    }
+
+    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let src_port = self.cfg.src_port_base.wrapping_add(self.sent as u16);
+        let id = ctx.send(
+            self.cfg.dst,
+            64,
+            L4::Tcp {
+                src_port,
+                dst_port: self.cfg.port,
+                flags: TcpFlags::SYN,
+                seq: 7000 + self.sent,
+                ack: 0,
+            },
+            0,
+            PacketTag::Probe(self.sent),
+        );
+        self.records.push(RttRecord {
+            probe: self.sent,
+            req_id: id,
+            resp_id: None,
+            tou: ctx.now(),
+            tiu: None,
+            reported_ms: None,
+        });
+        self.sent += 1;
+        if self.sent < self.cfg.count {
+            ctx.set_timer(self.cfg.interval, TAG_SEND);
+        }
+    }
+}
+
+impl App for JavaPingApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        self.send_probe(ctx);
+    }
+
+    fn wants(&self, packet: &Packet) -> bool {
+        match packet.l4 {
+            L4::Tcp {
+                src_port, dst_port, ..
+            } => src_port == self.cfg.port && self.probe_for_port(dst_port).is_some(),
+            _ => false,
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut AppCtx<'_, '_>, packet: Packet) {
+        // Either RST (closed port) or SYN/ACK (open) completes the probe.
+        if !(packet.tcp_has(TcpFlags::RST) || packet.tcp_has(TcpFlags::SYN | TcpFlags::ACK)) {
+            return;
+        }
+        let L4::Tcp { dst_port, .. } = packet.l4 else {
+            return;
+        };
+        let Some(idx) = self.probe_for_port(dst_port) else {
+            return;
+        };
+        let rec = &mut self.records[idx];
+        if rec.tiu.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        rec.resp_id = Some(packet.id);
+        rec.tiu = Some(now);
+        rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {
+        if tag == TAG_SEND {
+            self.send_probe(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordSet;
+    use crate::testutil::{EchoWire, TestWorld};
+    use phone::RuntimeKind;
+
+    #[test]
+    fn completes_via_rst_from_closed_port() {
+        let mut w = TestWorld::new(11, EchoWire::delay_ms(30));
+        let app = w.install(
+            Box::new(JavaPingApp::new(JavaPingConfig::new(
+                phone::wired_ip(1),
+                10,
+                SimDuration::from_millis(200),
+            ))),
+            RuntimeKind::Dalvik,
+        );
+        w.run_secs(10);
+        let j = w.app::<JavaPingApp>(app);
+        assert_eq!(j.records.len(), 10);
+        assert!((j.records.completion() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dalvik_overhead_makes_it_slower_than_native_httping() {
+        // Same probe pattern, same network: the Dalvik runtime crossing
+        // should show up in du.
+        let mut w = TestWorld::new(12, EchoWire::delay_ms(30));
+        let jp = w.install(
+            Box::new(JavaPingApp::new(JavaPingConfig::new(
+                phone::wired_ip(1),
+                30,
+                SimDuration::from_millis(50),
+            ))),
+            RuntimeKind::Dalvik,
+        );
+        let hp = w.install(
+            Box::new(crate::httping::HttpingApp::new(
+                crate::httping::HttpingConfig::new(
+                    phone::wired_ip(1),
+                    30,
+                    SimDuration::from_millis(50),
+                ),
+            )),
+            RuntimeKind::Native,
+        );
+        w.run_secs(10);
+        let jdu = w.app::<JavaPingApp>(jp).records.du();
+        let hdu = w.app::<crate::httping::HttpingApp>(hp).records.du();
+        let jm = jdu.iter().sum::<f64>() / jdu.len() as f64;
+        let hm = hdu.iter().sum::<f64>() / hdu.len() as f64;
+        assert!(jm > hm, "java {jm} vs native {hm}");
+    }
+}

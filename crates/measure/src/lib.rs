@@ -1,0 +1,37 @@
+//! # measure — measurement tools and baselines
+//!
+//! The probe tools the paper runs and compares against (§3.1, §4.3):
+//!
+//! * [`PingApp`]: ICMP ping as run from `adb shell`, with configurable
+//!   interval (10 ms vs the 1 s default drives the whole root-cause
+//!   analysis of §3) and the integer-rounding reporting quirk that
+//!   produces the negative ∆du−k of Fig. 3;
+//! * [`HttpingApp`]: httping \[18\] — per-probe TCP connect RTT at 1 s
+//!   intervals;
+//! * [`JavaPingApp`]: MobiPerf's `InetAddress` method — TCP control
+//!   messages from a Dalvik app;
+//! * [`MobiperfHttpApp`]: MobiPerf's `HttpURLConnection` method —
+//!   handshake RTT followed by a real GET;
+//! * [`Ping2Prober`]: the server-side double-ping of Sui et al. \[34\],
+//!   kept for the ablation showing it cannot fix long paths.
+//!
+//! All phone-side tools implement [`phone::App`] and produce
+//! [`RttRecord`]s that join against the phone ledger and sniffer captures.
+
+#![warn(missing_docs)]
+
+mod httping;
+mod javaping;
+mod mobiperf_http;
+mod ping;
+mod ping2;
+mod record;
+#[cfg(test)]
+mod testutil;
+
+pub use httping::{HttpingApp, HttpingConfig};
+pub use javaping::{JavaPingApp, JavaPingConfig};
+pub use mobiperf_http::{MobiperfHttpApp, MobiperfHttpConfig};
+pub use ping::{PingApp, PingConfig};
+pub use ping2::{Ping2Config, Ping2Prober, Ping2Record};
+pub use record::{ping_report_quirk, RecordSet, RttRecord};

@@ -1,0 +1,213 @@
+//! MobiPerf's third measurement method (§4.3): `HttpURLConnection`.
+//!
+//! Per probe it opens a fresh connection and issues an HTTP GET; the RTT
+//! is taken from the TCP control handshake (SYN → SYN/ACK), which is why
+//! the paper lumps methods 2 and 3 together ("SYN/RST vs SYN/SYN ACK").
+//! Unlike the bare `InetAddress` method, the GET exchange that follows
+//! adds extra traffic after each probe — which slightly changes how the
+//! phone's idle timers behave between probes. Runs in the Dalvik VM.
+
+use phone::{App, AppCtx};
+use simcore::SimDuration;
+use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
+
+use crate::record::RttRecord;
+
+/// Configuration for the HttpURLConnection prober.
+#[derive(Debug, Clone)]
+pub struct MobiperfHttpConfig {
+    /// Target server.
+    pub dst: Ip,
+    /// Target HTTP port.
+    pub port: u16,
+    /// Number of probes.
+    pub count: u32,
+    /// Inter-probe interval.
+    pub interval: SimDuration,
+    /// Base source port.
+    pub src_port_base: u16,
+    /// HTTP request payload size (headers etc.).
+    pub request_len: usize,
+}
+
+impl MobiperfHttpConfig {
+    /// The MobiPerf defaults.
+    pub fn new(dst: Ip, count: u32, interval: SimDuration) -> MobiperfHttpConfig {
+        MobiperfHttpConfig {
+            dst,
+            port: 80,
+            count,
+            interval,
+            src_port_base: 55_000,
+            request_len: 160,
+        }
+    }
+}
+
+const TAG_SEND: u32 = 1;
+
+/// The HttpURLConnection app.
+pub struct MobiperfHttpApp {
+    cfg: MobiperfHttpConfig,
+    /// Per-probe records (RTT = connect handshake).
+    pub records: Vec<RttRecord>,
+    /// HTTP responses received (the GET after the handshake).
+    pub http_responses: u64,
+    sent: u32,
+}
+
+impl MobiperfHttpApp {
+    /// Create a session.
+    pub fn new(cfg: MobiperfHttpConfig) -> MobiperfHttpApp {
+        MobiperfHttpApp {
+            cfg,
+            records: Vec::new(),
+            http_responses: 0,
+            sent: 0,
+        }
+    }
+
+    fn probe_for_port(&self, dst_port: u16) -> Option<usize> {
+        let idx = dst_port.wrapping_sub(self.cfg.src_port_base) as u32;
+        (idx < self.sent).then_some(idx as usize)
+    }
+
+    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let src_port = self.cfg.src_port_base.wrapping_add(self.sent as u16);
+        let id = ctx.send(
+            self.cfg.dst,
+            64,
+            L4::Tcp {
+                src_port,
+                dst_port: self.cfg.port,
+                flags: TcpFlags::SYN,
+                seq: 9_000 + self.sent,
+                ack: 0,
+            },
+            0,
+            PacketTag::Probe(self.sent),
+        );
+        self.records.push(RttRecord {
+            probe: self.sent,
+            req_id: id,
+            resp_id: None,
+            tou: ctx.now(),
+            tiu: None,
+            reported_ms: None,
+        });
+        self.sent += 1;
+        if self.sent < self.cfg.count {
+            ctx.set_timer(self.cfg.interval, TAG_SEND);
+        }
+    }
+
+    fn send_get(&mut self, ctx: &mut AppCtx<'_, '_>, src_port: u16, ack: u32) {
+        ctx.send(
+            self.cfg.dst,
+            64,
+            L4::Tcp {
+                src_port,
+                dst_port: self.cfg.port,
+                flags: TcpFlags::PSH | TcpFlags::ACK,
+                seq: ack, // continue the handshake's sequence space
+                ack: 1,
+            },
+            self.cfg.request_len,
+            PacketTag::Other,
+        );
+    }
+}
+
+impl App for MobiperfHttpApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        self.send_probe(ctx);
+    }
+
+    fn wants(&self, packet: &Packet) -> bool {
+        match packet.l4 {
+            L4::Tcp {
+                src_port, dst_port, ..
+            } => src_port == self.cfg.port && self.probe_for_port(dst_port).is_some(),
+            _ => false,
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut AppCtx<'_, '_>, packet: Packet) {
+        let L4::Tcp { dst_port, seq, .. } = packet.l4 else {
+            return;
+        };
+        let Some(idx) = self.probe_for_port(dst_port) else {
+            return;
+        };
+        if packet.tcp_has(TcpFlags::SYN | TcpFlags::ACK) {
+            // Handshake complete: this IS the reported RTT...
+            let now = ctx.now();
+            let rec = &mut self.records[idx];
+            if rec.tiu.is_none() {
+                rec.resp_id = Some(packet.id);
+                rec.tiu = Some(now);
+                rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+            }
+            // ...and HttpURLConnection then actually issues the GET.
+            self.send_get(ctx, dst_port, seq.wrapping_add(1));
+        } else if packet.tcp_has(TcpFlags::PSH) {
+            self.http_responses += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {
+        if tag == TAG_SEND {
+            self.send_probe(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordSet;
+    use crate::testutil::{EchoWire, TestWorld};
+    use phone::RuntimeKind;
+
+    #[test]
+    fn handshake_rtt_and_get_both_happen() {
+        let mut w = TestWorld::new(13, EchoWire::delay_ms(30));
+        let app = w.install(
+            Box::new(MobiperfHttpApp::new(MobiperfHttpConfig::new(
+                phone::wired_ip(1),
+                8,
+                SimDuration::from_millis(300),
+            ))),
+            RuntimeKind::Dalvik,
+        );
+        w.run_secs(10);
+        let m = w.app::<MobiperfHttpApp>(app);
+        assert_eq!(m.records.len(), 8);
+        assert!((m.records.completion() - 1.0).abs() < 1e-12);
+        // The follow-up GETs got answered too.
+        assert_eq!(m.http_responses, 8);
+        for du in m.records.du() {
+            assert!((30.0..60.0).contains(&du), "du={du}");
+        }
+    }
+
+    #[test]
+    fn reported_rtt_is_handshake_not_get() {
+        let mut w = TestWorld::new(14, EchoWire::delay_ms(40));
+        let app = w.install(
+            Box::new(MobiperfHttpApp::new(MobiperfHttpConfig::new(
+                phone::wired_ip(1),
+                5,
+                SimDuration::from_millis(300),
+            ))),
+            RuntimeKind::Dalvik,
+        );
+        w.run_secs(10);
+        let m = w.app::<MobiperfHttpApp>(app);
+        for r in &m.records {
+            // One RTT (~40), not two (~80).
+            let rep = r.reported_ms.unwrap();
+            assert!(rep < 60.0, "reported {rep}");
+        }
+    }
+}

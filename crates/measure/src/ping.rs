@@ -1,0 +1,236 @@
+//! ICMP `ping`, as run from `adb shell` (§3.1): a native binary sending
+//! echo requests at a configurable interval. This is the probe tool of the
+//! paper's root-cause analysis — at a 10 ms interval it keeps the phone
+//! awake and measures clean RTTs; at the 1 s default it hits the SDIO
+//! demotion and PSM timeouts on every probe.
+
+use phone::{App, AppCtx};
+use simcore::{SimDuration, SimTime};
+use wire::{IcmpKind, Ip, Packet, PacketTag, L4};
+
+use crate::record::{ping_report_quirk, RttRecord};
+
+/// Ping configuration.
+#[derive(Debug, Clone)]
+pub struct PingConfig {
+    /// Target address.
+    pub dst: Ip,
+    /// Number of probes.
+    pub count: u32,
+    /// Inter-probe interval (ping's `-i`; 1 s default, 10 ms for the
+    /// small-interval experiment).
+    pub interval: SimDuration,
+    /// ICMP identifier of this session.
+    pub ident: u16,
+    /// Echo payload size (ping default 56).
+    pub payload: usize,
+    /// Per-probe timeout used to mark losses in the records.
+    pub timeout: SimDuration,
+}
+
+impl PingConfig {
+    /// The paper's configuration: `count` probes to `dst` at `interval`.
+    pub fn new(dst: Ip, count: u32, interval: SimDuration) -> PingConfig {
+        PingConfig {
+            dst,
+            count,
+            interval,
+            ident: 0x1111,
+            payload: 56,
+            timeout: SimDuration::from_secs(3),
+        }
+    }
+}
+
+const TAG_SEND: u32 = 1;
+const TAG_DEADLINE: u32 = 2;
+
+/// The ping app. Install with [`phone::RuntimeKind::Native`] to model the
+/// adb-shell binary, or `Dalvik` to model a Java wrapper.
+pub struct PingApp {
+    cfg: PingConfig,
+    /// Per-probe records (index = probe number).
+    pub records: Vec<RttRecord>,
+    sent: u32,
+    finished_at: Option<SimTime>,
+}
+
+impl PingApp {
+    /// Create a ping session.
+    pub fn new(cfg: PingConfig) -> PingApp {
+        PingApp {
+            cfg,
+            records: Vec::new(),
+            sent: 0,
+            finished_at: None,
+        }
+    }
+
+    /// When the last probe completed or timed out (None while running).
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let seq = self.sent as u16;
+        let id = ctx.send(
+            self.cfg.dst,
+            64,
+            L4::Icmp {
+                kind: IcmpKind::EchoRequest,
+                ident: self.cfg.ident,
+                seq,
+            },
+            self.cfg.payload,
+            PacketTag::Probe(self.sent),
+        );
+        self.records.push(RttRecord {
+            probe: self.sent,
+            req_id: id,
+            resp_id: None,
+            tou: ctx.now(),
+            tiu: None,
+            reported_ms: None,
+        });
+        self.sent += 1;
+        if self.sent < self.cfg.count {
+            ctx.set_timer(self.cfg.interval, TAG_SEND);
+        } else {
+            ctx.set_timer(self.cfg.timeout, TAG_DEADLINE);
+        }
+    }
+}
+
+impl App for PingApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        self.send_probe(ctx);
+    }
+
+    fn wants(&self, packet: &Packet) -> bool {
+        matches!(
+            packet.l4,
+            L4::Icmp {
+                kind: IcmpKind::EchoReply,
+                ident,
+                ..
+            } if ident == self.cfg.ident
+        )
+    }
+
+    fn on_packet(&mut self, ctx: &mut AppCtx<'_, '_>, packet: Packet) {
+        let L4::Icmp { seq, .. } = packet.l4 else {
+            return;
+        };
+        let Some(rec) = self.records.get_mut(seq as usize) else {
+            return;
+        };
+        if rec.tiu.is_some() {
+            return; // duplicate reply
+        }
+        let now = ctx.now();
+        rec.resp_id = Some(packet.id);
+        rec.tiu = Some(now);
+        let du = now.saturating_since(rec.tou).as_ms_f64();
+        rec.reported_ms = Some(ping_report_quirk(du, ctx.profile().ping_integer_rounding));
+        if self.sent == self.cfg.count && self.records.iter().all(|r| r.completed()) {
+            self.finished_at = Some(now);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {
+        match tag {
+            TAG_SEND => self.send_probe(ctx),
+            TAG_DEADLINE
+                if self.finished_at.is_none() => {
+                    self.finished_at = Some(ctx.now());
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordSet;
+    use crate::testutil::{EchoWire, TestWorld};
+    use phone::RuntimeKind;
+
+    #[test]
+    fn hundred_probes_complete() {
+        let mut w = TestWorld::new(3, EchoWire::delay_ms(30));
+        let app = w.install(
+            Box::new(PingApp::new(PingConfig::new(
+                phone::wired_ip(1),
+                100,
+                SimDuration::from_millis(10),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(10);
+        let ping = w.app::<PingApp>(app);
+        assert_eq!(ping.records.len(), 100);
+        assert!((ping.records.completion() - 1.0).abs() < 1e-12);
+        assert!(ping.finished_at().is_some());
+        // All RTTs at least the network delay.
+        for du in ping.records.du() {
+            assert!(du >= 30.0, "du={du}");
+        }
+    }
+
+    #[test]
+    fn small_interval_keeps_rtts_tight() {
+        let mut w = TestWorld::new(4, EchoWire::delay_ms(30));
+        let app = w.install(
+            Box::new(PingApp::new(PingConfig::new(
+                phone::wired_ip(1),
+                50,
+                SimDuration::from_millis(10),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(10);
+        let du = w.app::<PingApp>(app).records.du();
+        // After the first (cold) probe, the bus stays awake: RTTs ~30-35.
+        let warm = &du[1..];
+        let mean = warm.iter().sum::<f64>() / warm.len() as f64;
+        assert!(mean < 36.0, "mean={mean}");
+    }
+
+    #[test]
+    fn one_second_interval_inflates_rtts() {
+        let mut w = TestWorld::new(5, EchoWire::delay_ms(60));
+        let app = w.install(
+            Box::new(PingApp::new(PingConfig::new(
+                phone::wired_ip(1),
+                20,
+                SimDuration::from_secs(1),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(30);
+        let du = w.app::<PingApp>(app).records.du();
+        let mean = du.iter().sum::<f64>() / du.len() as f64;
+        // Nexus 5 pattern: TX wake (~10) + RX wake (~12) on top of 60.
+        assert!(mean > 75.0, "mean={mean}");
+        assert!(mean < 95.0, "mean={mean}");
+    }
+
+    #[test]
+    fn unanswered_probes_recorded_as_lost() {
+        let mut w = TestWorld::new(6, EchoWire::blackhole());
+        let app = w.install(
+            Box::new(PingApp::new(PingConfig::new(
+                phone::wired_ip(1),
+                5,
+                SimDuration::from_millis(100),
+            ))),
+            RuntimeKind::Native,
+        );
+        w.run_secs(10);
+        let ping = w.app::<PingApp>(app);
+        assert_eq!(ping.records.len(), 5);
+        assert_eq!(ping.records.completion(), 0.0);
+        assert!(ping.finished_at().is_some());
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-probe RTT records shared by every measurement tool.
+
+use simcore::SimTime;
+
+/// The outcome of one probe as the tool itself sees it (user level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttRecord {
+    /// Probe index within the run.
+    pub probe: u32,
+    /// Packet id of the request (joins the phone ledger / sniffers).
+    pub req_id: u64,
+    /// Packet id of the response, if one arrived.
+    pub resp_id: Option<u64>,
+    /// User-level send time `tou`.
+    pub tou: SimTime,
+    /// User-level receive time `tiu`.
+    pub tiu: Option<SimTime>,
+    /// The RTT the tool *reports*, after any tool-specific quirks (e.g.
+    /// ping's integer rounding above 100 ms), in ms.
+    pub reported_ms: Option<f64>,
+}
+
+impl RttRecord {
+    /// The true user-level RTT `du = tiu − tou` in ms (no quirks).
+    pub fn du_ms(&self) -> Option<f64> {
+        Some(self.tiu?.saturating_since(self.tou).as_ms_f64())
+    }
+
+    /// Whether the probe completed.
+    pub fn completed(&self) -> bool {
+        self.tiu.is_some()
+    }
+}
+
+/// Summary helpers over a set of records.
+pub trait RecordSet {
+    /// All completed reported RTTs in ms.
+    fn reported(&self) -> Vec<f64>;
+    /// All completed true `du` values in ms.
+    fn du(&self) -> Vec<f64>;
+    /// Completed fraction.
+    fn completion(&self) -> f64;
+}
+
+impl RecordSet for [RttRecord] {
+    fn reported(&self) -> Vec<f64> {
+        self.iter().filter_map(|r| r.reported_ms).collect()
+    }
+    fn du(&self) -> Vec<f64> {
+        self.iter().filter_map(|r| r.du_ms()).collect()
+    }
+    fn completion(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.iter().filter(|r| r.completed()).count() as f64 / self.len() as f64
+    }
+}
+
+/// Apply ping's reporting quirk: busybox/toolbox ping on some phones
+/// prints RTTs above 100 ms with no fractional digits, truncating the
+/// fraction (§3.1: "the round-down RTT could be smaller than the tcpdump
+/// measurement", producing negative ∆du−k).
+pub fn ping_report_quirk(du_ms: f64, integer_rounding: bool) -> f64 {
+    if integer_rounding && du_ms >= 100.0 {
+        du_ms.floor()
+    } else {
+        // Normal ping resolution: 1 µs.
+        (du_ms * 1000.0).round() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(probe: u32, tou_ms: u64, tiu_ms: Option<u64>) -> RttRecord {
+        RttRecord {
+            probe,
+            req_id: u64::from(probe),
+            resp_id: tiu_ms.map(|_| 1000 + u64::from(probe)),
+            tou: SimTime::from_millis(tou_ms),
+            tiu: tiu_ms.map(SimTime::from_millis),
+            reported_ms: tiu_ms.map(|t| (t - tou_ms) as f64),
+        }
+    }
+
+    #[test]
+    fn du_and_completion() {
+        let rs = [
+            rec(0, 0, Some(30)),
+            rec(1, 100, None),
+            rec(2, 200, Some(233)),
+        ];
+        assert_eq!(rs[0].du_ms(), Some(30.0));
+        assert_eq!(rs[1].du_ms(), None);
+        assert!(!rs[1].completed());
+        assert_eq!(rs.du(), vec![30.0, 33.0]);
+        assert_eq!(rs.reported(), vec![30.0, 33.0]);
+        assert!((rs.completion() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set() {
+        let rs: [RttRecord; 0] = [];
+        assert_eq!(rs.completion(), 0.0);
+        assert!(rs.du().is_empty());
+    }
+
+    #[test]
+    fn quirk_rounds_down_only_above_100() {
+        assert_eq!(ping_report_quirk(136.66, true), 136.0);
+        assert_eq!(ping_report_quirk(99.87, true), 99.87);
+        assert_eq!(ping_report_quirk(136.66, false), 136.66);
+        assert_eq!(ping_report_quirk(33.1604, false), 33.16);
+    }
+}

@@ -1,0 +1,89 @@
+//! Test scaffolding: a phone wired straight to a measurement server
+//! through a delay link (no WiFi), to exercise tool logic and the phone
+//! pipeline in isolation. The full testbed lives in the `testbed` crate.
+
+use netem::{LinkNode, LinkParams, ServerConfig, ServerNode};
+use phone::{App, PhoneNode, RuntimeKind};
+use simcore::{Ctx, Node, NodeId, Sim, SimDuration};
+use wire::Msg;
+
+/// The wire between phone and server.
+pub enum EchoWire {
+    /// A responsive server behind a symmetric path with this RTT (ms).
+    Rtt(u64),
+    /// A server that never answers.
+    Blackhole,
+}
+
+impl EchoWire {
+    /// Convenience constructor: a path with the given RTT in ms.
+    pub fn delay_ms(rtt: u64) -> EchoWire {
+        EchoWire::Rtt(rtt)
+    }
+
+    /// A black-hole wire.
+    pub fn blackhole() -> EchoWire {
+        EchoWire::Blackhole
+    }
+}
+
+/// Discards everything.
+struct Blackhole;
+impl Node<Msg> for Blackhole {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {}
+}
+
+/// A minimal world: phone ↔ link ↔ server.
+pub struct TestWorld {
+    /// The simulator.
+    pub sim: Sim<Msg>,
+    /// The phone node id.
+    pub phone: NodeId,
+    /// The server node id (or black hole).
+    #[allow(dead_code)]
+    pub server: NodeId,
+}
+
+impl TestWorld {
+    /// Build the world. Install apps before the first `run_*` call.
+    pub fn new(seed: u64, wire: EchoWire) -> TestWorld {
+        let mut sim = Sim::new(seed);
+        let (server, one_way) = match wire {
+            EchoWire::Rtt(rtt) => {
+                let s = sim.add_node(Box::new(ServerNode::new(
+                    50,
+                    ServerConfig::standard(phone::wired_ip(1)),
+                )));
+                (s, rtt / 2)
+            }
+            EchoWire::Blackhole => (sim.add_node(Box::new(Blackhole)), 0),
+        };
+        let link = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(one_way))));
+        let phone = PhoneNode::new(1, phone::nexus5(), phone::wlan_ip(100), link);
+        let phone_id = sim.add_node(Box::new(phone));
+        sim.node_mut::<LinkNode>(link).connect(phone_id, server);
+        TestWorld {
+            sim,
+            phone: phone_id,
+            server,
+        }
+    }
+
+    /// Install an app on the phone.
+    pub fn install(&mut self, app: Box<dyn App>, runtime: RuntimeKind) -> usize {
+        self.sim
+            .node_mut::<PhoneNode>(self.phone)
+            .install_app(app, runtime)
+    }
+
+    /// Run `s` seconds of simulated time.
+    pub fn run_secs(&mut self, s: u64) {
+        let deadline = self.sim.now() + SimDuration::from_secs(s);
+        self.sim.run_until(deadline);
+    }
+
+    /// Typed app view.
+    pub fn app<T: 'static>(&self, idx: usize) -> &T {
+        self.sim.node::<PhoneNode>(self.phone).app::<T>(idx)
+    }
+}

@@ -1,0 +1,355 @@
+//! Smartphone hardware/software profiles.
+//!
+//! One profile per phone in the paper's Table 1, with the timing parameters
+//! the paper measured or that were calibrated against its results:
+//!
+//! * Table 3 calibrates the Nexus 5 SDIO wake/base latencies;
+//! * Table 4 gives each phone's PSM timeout `Tip` and listen intervals;
+//! * Fig. 3 calibrates the Qualcomm (`wcnss`/SMD) wake costs;
+//! * Fig. 7 calibrates the per-phone awake-path driver costs.
+//!
+//! See `DESIGN.md` §4 for the full calibration table.
+
+use simcore::{LatencyDist, SimDuration};
+
+/// WNIC vendor family. Broadcom chipsets use the `bcmdhd` driver over the
+/// SDIO bus; Qualcomm chipsets use `wcnss` over SMD. Both have the same
+/// idle-demotion mechanism (§3.2.1), with different wake costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipVendor {
+    /// Broadcom (`bcmdhd`, SDIO).
+    Broadcom,
+    /// Qualcomm (`wcnss`, SMD).
+    Qualcomm,
+}
+
+/// Execution environment of a measurement app (§2.1, \[23\]): Dalvik adds
+/// user–kernel overhead that a pre-compiled native binary avoids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// Pre-compiled native C binary (AcuteMon's MT, adb-shell ping).
+    Native,
+    /// Dalvik VM (Java apps like MobiPerf's InetAddress ping).
+    Dalvik,
+}
+
+/// Host-bus (SDIO/SMD) timing parameters.
+#[derive(Debug, Clone)]
+pub struct BusParams {
+    /// Driver watchdog period; the idle counter advances once per tick.
+    pub watchdog: SimDuration,
+    /// Ticks of idleness before the bus is put to sleep (`idletime`).
+    pub idletime: u32,
+    /// TX-side bus wake (promotion) latency when asleep, ms.
+    pub tx_wake: LatencyDist,
+    /// RX-side bus wake latency when asleep, ms.
+    pub rx_wake: LatencyDist,
+    /// TX driver path cost when awake (`dhd_start_xmit` → `dhdsdio_txpkt`), ms.
+    pub tx_base: LatencyDist,
+    /// RX driver path cost when awake (`dhdsdio_isr` → `dhd_rxf_enqueue`), ms.
+    pub rx_base: LatencyDist,
+    /// Bus transfer time for one frame, ms.
+    pub xfer: LatencyDist,
+}
+
+impl BusParams {
+    /// The demotion timeout `Tis = idletime × watchdog` (50 ms by default,
+    /// §3.2.1).
+    pub fn tis(&self) -> SimDuration {
+        self.watchdog.times(u64::from(self.idletime))
+    }
+}
+
+/// A complete phone model.
+#[derive(Debug, Clone)]
+pub struct PhoneProfile {
+    /// Model name as in Table 1.
+    pub name: &'static str,
+    /// Android version.
+    pub android: &'static str,
+    /// WNIC chipset name.
+    pub wnic: &'static str,
+    /// Chipset vendor (selects driver behaviour).
+    pub vendor: ChipVendor,
+    /// Relative slowness of the SoC (1.0 = Nexus 5); scales runtime and
+    /// kernel costs.
+    pub cpu_factor: f64,
+    /// Host bus parameters.
+    pub bus: BusParams,
+    /// Kernel TX crossing cost (socket → driver entry), ms.
+    pub kernel_tx: LatencyDist,
+    /// Kernel RX crossing cost (netif → socket), ms.
+    pub kernel_rx: LatencyDist,
+    /// User–kernel crossing for native apps (each direction), ms.
+    pub native_xing: LatencyDist,
+    /// User–kernel crossing for Dalvik apps (each direction), ms.
+    pub dalvik_xing: LatencyDist,
+    /// Adaptive-PSM timeout `Tip` distribution, ms (Table 4).
+    pub psm_timeout: LatencyDist,
+    /// Listen interval announced at association (Table 4).
+    pub listen_interval_assoc: u32,
+    /// Listen interval actually used (Table 4: 0 for every phone).
+    pub listen_interval_actual: u32,
+    /// Radio turn-on cost when transmitting from doze, ms.
+    pub psm_wake_tx: LatencyDist,
+    /// Probability a dozing STA misses a beacon it should have heard.
+    pub beacon_miss_prob: f64,
+    /// Quirk: `ping` prints integer RTTs once they exceed 100 ms, so
+    /// reported `du` is rounded down (the negative ∆du−k of Fig. 3d).
+    pub ping_integer_rounding: bool,
+}
+
+impl PhoneProfile {
+    /// The mean PSM timeout in ms, handy for experiment planning.
+    pub fn tip_mean_ms(&self) -> f64 {
+        self.psm_timeout.mean_ms
+    }
+
+    /// Runtime crossing distribution for the given runtime kind, with the
+    /// CPU factor applied.
+    pub fn runtime_xing(&self, kind: RuntimeKind) -> LatencyDist {
+        let d = match kind {
+            RuntimeKind::Native => self.native_xing,
+            RuntimeKind::Dalvik => self.dalvik_xing,
+        };
+        scale(d, self.cpu_factor)
+    }
+}
+
+/// Scale a latency distribution by a CPU slowness factor.
+fn scale(d: LatencyDist, f: f64) -> LatencyDist {
+    LatencyDist {
+        mean_ms: d.mean_ms * f,
+        std_ms: d.std_ms * f,
+        min_ms: d.min_ms * f,
+        max_ms: d.max_ms * f,
+    }
+}
+
+/// Driver-path base costs are only partly CPU-bound (the bus transfer and
+/// firmware turnaround don't scale with the SoC), so they scale with the
+/// square root of the CPU factor — this keeps the low-end phones' awake
+/// overheads near the sub-3 ms medians of Fig. 7 while still separating
+/// them from the flagships.
+fn bus_scale(cpu_factor: f64) -> f64 {
+    cpu_factor.sqrt()
+}
+
+fn broadcom_bus(cpu_factor: f64) -> BusParams {
+    let cpu_factor = bus_scale(cpu_factor);
+    BusParams {
+        watchdog: SimDuration::from_millis(10),
+        idletime: 5,
+        // Table 3, sleep enabled, 1 s interval: dvsend mean 10.15 max 13.5;
+        // subtracting the awake base gives the wake component.
+        tx_wake: LatencyDist::normal(9.5, 1.2, 7.0, 13.0),
+        // dvrecv mean 12.75 max 14.2 minus base ~1.6.
+        rx_wake: LatencyDist::normal(11.0, 1.0, 8.5, 12.6),
+        // Table 3, sleep disabled, 10 ms: min 0.092 mean 0.229 max 0.836.
+        tx_base: scale(LatencyDist::normal(0.25, 0.13, 0.09, 0.84), cpu_factor),
+        // Table 3, sleep disabled: min 0.31 mean 1.59 max 2.65.
+        rx_base: scale(LatencyDist::normal(1.6, 0.45, 0.31, 2.83), cpu_factor),
+        xfer: LatencyDist::normal(0.05, 0.02, 0.01, 0.12),
+    }
+}
+
+fn qualcomm_bus(cpu_factor: f64) -> BusParams {
+    let cpu_factor = bus_scale(cpu_factor);
+    BusParams {
+        watchdog: SimDuration::from_millis(10),
+        idletime: 5,
+        // Fig 3: Nexus 4 ∆dk−n at 1 s has a ~6 ms median -> SMD wake ≈ 4.5
+        // TX-side plus ~1.2 RX-side.
+        tx_wake: LatencyDist::normal(4.5, 0.8, 3.0, 7.0),
+        rx_wake: LatencyDist::normal(1.2, 0.4, 0.5, 2.5),
+        // Fig 7c: awake-path medians ≈ 0.8 ms total.
+        tx_base: scale(LatencyDist::normal(0.12, 0.05, 0.03, 0.4), cpu_factor),
+        rx_base: scale(LatencyDist::normal(0.55, 0.2, 0.2, 1.2), cpu_factor),
+        xfer: LatencyDist::normal(0.04, 0.015, 0.01, 0.1),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn base_profile(
+    name: &'static str,
+    android: &'static str,
+    wnic: &'static str,
+    vendor: ChipVendor,
+    cpu_factor: f64,
+    tip: LatencyDist,
+    listen_assoc: u32,
+    ping_integer_rounding: bool,
+) -> PhoneProfile {
+    let bus = match vendor {
+        ChipVendor::Broadcom => broadcom_bus(cpu_factor),
+        ChipVendor::Qualcomm => qualcomm_bus(cpu_factor),
+    };
+    PhoneProfile {
+        name,
+        android,
+        wnic,
+        vendor,
+        cpu_factor,
+        bus,
+        kernel_tx: scale(LatencyDist::normal(0.03, 0.012, 0.008, 0.1), cpu_factor),
+        kernel_rx: scale(LatencyDist::normal(0.04, 0.015, 0.01, 0.12), cpu_factor),
+        native_xing: LatencyDist::normal(0.08, 0.04, 0.02, 0.3),
+        dalvik_xing: LatencyDist::normal(0.6, 0.3, 0.15, 2.2),
+        psm_timeout: tip,
+        listen_interval_assoc: listen_assoc,
+        listen_interval_actual: 0,
+        psm_wake_tx: LatencyDist::normal(0.8, 0.3, 0.2, 2.0),
+        beacon_miss_prob: 0.15,
+        ping_integer_rounding,
+    }
+}
+
+/// Google Nexus 5: Android 4.4.2, 2.26 GHz ×4, 2 GB, BCM4339 (Table 1);
+/// `Tip` ≈ 205 ms (Table 4).
+pub fn nexus5() -> PhoneProfile {
+    base_profile(
+        "Google Nexus 5",
+        "4.4.2",
+        "BCM4339",
+        ChipVendor::Broadcom,
+        1.0,
+        LatencyDist::normal(205.0, 15.0, 150.0, 260.0),
+        10,
+        false,
+    )
+}
+
+/// Google Nexus 4: Android 4.4.4, 1.5 GHz ×4, 2 GB, WCN3660; `Tip` ≈ 40 ms,
+/// and its `ping` prints integer RTTs above 100 ms.
+pub fn nexus4() -> PhoneProfile {
+    base_profile(
+        "Google Nexus 4",
+        "4.4.4",
+        "WCN3660",
+        ChipVendor::Qualcomm,
+        1.1,
+        LatencyDist::normal(40.0, 10.0, 20.0, 70.0),
+        1,
+        true,
+    )
+}
+
+/// HTC One: Android 4.2.2, 1.7 GHz ×4, 2 GB, WCN3680; `Tip` ≈ 400 ms.
+pub fn htc_one() -> PhoneProfile {
+    base_profile(
+        "HTC One",
+        "4.2.2",
+        "WCN3680",
+        ChipVendor::Qualcomm,
+        1.1,
+        LatencyDist::normal(400.0, 25.0, 330.0, 470.0),
+        1,
+        false,
+    )
+}
+
+/// Sony Xperia J: Android 4.0.4, 1 GHz ×1, 512 MB, BCM4330; `Tip` ≈ 210 ms.
+/// The slowest phone under test — its ∆dk−n whiskers reach ~4 ms (Fig. 7).
+pub fn xperia_j() -> PhoneProfile {
+    let mut p = base_profile(
+        "Sony Xperia J",
+        "4.0.4",
+        "BCM4330",
+        ChipVendor::Broadcom,
+        2.0,
+        LatencyDist::normal(210.0, 15.0, 160.0, 260.0),
+        10,
+        false,
+    );
+    p.dalvik_xing = LatencyDist::normal(1.0, 0.4, 0.3, 3.0);
+    p
+}
+
+/// Samsung Galaxy Grand: Android 4.1.2, 1.2 GHz ×2, 1 GB, BCM4329;
+/// `Tip` ≈ 45 ms.
+pub fn samsung_grand() -> PhoneProfile {
+    base_profile(
+        "Samsung Grand",
+        "4.1.2",
+        "BCM4329",
+        ChipVendor::Broadcom,
+        1.5,
+        LatencyDist::normal(45.0, 10.0, 25.0, 70.0),
+        10,
+        false,
+    )
+}
+
+/// All five phones of Table 1, in the paper's order.
+pub fn all_phones() -> Vec<PhoneProfile> {
+    vec![nexus5(), nexus4(), htc_one(), xperia_j(), samsung_grand()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_phones() {
+        let all = all_phones();
+        assert_eq!(all.len(), 5);
+        let names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"Google Nexus 5"));
+        assert!(names.contains(&"Sony Xperia J"));
+    }
+
+    #[test]
+    fn tis_is_50ms() {
+        assert_eq!(nexus5().bus.tis(), SimDuration::from_millis(50));
+        assert_eq!(nexus4().bus.tis(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn tip_matches_table4() {
+        assert!((nexus4().tip_mean_ms() - 40.0).abs() < 1e-9);
+        assert!((nexus5().tip_mean_ms() - 205.0).abs() < 1e-9);
+        assert!((samsung_grand().tip_mean_ms() - 45.0).abs() < 1e-9);
+        assert!((htc_one().tip_mean_ms() - 400.0).abs() < 1e-9);
+        assert!((xperia_j().tip_mean_ms() - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn listen_intervals_match_table4() {
+        for p in all_phones() {
+            assert_eq!(p.listen_interval_actual, 0, "{}", p.name);
+            match p.vendor {
+                ChipVendor::Qualcomm => assert_eq!(p.listen_interval_assoc, 1),
+                ChipVendor::Broadcom => assert_eq!(p.listen_interval_assoc, 10),
+            }
+        }
+    }
+
+    #[test]
+    fn only_nexus4_rounds_ping() {
+        for p in all_phones() {
+            assert_eq!(p.ping_integer_rounding, p.name == "Google Nexus 4");
+        }
+    }
+
+    #[test]
+    fn dalvik_slower_than_native() {
+        for p in all_phones() {
+            let n = p.runtime_xing(RuntimeKind::Native);
+            let d = p.runtime_xing(RuntimeKind::Dalvik);
+            assert!(d.mean_ms > n.mean_ms, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn cpu_factor_scales_runtime() {
+        let fast = nexus5().runtime_xing(RuntimeKind::Native);
+        let slow = xperia_j().runtime_xing(RuntimeKind::Native);
+        assert!(slow.mean_ms > fast.mean_ms);
+    }
+
+    #[test]
+    fn broadcom_wake_larger_than_qualcomm() {
+        assert!(nexus5().bus.tx_wake.mean_ms > nexus4().bus.tx_wake.mean_ms);
+        assert!(nexus5().bus.rx_wake.mean_ms > nexus4().bus.rx_wake.mean_ms);
+    }
+}

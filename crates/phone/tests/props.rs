@@ -1,0 +1,193 @@
+//! Property-based tests for the phone pipeline: timestamp-chain ordering,
+//! bus-sleep accounting, and ledger consistency under randomized traffic
+//! schedules and profiles.
+
+use proptest::prelude::*;
+
+use phone::{App, AppCtx, PhoneNode, RuntimeKind};
+use simcore::{Ctx, Node, NodeId, Sim, SimDuration, SimTime};
+use wire::{IcmpKind, Ip, Msg, Packet, PacketTag, L4};
+
+/// Echoes every packet back after a fixed delay.
+struct EchoNic {
+    delay: SimDuration,
+    next_id: u64,
+}
+impl Node<Msg> for EchoNic {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::Wire(p) = msg {
+            let l4 = match p.l4 {
+                L4::Icmp { ident, seq, .. } => L4::Icmp {
+                    kind: IcmpKind::EchoReply,
+                    ident,
+                    seq,
+                },
+                other => other,
+            };
+            self.next_id += 1;
+            let reply = p.reply(0xE_0000 + self.next_id, l4, p.payload_len, PacketTag::Other);
+            ctx.send(from, self.delay, Msg::Wire(reply));
+        }
+    }
+}
+
+/// Sends echo probes on a caller-provided schedule.
+struct Scheduler {
+    dst: Ip,
+    gaps_ms: Vec<u64>,
+    sent: Vec<u64>,
+    received: usize,
+    next: usize,
+}
+impl App for Scheduler {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        if !self.gaps_ms.is_empty() {
+            ctx.set_timer(SimDuration::from_millis(self.gaps_ms[0]), 0);
+        }
+    }
+    fn wants(&self, packet: &Packet) -> bool {
+        matches!(
+            packet.l4,
+            L4::Icmp {
+                kind: IcmpKind::EchoReply,
+                ident: 0x7777,
+                ..
+            }
+        )
+    }
+    fn on_packet(&mut self, _ctx: &mut AppCtx<'_, '_>, _packet: Packet) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, _tag: u32) {
+        let id = ctx.send(
+            self.dst,
+            64,
+            L4::Icmp {
+                kind: IcmpKind::EchoRequest,
+                ident: 0x7777,
+                seq: self.next as u16,
+            },
+            56,
+            PacketTag::Probe(self.next as u32),
+        );
+        self.sent.push(id);
+        self.next += 1;
+        if self.next < self.gaps_ms.len() {
+            ctx.set_timer(SimDuration::from_millis(self.gaps_ms[self.next]), 0);
+        }
+    }
+}
+
+fn profiles() -> Vec<phone::PhoneProfile> {
+    phone::all_phones()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any phone profile, runtime kind, network delay, and probing
+    /// schedule: the TX stamp chain is ordered, the RX stamp chain is
+    /// ordered, every probe completes, and the bus accounting is sane.
+    #[test]
+    fn pipeline_stamps_always_ordered(
+        profile_idx in 0usize..5,
+        runtime_native in any::<bool>(),
+        delay_ms in 1u64..150,
+        gaps in proptest::collection::vec(1u64..800, 1..12),
+        sleep_enabled in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Sim::new(seed);
+        let nic = sim.add_node(Box::new(EchoNic {
+            delay: SimDuration::from_millis(delay_ms),
+            next_id: 0,
+        }));
+        let profile = profiles()[profile_idx].clone();
+        let mut ph = PhoneNode::new(1, profile, phone::wlan_ip(100), nic);
+        ph.core_mut().bus.set_sleep_enabled(sleep_enabled);
+        let runtime = if runtime_native {
+            RuntimeKind::Native
+        } else {
+            RuntimeKind::Dalvik
+        };
+        let n_probes = gaps.len();
+        let app = ph.install_app(
+            Box::new(Scheduler {
+                dst: phone::wired_ip(1),
+                gaps_ms: gaps,
+                sent: vec![],
+                received: 0,
+                next: 0,
+            }),
+            runtime,
+        );
+        let phone_id = sim.add_node(Box::new(ph));
+        sim.run_until(SimTime::from_secs(30));
+
+        let phone_node = sim.node::<PhoneNode>(phone_id);
+        let sched = phone_node.app::<Scheduler>(app);
+        prop_assert_eq!(sched.sent.len(), n_probes);
+        prop_assert_eq!(sched.received, n_probes, "all probes must complete");
+
+        for &req in &sched.sent {
+            let s = phone_node.ledger().get(req).expect("request stamped");
+            let tou = s.tou.expect("tou");
+            let tok = s.tok.expect("tok");
+            let tov = s.tov.expect("tov");
+            let tbus = s.tbus.expect("tbus");
+            prop_assert!(tou <= tok && tok <= tov && tov <= tbus);
+            // dvsend is non-negative and bounded by the worst wake + base.
+            let dvsend = s.dvsend_ms().expect("dvsend");
+            prop_assert!((0.0..20.0).contains(&dvsend), "dvsend {dvsend}");
+        }
+        // Bus accounting.
+        let bus = &phone_node.core().bus.stats;
+        prop_assert_eq!(bus.ops_awake + bus.ops_asleep,
+            phone_node.core().stats.tx_pkts + phone_node.core().stats.rx_pkts);
+        if !sleep_enabled {
+            prop_assert_eq!(bus.wakeups, 0);
+        } else {
+            prop_assert!(bus.wakeups >= 1, "first op must wake the bus");
+        }
+        prop_assert!(bus.awake_ns <= sim.now().as_nanos());
+    }
+
+    /// The user-level RTT always dominates the network delay, and with
+    /// the bus sleep disabled it stays within the profile's driver/runtime
+    /// budget of it.
+    #[test]
+    fn du_bounds(
+        profile_idx in 0usize..5,
+        delay_ms in 5u64..120,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Sim::new(seed);
+        let nic = sim.add_node(Box::new(EchoNic {
+            delay: SimDuration::from_millis(delay_ms),
+            next_id: 0,
+        }));
+        let mut ph = PhoneNode::new(1, profiles()[profile_idx].clone(), phone::wlan_ip(100), nic);
+        ph.core_mut().bus.set_sleep_enabled(false);
+        let app = ph.install_app(
+            Box::new(Scheduler {
+                dst: phone::wired_ip(1),
+                gaps_ms: vec![1, 500, 900],
+                sent: vec![],
+                received: 0,
+                next: 0,
+            }),
+            RuntimeKind::Native,
+        );
+        let phone_id = sim.add_node(Box::new(ph));
+        sim.run_until(SimTime::from_secs(10));
+        let phone_node = sim.node::<PhoneNode>(phone_id);
+        let sched = phone_node.app::<Scheduler>(app);
+        for &req in &sched.sent {
+            let s = phone_node.ledger().get(req).expect("stamps");
+            let tbus = s.tbus.expect("tbus");
+            let tou = s.tou.expect("tou");
+            let tx_cost = tbus.saturating_since(tou).as_ms_f64();
+            prop_assert!(tx_cost < 10.0, "tx path cost {tx_cost} with sleep off");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! 802.11g timing and protocol constants.
+
+use simcore::{LatencyDist, SimDuration};
+
+/// One 802.11 Time Unit = 1024 µs. Beacon intervals are quoted in TUs;
+/// the standard 100 TU beacon period is 102.4 ms (paper §3.2.2).
+pub const TU: SimDuration = SimDuration::from_micros(1024);
+
+/// The default beacon interval: 100 TU = 102.4 ms.
+pub fn default_beacon_interval() -> SimDuration {
+    TU.times(100)
+}
+
+/// Channel/medium parameters (802.11g defaults).
+#[derive(Debug, Clone)]
+pub struct MediumConfig {
+    /// Data-frame PHY rate in Mbit/s. 802.11g tops out at 54, but rate
+    /// adaptation in a busy environment typically settles lower; the
+    /// default of 24 reproduces the paper's "< 20 Mbps UDP goodput"
+    /// observation (§4.3, \[37\]).
+    pub data_rate_mbps: f64,
+    /// Management/control frame rate in Mbit/s (basic rate).
+    pub mgmt_rate_mbps: f64,
+    /// Slot time in µs.
+    pub slot_us: f64,
+    /// DIFS in µs.
+    pub difs_us: f64,
+    /// SIFS in µs.
+    pub sifs_us: f64,
+    /// PLCP preamble + header in µs, paid per transmission.
+    pub preamble_us: f64,
+    /// Link-layer ACK size in bytes.
+    pub ack_bytes: usize,
+    /// Minimum contention window (slots).
+    pub cw_min: u32,
+    /// Maximum contention window (slots).
+    pub cw_max: u32,
+    /// Retry limit before a frame is dropped.
+    pub retry_limit: u32,
+    /// Per-contender collision probability unit: when a transmission
+    /// starts while `k` other frames are queued, it collides with
+    /// probability `1 − (1 − p)^min(k, 8)`.
+    pub collision_unit_prob: f64,
+    /// Channel frame-error rate: probability a transmission is corrupted
+    /// (no ACK) independent of contention. MAC-layer retransmission then
+    /// recovers it, at the cost of airtime and latency jitter.
+    pub frame_error_rate: f64,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            data_rate_mbps: 24.0,
+            mgmt_rate_mbps: 6.0,
+            slot_us: 9.0,
+            difs_us: 28.0,
+            sifs_us: 10.0,
+            preamble_us: 20.0,
+            ack_bytes: 14,
+            cw_min: 15,
+            cw_max: 1023,
+            retry_limit: 7,
+            collision_unit_prob: 0.06,
+            frame_error_rate: 0.0,
+        }
+    }
+}
+
+impl MediumConfig {
+    /// Airtime of a payload of `bytes` at `rate_mbps`, excluding preamble.
+    pub fn payload_us(&self, bytes: usize, rate_mbps: f64) -> f64 {
+        (bytes as f64 * 8.0) / rate_mbps
+    }
+}
+
+/// Power-save policy of a station (paper §3.2.2).
+#[derive(Debug, Clone)]
+pub enum PsmPolicy {
+    /// Constantly Awake Mode: never doze (e.g. a mains-powered load
+    /// generator, or a phone with PSM disabled).
+    CamAlways,
+    /// Adaptive PSM: stay in CAM for a timeout after the last activity,
+    /// then announce PM=1 and doze. The timeout `Tip` is sampled per idle
+    /// period — real phones show the "~" spread the paper reports in
+    /// Table 4.
+    Adaptive {
+        /// Distribution of the PSM timeout `Tip` in ms.
+        timeout: LatencyDist,
+    },
+    /// Static PSM: return to doze immediately after each exchange. Causes
+    /// the RTT round-up effect of \[19\]; kept for the ablation.
+    Static,
+}
+
+/// Station (phone-side NIC MAC) configuration.
+#[derive(Debug, Clone)]
+pub struct StaConfig {
+    /// Power-save policy.
+    pub psm: PsmPolicy,
+    /// Listen interval `L`: the station wakes for every `(L+1)`-th beacon
+    /// while dozing. The paper finds the actual value is 0 for all tested
+    /// phones (Table 4), i.e. every beacon.
+    pub listen_interval: u32,
+    /// Radio turn-on cost when transmitting from doze, in ms.
+    pub wake_tx: LatencyDist,
+    /// Probability that a dozing station misses a beacon entirely (clock
+    /// drift / deep-sleep misses) and has to wait for the next one. This
+    /// models the extra-over-half-beacon mean PSM inflation visible in
+    /// Table 2.
+    pub beacon_miss_prob: f64,
+    /// U-APSD (WMM power save): while dozing, do not PS-Poll on TIM;
+    /// buffered downlink is released by this station's own uplink
+    /// triggers. Pair with [`crate::ApNode::associate_uapsd`].
+    pub uapsd: bool,
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        StaConfig {
+            psm: PsmPolicy::Adaptive {
+                timeout: LatencyDist::normal(205.0, 15.0, 150.0, 260.0),
+            },
+            listen_interval: 0,
+            wake_tx: LatencyDist::normal(0.8, 0.3, 0.2, 2.0),
+            beacon_miss_prob: 0.15,
+            uapsd: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beacon_interval_is_102_4_ms() {
+        assert_eq!(default_beacon_interval().as_ms_f64(), 102.4);
+    }
+
+    #[test]
+    fn payload_airtime() {
+        let c = MediumConfig::default();
+        // 1500 B at 24 Mbps = 500 µs.
+        assert!((c.payload_us(1500, 24.0) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let c = MediumConfig::default();
+        assert!(c.cw_min < c.cw_max);
+        assert!(c.collision_unit_prob > 0.0 && c.collision_unit_prob < 1.0);
+        let s = StaConfig::default();
+        assert_eq!(s.listen_interval, 0);
+    }
+}

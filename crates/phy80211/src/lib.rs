@@ -1,0 +1,52 @@
+//! # phy80211 — the 802.11 substrate
+//!
+//! Everything between the phone's WNIC driver and the wired network:
+//!
+//! * [`MediumNode`]: a shared channel with simplified DCF — DIFS + random
+//!   backoff + airtime (+ SIFS + ACK), FIFO service, probabilistic
+//!   collisions with binary-exponential backoff. Reproduces idle-channel
+//!   per-frame latency of a few hundred µs and multi-millisecond queueing
+//!   under iPerf-style cross traffic.
+//! * [`StaMacNode`]: the station MAC with the power-save behaviours the
+//!   paper analyses in §3.2.2 — adaptive PSM with a sampled timeout `Tip`,
+//!   PM-bit signaling, listen-interval beacon skipping, PS-Poll retrieval,
+//!   and a static-PSM mode for the ablation.
+//! * [`ApNode`]: beacons with TIM, per-station PS buffering (the source of
+//!   the up-to-`IB × (L+1)` downlink inflation), plus first-hop gateway
+//!   duties: TTL decrement and ICMP Time Exceeded — which is what stops
+//!   AcuteMon's TTL=1 warm-up traffic from loading the measured path.
+//!
+//! All three are [`simcore::Node`]s exchanging [`wire::Msg`].
+//!
+//! ```
+//! use phy80211::{ApConfig, ApNode, MediumConfig, MediumNode};
+//! use simcore::{Sim, SimTime};
+//! use wire::{Mac, Msg};
+//!
+//! // A medium with an AP beaconing on it; sniff the beacons by counting
+//! // the AP's transmissions.
+//! let mut sim: Sim<Msg> = Sim::new(1);
+//! struct Quiet;
+//! impl simcore::Node<Msg> for Quiet {
+//!     fn on_message(&mut self, _: &mut simcore::Ctx<'_, Msg>, _: simcore::NodeId, _: Msg) {}
+//! }
+//! let wired = sim.add_node(Box::new(Quiet));
+//! let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+//! let ap = sim.add_node(Box::new(ApNode::new(10, ApConfig::default(), medium, wired)));
+//! sim.node_mut::<MediumNode>(medium).attach(ap);
+//! sim.run_until(SimTime::from_secs(1));
+//! // 102.4 ms beacons with a 13 ms default offset: 10 in the first second.
+//! assert_eq!(sim.node::<ApNode>(ap).stats.beacons, 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ap;
+mod config;
+mod medium;
+mod sta;
+
+pub use ap::{next_beacon_after, ApConfig, ApNode, ApStats};
+pub use config::{default_beacon_interval, MediumConfig, PsmPolicy, StaConfig, TU};
+pub use medium::{MediumNode, MediumStats};
+pub use sta::{PowerState, StaMacNode, StaStats};

@@ -1,0 +1,240 @@
+//! Property-based tests for the 802.11 substrate: frame conservation on
+//! the medium, AP power-save buffering conservation, and STA PSM
+//! invariants under randomized schedules.
+
+use proptest::prelude::*;
+
+use phy80211::{
+    ApConfig, ApNode, MediumConfig, MediumNode, PowerState, PsmPolicy, StaConfig, StaMacNode,
+};
+use simcore::{Ctx, LatencyDist, Node, NodeId, Sim, SimTime};
+use wire::{Frame, Ip, Mac, Msg, Packet, PacketTag, L4};
+
+fn pkt(id: u64, src: Ip, dst: Ip) -> Packet {
+    Packet {
+        id,
+        src,
+        dst,
+        ttl: 64,
+        l4: L4::Udp {
+            src_port: 1,
+            dst_port: 2,
+        },
+        payload_len: 64,
+        tag: PacketTag::Other,
+    }
+}
+
+/// Counts everything it hears.
+struct Counter {
+    air: usize,
+    wire: usize,
+    done: usize,
+    failed: usize,
+}
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            air: 0,
+            wire: 0,
+            done: 0,
+            failed: 0,
+        }
+    }
+}
+impl Node<Msg> for Counter {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::AirRx(_) => self.air += 1,
+            Msg::Wire(_) => self.wire += 1,
+            Msg::TxDone { .. } => self.done += 1,
+            Msg::TxFailed { .. } => self.failed += 1,
+            Msg::MediumTx(_) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Medium conservation: every injected frame is either delivered (and
+    /// heard by every other listener), dropped at the retry limit, or
+    /// dropped at a full sender queue. Nothing vanishes, nothing
+    /// duplicates.
+    #[test]
+    fn medium_conserves_frames(
+        batches in proptest::collection::vec((0usize..2, 1u64..30), 1..8),
+        collision_prob in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_node(Box::new(Counter::new()));
+        let b = sim.add_node(Box::new(Counter::new()));
+        let senders = [a, b];
+        let cfg = MediumConfig {
+            collision_unit_prob: collision_prob,
+            ..MediumConfig::default()
+        };
+        let medium = sim.add_node(Box::new(MediumNode::new(cfg)));
+        sim.node_mut::<MediumNode>(medium).attach(a);
+        sim.node_mut::<MediumNode>(medium).attach(b);
+        sim.node_mut::<MediumNode>(medium).queue_cap = 16;
+        let mut total = 0u64;
+        let mut fid = 0u64;
+        for (si, count) in batches {
+            for _ in 0..count {
+                let f = Frame::data(
+                    fid,
+                    Mac::local(si as u16 + 1),
+                    Mac::local(9),
+                    pkt(fid, Ip::new(1, 1, 1, 1), Ip::new(2, 2, 2, 2)),
+                    false,
+                );
+                sim.inject(senders[si], medium, SimTime::ZERO, Msg::MediumTx(f));
+                fid += 1;
+                total += 1;
+            }
+        }
+        sim.run_until_idle(1_000_000);
+        let st = sim.node::<MediumNode>(medium).stats.clone();
+        prop_assert_eq!(
+            st.delivered + st.dropped_retry + st.dropped_queue_full,
+            total,
+            "conservation"
+        );
+        // Each delivered frame is heard by exactly one other listener
+        // (two listeners total, sender excluded).
+        let heard = sim.node::<Counter>(a).air + sim.node::<Counter>(b).air;
+        prop_assert_eq!(heard as u64, st.delivered);
+        // TxDone + TxFailed notifications match.
+        let done = sim.node::<Counter>(a).done + sim.node::<Counter>(b).done;
+        let failed = sim.node::<Counter>(a).failed + sim.node::<Counter>(b).failed;
+        prop_assert_eq!(done as u64, st.delivered);
+        prop_assert_eq!(failed as u64, st.dropped_retry + st.dropped_queue_full);
+        // The channel cannot be busy longer than the whole run.
+        prop_assert!(st.busy_ns <= sim.now().as_nanos());
+    }
+
+    /// AP power-save conservation: every downlink packet is forwarded,
+    /// buffered (and still buffered at the end), or counted as dropped.
+    #[test]
+    fn ap_conserves_downlink_packets(
+        events in proptest::collection::vec((any::<bool>(), 1u64..5), 1..20),
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Sim::new(seed);
+        let wired = sim.add_node(Box::new(Counter::new()));
+        let radio = sim.add_node(Box::new(Counter::new()));
+        let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+        let cfg = ApConfig {
+            ps_buffer_cap: 8,
+            downlink_cap: 64,
+            ..ApConfig::default()
+        };
+        let ap = sim.add_node(Box::new(ApNode::new(10, cfg, medium, wired)));
+        sim.node_mut::<MediumNode>(medium).attach(ap);
+        sim.node_mut::<MediumNode>(medium).attach(radio);
+        let phone_ip = Ip::new(192, 168, 1, 100);
+        sim.node_mut::<ApNode>(ap).associate(Mac::local(1), phone_ip);
+        let mut t = SimTime::ZERO;
+        let mut total = 0u64;
+        let mut id = 0u64;
+        for (doze, burst) in events {
+            t += simcore::SimDuration::from_millis(3);
+            // Toggle the station's PM state via a null frame.
+            sim.inject(
+                medium,
+                ap,
+                t,
+                Msg::AirRx(Frame::null_data(10_000 + id, Mac::local(1), Mac::local(0), doze)),
+            );
+            for _ in 0..burst {
+                id += 1;
+                total += 1;
+                sim.inject(
+                    wired,
+                    ap,
+                    t + simcore::SimDuration::from_micros(10),
+                    Msg::Wire(pkt(id, Ip::new(10, 0, 0, 1), phone_ip)),
+                );
+            }
+        }
+        sim.run_until(t + simcore::SimDuration::from_millis(50));
+        let ap_node = sim.node::<ApNode>(ap);
+        let st = &ap_node.stats;
+        let still_buffered = ap_node.buffered_for(Mac::local(1)) as u64;
+        prop_assert_eq!(
+            st.forwarded_down + still_buffered + st.dropped_ps_full + st.dropped_queue_full,
+            total,
+            "forwarded {} buffered {} ps_full {} q_full {}",
+            st.forwarded_down,
+            still_buffered,
+            st.dropped_ps_full,
+            st.dropped_queue_full
+        );
+    }
+
+    /// STA PSM invariants under random probing schedules: CAM time never
+    /// exceeds the run length; a station that just transmitted is always
+    /// in CAM; delivered-to-host count equals unicast data accepted.
+    #[test]
+    fn sta_psm_invariants(
+        gaps in proptest::collection::vec(1u64..400, 1..25),
+        tip_ms in 20.0f64..300.0,
+        seed in 0u64..1000,
+    ) {
+        struct Host {
+            delivered: usize,
+        }
+        impl Node<Msg> for Host {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+                if matches!(msg, Msg::Wire(_)) {
+                    self.delivered += 1;
+                }
+            }
+        }
+        let mut sim = Sim::new(seed);
+        let host = sim.add_node(Box::new(Host { delivered: 0 }));
+        let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+        let sta = sim.add_node(Box::new(StaMacNode::new(
+            1,
+            Mac::local(1),
+            Mac::local(0),
+            StaConfig {
+                psm: PsmPolicy::Adaptive {
+                    timeout: LatencyDist::fixed(tip_ms),
+                },
+                listen_interval: 0,
+                wake_tx: LatencyDist::fixed(1.0),
+                beacon_miss_prob: 0.0,
+                uapsd: false,
+            },
+            medium,
+            host,
+        )));
+        sim.node_mut::<MediumNode>(medium).attach(sta);
+        // Random uplink sends from the host.
+        let mut t = SimTime::ZERO;
+        for (i, g) in gaps.iter().enumerate() {
+            t += simcore::SimDuration::from_millis(*g);
+            sim.inject(
+                host,
+                sta,
+                t,
+                Msg::Wire(pkt(i as u64, Ip::new(192, 168, 1, 100), Ip::new(10, 0, 0, 1))),
+            );
+        }
+        sim.run_until(t + simcore::SimDuration::from_millis(5));
+        {
+            let sta_node = sim.node::<StaMacNode>(sta);
+            // Just transmitted (within wake + tx): must be CAM.
+            prop_assert_eq!(sta_node.power_state(), PowerState::Cam);
+            prop_assert!(sta_node.stats.cam_ns <= sim.now().as_nanos());
+            prop_assert_eq!(sta_node.stats.data_tx, gaps.len() as u64);
+        }
+        // Let it settle past Tip: must doze and have announced it.
+        sim.run_until(t + simcore::SimDuration::from_ms_f64(tip_ms + 50.0));
+        let sta_node = sim.node::<StaMacNode>(sta);
+        prop_assert_eq!(sta_node.power_state(), PowerState::Doze);
+    }
+}

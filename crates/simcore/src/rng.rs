@@ -1,0 +1,260 @@
+//! Deterministic random number generation for simulation models.
+//!
+//! Every stochastic element of the testbed (bus wake latency, PSM timeout
+//! jitter, contention backoff, link jitter) draws from a [`DetRng`] seeded by
+//! the experiment configuration, so a run is a pure function of its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded random source with the distribution helpers the models need.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator. Used to give each node its own
+    /// stream so adding a node does not perturb the draws of existing nodes.
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(s)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer draw in `[lo, hi]` inclusive.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Normal draw via Box–Muller. `std` of zero returns the mean exactly.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        if std <= 0.0 {
+            return mean;
+        }
+        // Box-Muller; u1 must be strictly positive for ln().
+        let u1 = loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Normal draw clamped to `[lo, hi]`; the standard way the models keep
+    /// physically-meaningful latencies non-negative and bounded.
+    pub fn normal_clamped(&mut self, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mean, std).clamp(lo, hi)
+    }
+
+    /// Exponential draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u = loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// A latency sample: normal in milliseconds, clamped to `[lo_ms, hi_ms]`,
+    /// returned as a [`SimDuration`].
+    pub fn latency_ms(&mut self, mean_ms: f64, std_ms: f64, lo_ms: f64, hi_ms: f64) -> SimDuration {
+        SimDuration::from_ms_f64(self.normal_clamped(mean_ms, std_ms, lo_ms, hi_ms))
+    }
+
+    /// Pick a uniformly random element index for a slice of length `len`.
+    pub fn index(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            0
+        } else {
+            self.inner.gen_range(0..len)
+        }
+    }
+}
+
+/// Specification of a latency distribution, the unit used throughout the
+/// phone profiles. All values are in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyDist {
+    /// Mean latency in ms.
+    pub mean_ms: f64,
+    /// Standard deviation in ms.
+    pub std_ms: f64,
+    /// Lower clamp in ms.
+    pub min_ms: f64,
+    /// Upper clamp in ms.
+    pub max_ms: f64,
+}
+
+impl LatencyDist {
+    /// A distribution concentrated at a single value.
+    pub const fn fixed(ms: f64) -> Self {
+        LatencyDist {
+            mean_ms: ms,
+            std_ms: 0.0,
+            min_ms: ms,
+            max_ms: ms,
+        }
+    }
+
+    /// A clamped normal distribution.
+    pub const fn normal(mean_ms: f64, std_ms: f64, min_ms: f64, max_ms: f64) -> Self {
+        LatencyDist {
+            mean_ms,
+            std_ms,
+            min_ms,
+            max_ms,
+        }
+    }
+
+    /// Draw one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        rng.latency_ms(self.mean_ms, self.std_ms, self.min_ms, self.max_ms)
+    }
+
+    /// Draw the sample as fractional milliseconds.
+    pub fn sample_ms(&self, rng: &mut DetRng) -> f64 {
+        rng.normal_clamped(self.mean_ms, self.std_ms, self.min_ms, self.max_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut root1 = DetRng::new(7);
+        let mut root2 = DetRng::new(7);
+        let mut a1 = root1.fork(1);
+        let mut a2 = root2.fork(1);
+        assert_eq!(a1.unit().to_bits(), a2.unit().to_bits());
+        let mut b = root1.fork(2);
+        assert_ne!(a1.unit().to_bits(), b.unit().to_bits());
+    }
+
+    #[test]
+    fn normal_respects_zero_std() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..10 {
+            assert_eq!(rng.normal(5.0, 0.0), 5.0);
+        }
+    }
+
+    #[test]
+    fn normal_clamped_stays_in_bounds() {
+        let mut rng = DetRng::new(4);
+        for _ in 0..1000 {
+            let x = rng.normal_clamped(10.0, 50.0, 0.0, 20.0);
+            assert!((0.0..=20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = DetRng::new(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.normal(3.0, 1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::new(6);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn uniform_empty_range_returns_lo() {
+        let mut rng = DetRng::new(8);
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform_u64(9, 3), 9);
+        assert_eq!(rng.index(0), 0);
+        assert_eq!(rng.index(1), 0);
+    }
+
+    #[test]
+    fn latency_dist_fixed_and_sampled() {
+        let mut rng = DetRng::new(9);
+        let f = LatencyDist::fixed(2.0);
+        assert_eq!(f.sample(&mut rng), SimDuration::from_millis(2));
+        let d = LatencyDist::normal(10.0, 2.0, 5.0, 15.0);
+        for _ in 0..200 {
+            let s = d.sample_ms(&mut rng);
+            assert!((5.0..=15.0).contains(&s));
+        }
+    }
+}

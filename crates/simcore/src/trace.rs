@@ -1,0 +1,200 @@
+//! Lightweight structured tracing for simulation runs.
+//!
+//! Models call [`Ctx::trace`](crate::engine::Ctx::trace) with a static
+//! category and a detail string. Tracing is off by default (the detail string
+//! is still cheap to build for hot paths that format lazily via
+//! [`Trace::enabled`]). The testbed enables it for debugging scenarios and
+//! the pcap-style event dumps in the examples.
+
+use crate::engine::NodeId;
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Which node emitted it.
+    pub node: NodeId,
+    /// Static category, e.g. `"sdio"`, `"psm"`, `"medium"`.
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An in-memory trace sink with an optional category filter and a bounded
+/// buffer (oldest entries are dropped once the cap is hit).
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    filter: Option<Vec<&'static str>>,
+    cap: usize,
+    events: Vec<TraceEvent>,
+    dropped: usize,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            enabled: false,
+            filter: None,
+            cap: 1_000_000,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+}
+
+impl Trace {
+    /// A disabled trace (the default).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A trace capturing every category.
+    pub fn capture_all() -> Self {
+        Trace {
+            enabled: true,
+            ..Trace::default()
+        }
+    }
+
+    /// A trace capturing only the given categories.
+    pub fn capture_categories(cats: Vec<&'static str>) -> Self {
+        Trace {
+            enabled: true,
+            filter: Some(cats),
+            ..Trace::default()
+        }
+    }
+
+    /// Cap the number of retained events.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = cap.max(1);
+        self
+    }
+
+    /// Whether a record for `category` would be kept. Hot paths should check
+    /// this before formatting an expensive detail string.
+    pub fn enabled(&self, category: &'static str) -> bool {
+        self.enabled
+            && self
+                .filter
+                .as_ref()
+                .map(|f| f.contains(&category))
+                .unwrap_or(true)
+    }
+
+    /// Record an event (no-op unless [`Trace::enabled`] for the category).
+    pub fn record(&mut self, at: SimTime, node: NodeId, category: &'static str, detail: String) {
+        if !self.enabled(category) {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(TraceEvent {
+            at,
+            node,
+            category,
+            detail,
+        });
+    }
+
+    /// All retained events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events in one category.
+    pub fn by_category<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// How many events were evicted by the cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Render as plain text, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>12.6}ms  n{:<3} [{}] {}\n",
+                e.at.as_ms_f64(),
+                e.node.index(),
+                e.category,
+                e.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, node(0), "x", "hello".into());
+        assert!(t.events().is_empty());
+        assert!(!t.enabled("x"));
+    }
+
+    #[test]
+    fn capture_all_records() {
+        let mut t = Trace::capture_all();
+        t.record(SimTime::from_millis(1), node(1), "psm", "doze".into());
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].category, "psm");
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::capture_categories(vec!["sdio"]);
+        assert!(t.enabled("sdio"));
+        assert!(!t.enabled("psm"));
+        t.record(SimTime::ZERO, node(0), "psm", "ignored".into());
+        t.record(SimTime::ZERO, node(0), "sdio", "kept".into());
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].detail, "kept");
+    }
+
+    #[test]
+    fn cap_evicts_oldest() {
+        let mut t = Trace::capture_all().with_cap(2);
+        for i in 0..5 {
+            t.record(SimTime::from_millis(i), node(0), "c", format!("{i}"));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].detail, "3");
+        assert_eq!(t.events()[1].detail, "4");
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut t = Trace::capture_all();
+        t.record(
+            SimTime::from_millis(2),
+            node(7),
+            "medium",
+            "tx start".into(),
+        );
+        let s = t.render();
+        assert!(s.contains("[medium]"));
+        assert!(s.contains("tx start"));
+        assert!(s.contains("n7"));
+    }
+}

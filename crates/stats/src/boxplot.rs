@@ -1,0 +1,133 @@
+//! Box-and-whisker statistics, matching the paper's plot convention
+//! (§3.1): "the mark inside the box is the median and the top and bottom
+//! are the 75th and 25th percentile. The upper and lower whiskers are the
+//! maximum and minimum, respectively, after excluding the outliers" —
+//! outliers being points beyond 1.5·IQR from the quartiles (Tukey fences).
+
+use serde::Serialize;
+
+use crate::quantile::quantile_sorted;
+
+/// Five-number box-plot summary plus outliers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BoxStats {
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Smallest sample ≥ `q1 − 1.5·IQR`.
+    pub lo_whisker: f64,
+    /// Largest sample ≤ `q3 + 1.5·IQR`.
+    pub hi_whisker: f64,
+    /// Samples beyond the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Compute box statistics. `None` on an empty sample.
+    pub fn of(xs: &[f64]) -> Option<BoxStats> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.50);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lo_whisker = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let hi_whisker = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1]);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(BoxStats {
+            q1,
+            median,
+            q3,
+            lo_whisker,
+            hi_whisker,
+            outliers,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn no_outliers_whiskers_are_min_max() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxStats::of(&xs).unwrap();
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.lo_whisker, 1.0);
+        assert_eq!(b.hi_whisker, 5.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.iqr(), 2.0);
+    }
+
+    #[test]
+    fn outlier_excluded_from_whisker() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
+        let b = BoxStats::of(&xs).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert_eq!(b.hi_whisker, 5.0);
+    }
+
+    #[test]
+    fn low_outlier() {
+        let xs = [-100.0, 10.0, 11.0, 12.0, 13.0, 14.0];
+        let b = BoxStats::of(&xs).unwrap();
+        assert_eq!(b.outliers, vec![-100.0]);
+        assert_eq!(b.lo_whisker, 10.0);
+    }
+
+    #[test]
+    fn constant_sample() {
+        let xs = [7.0; 9];
+        let b = BoxStats::of(&xs).unwrap();
+        assert_eq!(b.q1, 7.0);
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.lo_whisker, 7.0);
+        assert_eq!(b.hi_whisker, 7.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn ordering_invariants() {
+        let xs: Vec<f64> = (0..101).map(|i| ((i * 17) % 50) as f64).collect();
+        let b = BoxStats::of(&xs).unwrap();
+        assert!(b.lo_whisker <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.hi_whisker);
+    }
+}

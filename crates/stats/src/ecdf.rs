@@ -1,0 +1,119 @@
+//! Empirical cumulative distribution functions, used for the Figure-8/9
+//! style CDF comparisons.
+
+use serde::Serialize;
+
+/// An empirical CDF over a sample.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample. `None` when empty.
+    pub fn of(xs: &[f64]) -> Option<Ecdf> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Some(Ecdf { sorted })
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `F(x)`: fraction of samples ≤ `x`.
+    pub fn prob_at_or_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample `v` with `F(v) ≥ p`.
+    pub fn value_at(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let k = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[k - 1]
+    }
+
+    /// The step points `(x, F(x))` of the CDF, ascending.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> f64 {
+        self.value_at(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Ecdf::of(&[]).is_none());
+    }
+
+    #[test]
+    fn prob_below() {
+        let e = Ecdf::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.prob_at_or_below(0.5), 0.0);
+        assert_eq!(e.prob_at_or_below(1.0), 0.25);
+        assert_eq!(e.prob_at_or_below(2.5), 0.5);
+        assert_eq!(e.prob_at_or_below(4.0), 1.0);
+        assert_eq!(e.prob_at_or_below(99.0), 1.0);
+    }
+
+    #[test]
+    fn value_at_quantiles() {
+        let e = Ecdf::of(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.value_at(0.0), 10.0);
+        assert_eq!(e.value_at(0.25), 10.0);
+        assert_eq!(e.value_at(0.26), 20.0);
+        assert_eq!(e.value_at(0.5), 20.0);
+        assert_eq!(e.value_at(0.9), 40.0);
+        assert_eq!(e.value_at(1.0), 40.0);
+        assert_eq!(e.median(), 20.0);
+    }
+
+    #[test]
+    fn points_are_a_step_function_to_one() {
+        let e = Ecdf::of(&[3.0, 1.0, 2.0]).unwrap();
+        let pts = e.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn inverse_and_forward_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let e = Ecdf::of(&xs).unwrap();
+        for i in 1..=10 {
+            let p = i as f64 / 10.0;
+            let v = e.value_at(p);
+            assert!(e.prob_at_or_below(v) >= p - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # am-stats — statistics for measurement experiments
+//!
+//! Exactly the statistics the paper reports:
+//!
+//! * [`Summary`]: mean with a 95% Student-t confidence interval (the
+//!   "mean ± CI" cells of Tables 2, 3 and 5);
+//! * [`BoxStats`]: box-and-whisker five-number summaries with 1.5·IQR
+//!   outlier fencing (Figures 3 and 7);
+//! * [`Ecdf`]: empirical CDFs (Figures 8 and 9);
+//! * [`quantile`]/[`median`]: R type-7 percentiles;
+//! * [`render`]: ASCII tables, box-plot strips, and CDF plots for the
+//!   terminal-based experiment runners.
+
+#![warn(missing_docs)]
+
+mod boxplot;
+mod ecdf;
+mod quantile;
+pub mod render;
+mod summary;
+
+pub use boxplot::BoxStats;
+pub use ecdf::Ecdf;
+pub use quantile::{median, quantile, quantile_sorted};
+pub use render::{render_boxplots, render_cdfs, Table};
+pub use summary::{t_quantile_975, Summary};

@@ -1,0 +1,91 @@
+//! Percentiles and medians (R type-7 linear interpolation, the default of
+//! R/NumPy and what most plotting packages use for box plots).
+
+/// Percentile of `xs` at `p` in `[0, 1]`, linear interpolation between
+/// order statistics. Returns `None` for an empty slice.
+pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    Some(quantile_sorted(&sorted, p))
+}
+
+/// Percentile assuming `sorted` is already ascending. Panics on empty input.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let p = p.clamp(0.0, 1.0);
+    let h = (sorted.len() as f64 - 1.0) * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn single() {
+        assert_eq!(quantile(&[3.0], 0.0), Some(3.0));
+        assert_eq!(quantile(&[3.0], 0.5), Some(3.0));
+        assert_eq!(quantile(&[3.0], 1.0), Some(3.0));
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn type7_interpolation() {
+        // R: quantile(c(1,2,3,4), 0.25) = 1.75 (type 7)
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes() {
+        let xs = [5.0, 1.0, 9.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+        // Out-of-range p clamps.
+        assert_eq!(quantile(&xs, -1.0), Some(1.0));
+        assert_eq!(quantile(&xs, 2.0), Some(9.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        let xs: Vec<f64> = (0..57).map(|i| ((i * 37) % 100) as f64).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile(&xs, i as f64 / 20.0).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+}

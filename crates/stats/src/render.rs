@@ -1,0 +1,262 @@
+//! ASCII rendering: aligned tables, box-plot strips, and CDF plots.
+//!
+//! The experiment runners print paper-style tables and figures straight to
+//! the terminal; these helpers keep that presentable without a plotting
+//! dependency.
+
+use crate::boxplot::BoxStats;
+use crate::ecdf::Ecdf;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut r: Vec<String> = row.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render labelled box plots on a shared horizontal axis.
+///
+/// Each row looks like `label |   |----[==M==]-----|   |` with the axis
+/// spanning `[lo, hi]` computed over all whiskers.
+pub fn render_boxplots(items: &[(String, BoxStats)], width: usize) -> String {
+    if items.is_empty() {
+        return String::new();
+    }
+    let width = width.max(20);
+    let lo = items
+        .iter()
+        .map(|(_, b)| b.lo_whisker)
+        .fold(f64::INFINITY, f64::min);
+    let hi = items
+        .iter()
+        .map(|(_, b)| b.hi_whisker)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let col = |x: f64| -> usize {
+        (((x - lo) / span) * (width - 1) as f64)
+            .round()
+            .clamp(0.0, (width - 1) as f64) as usize
+    };
+    let mut out = String::new();
+    for (label, b) in items {
+        let mut strip = vec![b' '; width];
+        let (lw, q1, md, q3, hw) = (
+            col(b.lo_whisker),
+            col(b.q1),
+            col(b.median),
+            col(b.q3),
+            col(b.hi_whisker),
+        );
+        for c in strip.iter_mut().take(q1).skip(lw) {
+            *c = b'-';
+        }
+        for c in strip.iter_mut().take(hw + 1).skip(q3) {
+            *c = b'-';
+        }
+        for c in strip.iter_mut().take(q3 + 1).skip(q1) {
+            *c = b'=';
+        }
+        strip[lw] = b'|';
+        strip[hw] = b'|';
+        if q1 != md {
+            strip[q1] = b'[';
+        }
+        if q3 != md {
+            strip[q3] = b']';
+        }
+        strip[md] = b'M';
+        out.push_str(&format!(
+            "{:<label_w$} {}  (med {:.2}, q1 {:.2}, q3 {:.2})\n",
+            label,
+            String::from_utf8(strip).expect("ascii strip"),
+            b.median,
+            b.q1,
+            b.q3,
+        ));
+    }
+    out.push_str(&format!(
+        "{:<label_w$} {:<w2$}{:>w3$}\n",
+        "",
+        format!("{lo:.2}"),
+        format!("{hi:.2}"),
+        w2 = width / 2,
+        w3 = width - width / 2,
+    ));
+    out
+}
+
+/// Render one or more ECDFs on a text grid. Each series is drawn with its
+/// own marker character; later series overwrite earlier ones where they
+/// collide.
+pub fn render_cdfs(series: &[(String, Ecdf)], width: usize, height: usize) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let width = width.max(20);
+    let height = height.max(5);
+    let lo = series
+        .iter()
+        .map(|(_, e)| e.sorted()[0])
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .map(|(_, e)| *e.sorted().last().expect("non-empty ecdf"))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let markers = ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, e)) in series.iter().enumerate() {
+        let mark = markers[si % markers.len()];
+        for (cx, x) in (0..width)
+            .map(|c| (c, lo + span * c as f64 / (width - 1) as f64))
+        {
+            let p = e.prob_at_or_below(x);
+            let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][cx] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let p = 1.0 - r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{p:>4.2} |"));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      {:<w2$}{:>w3$}\n",
+        format!("{lo:.1}"),
+        format!("{hi:.1}"),
+        w2 = width / 2,
+        w3 = width - width / 2
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "      {} = {}\n",
+            markers[si % markers.len()],
+            label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["Phone", "RTT", "du"]);
+        t.add_row(vec!["Nexus 5", "30ms", "33.38 ±0.58"]);
+        t.add_row(vec!["Nexus 4", "30ms", "33.16"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Phone"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // du column aligned: both rows contain the value at same offset.
+        let off = lines[0].find("du").unwrap();
+        assert_eq!(&lines[2][off..off + 2], "33");
+    }
+
+    #[test]
+    fn table_short_row_padded() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1"]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn boxplot_strip_contains_median_marker() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let s = render_boxplots(&[("x".into(), b)], 40);
+        assert!(s.contains('M'));
+        assert!(s.contains('['));
+        assert!(s.contains(']'));
+        assert!(s.contains("med 3.00"));
+    }
+
+    #[test]
+    fn boxplot_degenerate_sample() {
+        let b = BoxStats::of(&[2.0, 2.0, 2.0]).unwrap();
+        let s = render_boxplots(&[("c".into(), b)], 30);
+        assert!(s.contains('M'));
+    }
+
+    #[test]
+    fn boxplots_empty_is_empty_string() {
+        assert_eq!(render_boxplots(&[], 40), "");
+    }
+
+    #[test]
+    fn cdf_grid_monotone_and_labelled() {
+        let e1 = Ecdf::of(&(1..=50).map(f64::from).collect::<Vec<_>>()).unwrap();
+        let e2 = Ecdf::of(&(20..=70).map(f64::from).collect::<Vec<_>>()).unwrap();
+        let s = render_cdfs(&[("fast".into(), e1), ("slow".into(), e2)], 50, 10);
+        assert!(s.contains("A = fast"));
+        assert!(s.contains("B = slow"));
+        assert!(s.contains("1.00 |"));
+        assert!(s.contains("0.00 |"));
+    }
+}

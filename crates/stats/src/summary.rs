@@ -1,0 +1,155 @@
+//! Summary statistics: mean, deviation, and 95% confidence intervals.
+//!
+//! The paper reports "mean with 95% confidence interval" throughout
+//! (Tables 2, 3, 5). The interval here is the classic Student-t interval
+//! `mean ± t(0.975, n−1) · s/√n`.
+
+use serde::Serialize;
+
+/// Two-sided 97.5% Student-t quantiles for small degrees of freedom,
+/// indexed by `df` (1-based). Falls back to the normal quantile above 120.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 97.5% quantile of the t distribution with `df` degrees of freedom
+/// (i.e. the multiplier for a two-sided 95% CI).
+pub fn t_quantile_975(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_975[df - 1],
+        31..=40 => 2.030,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// Summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+    pub std: f64,
+    /// Half-width of the 95% confidence interval on the mean; 0 for n < 2.
+    pub ci95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute the summary of `xs`. Returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let (std, ci95) = if n >= 2 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let std = var.sqrt();
+            let ci = t_quantile_975(n - 1) * std / (n as f64).sqrt();
+            (std, ci)
+        } else {
+            (0.0, 0.0)
+        };
+        Some(Summary {
+            n,
+            mean,
+            std,
+            ci95,
+            min,
+            max,
+        })
+    }
+
+    /// `mean ± ci95` formatted the way the paper prints cells, e.g.
+    /// `"33.16 ±0.96"`.
+    pub fn cell(&self) -> String {
+        format!("{:.2} ±{:.2}", self.mean, self.ci95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[4.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        // xs = 2,4,4,4,5,5,7,9: mean 5, population sd 2, sample sd ~2.138.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.13809).abs() < 1e-4);
+        // CI half-width: t(7)=2.365, 2.365*2.13809/sqrt(8)=1.7878
+        assert!((s.ci95 - 1.7878).abs() < 1e-3, "ci95={}", s.ci95);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn t_quantiles() {
+        assert_eq!(t_quantile_975(1), 12.706);
+        assert_eq!(t_quantile_975(30), 2.042);
+        assert_eq!(t_quantile_975(35), 2.030);
+        assert_eq!(t_quantile_975(50), 2.000);
+        assert_eq!(t_quantile_975(99), 1.980);
+        assert_eq!(t_quantile_975(10_000), 1.960);
+        assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    fn t_quantiles_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_quantile_975(df);
+            assert!(t <= prev, "df={df}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cell_format_matches_paper_style() {
+        // n=2: std = 0.22627, t(1) = 12.706 -> ci = 12.706*0.22627/sqrt(2) = 2.03
+        let s = Summary::of(&[33.0, 33.32]).unwrap();
+        assert_eq!(s.cell(), "33.16 ±2.03");
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let a: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+        let sa = Summary::of(&a).unwrap();
+        let sb = Summary::of(&b).unwrap();
+        assert!(sb.ci95 < sa.ci95);
+    }
+}

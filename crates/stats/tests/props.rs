@@ -1,0 +1,88 @@
+//! Property-based tests for statistical invariants.
+
+use am_stats::{quantile, BoxStats, Ecdf, Summary};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// min ≤ mean ≤ max, CI ≥ 0, std ≥ 0.
+    #[test]
+    fn summary_invariants(xs in arb_sample()) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.ci95 >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// Mean is translation-equivariant; std is translation-invariant.
+    #[test]
+    fn summary_translation(xs in arb_sample(), shift in -1e3f64..1e3) {
+        let s0 = Summary::of(&xs).unwrap();
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let s1 = Summary::of(&shifted).unwrap();
+        prop_assert!((s1.mean - (s0.mean + shift)).abs() < 1e-6);
+        prop_assert!((s1.std - s0.std).abs() < 1e-6);
+    }
+
+    /// Box stats ordering chain holds for any sample. Note the whiskers
+    /// are *sample points* while the quartiles are interpolated, so a
+    /// whisker may legitimately cross its quartile when every sample on
+    /// that side is outlier-fenced; only the quartile chain and the
+    /// whisker-vs-whisker order are invariant.
+    #[test]
+    fn boxstats_ordering(xs in arb_sample()) {
+        let b = BoxStats::of(&xs).unwrap();
+        prop_assert!(b.lo_whisker <= b.hi_whisker + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        // Whiskers are actual sample points.
+        prop_assert!(xs.iter().any(|&x| (x - b.lo_whisker).abs() < 1e-9));
+        prop_assert!(xs.iter().any(|&x| (x - b.hi_whisker).abs() < 1e-9));
+        // Outliers lie strictly outside the whiskers.
+        for o in &b.outliers {
+            prop_assert!(*o < b.lo_whisker || *o > b.hi_whisker);
+        }
+    }
+
+    /// Quantile is monotone in p and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in arb_sample(), ps in proptest::collection::vec(0.0f64..=1.0, 2..10)) {
+        let mut ps = ps;
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for &p in &ps {
+            let q = quantile(&xs, p).unwrap();
+            prop_assert!(q >= prev - 1e-9);
+            prev = q;
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(quantile(&xs, 0.0).unwrap() >= lo - 1e-9);
+        prop_assert!(quantile(&xs, 1.0).unwrap() <= hi + 1e-9);
+    }
+
+    /// ECDF is a valid distribution function: monotone, ends at 1, and
+    /// value_at/prob_at_or_below are mutually consistent.
+    #[test]
+    fn ecdf_is_valid(xs in arb_sample()) {
+        let e = Ecdf::of(&xs).unwrap();
+        let pts = e.points();
+        prop_assert_eq!(pts.len(), xs.len());
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for (_, p) in &pts {
+            prop_assert!(*p >= prev);
+            prev = *p;
+        }
+        for i in 1..=4 {
+            let p = i as f64 / 4.0;
+            let v = e.value_at(p);
+            prop_assert!(e.prob_at_or_below(v) + 1e-12 >= p);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! `repro` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! repro [--k N] [--seed S] [--out DIR] [table1|table2|table3|table4|
+//!        table5|fig3|fig7|fig8|fig9|seeds|ablations|all]...
+//! ```
+//!
+//! Each experiment prints its table/figure to stdout and writes the raw
+//! result as JSON under `--out` (default `results/`).
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+use testbed::experiments::{
+    ablations, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5,
+};
+
+struct Options {
+    k: u32,
+    seed: u64,
+    out: PathBuf,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        k: 100,
+        seed: 2016,
+        out: PathBuf::from("results"),
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--k" => {
+                opts.k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--k needs a number"))
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"))
+            }
+            "--out" => {
+                opts.out = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| die("--out needs a path"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--k N] [--seed S] [--out DIR] \
+                     [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
+                     seeds|ablations|all]..."
+                );
+                std::process::exit(0);
+            }
+            other => opts.experiments.push(other.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments.push("all".to_string());
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result");
+    println!("[saved {}]", path.display());
+}
+
+fn main() {
+    let opts = parse_args();
+    let wants = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
+
+    if wants("table1") {
+        let t = table1::run();
+        println!("\n{}", t.render());
+        write_json(&opts.out, "table1", &t);
+    }
+    // Table 2 and Fig. 3 come from the same ping matrix: run it once.
+    if wants("table2") || wants("fig3") {
+        eprintln!("running ping matrix (Table 2 + Fig 3), k={} ...", opts.k);
+        let m = ping_matrix::run(opts.k, opts.seed);
+        if wants("table2") {
+            println!("\n{}", m.render_table2());
+        }
+        if wants("fig3") {
+            println!("\n{}", m.render_fig3());
+        }
+        write_json(&opts.out, "ping_matrix", &m);
+    }
+    if wants("table3") {
+        eprintln!("running Table 3, k={} ...", opts.k);
+        let t = table3::run(opts.k, opts.seed);
+        println!("\n{}", t.render());
+        write_json(&opts.out, "table3", &t);
+    }
+    if wants("table4") {
+        eprintln!("running Table 4 ...");
+        let t = table4::run(12, opts.seed);
+        println!("\n{}", t.render());
+        write_json(&opts.out, "table4", &t);
+    }
+    if wants("table5") {
+        eprintln!("running Table 5, k={} ...", opts.k);
+        let t = table5::run(opts.k, opts.seed);
+        println!("\n{}", t.render());
+        write_json(&opts.out, "table5", &t);
+    }
+    if wants("fig7") {
+        eprintln!("running Fig 7, k={} ...", opts.k);
+        let f = fig7::run(opts.k, opts.seed);
+        println!("\n{}", f.render());
+        write_json(&opts.out, "fig7", &f);
+    }
+    if wants("fig8") {
+        eprintln!("running Fig 8, k={} ...", opts.k);
+        let f = fig8::run(opts.k, opts.seed);
+        println!("\n{}", f.render());
+        write_json(&opts.out, "fig8", &f);
+    }
+    if wants("fig9") {
+        eprintln!("running Fig 9, k={} ...", opts.k);
+        let f = fig9::run(opts.k, opts.seed);
+        println!("\n{}", f.render());
+        write_json(&opts.out, "fig9", &f);
+    }
+    if wants("seeds") {
+        eprintln!("running seed sweep ...");
+        let s = seeds::run(20, opts.k.min(50));
+        println!("\n{}", s.render());
+        write_json(&opts.out, "seed_sweep", &s);
+    }
+    if wants("ablations") {
+        eprintln!("running ablations ...");
+        let db = ablations::db_sweep(opts.k.min(50), opts.seed);
+        println!(
+            "\n{}",
+            ablations::render("Ablation: db sweep (Nexus 4, 50 ms path)", &db)
+        );
+        write_json(&opts.out, "ablate_db", &db);
+        let ttl = ablations::ttl_ablation(opts.k.min(50), opts.seed);
+        println!(
+            "{}",
+            ablations::render("Ablation: warm-up TTL (Nexus 5, 85 ms path)", &ttl)
+        );
+        write_json(&opts.out, "ablate_ttl", &ttl);
+        let p2 = ablations::ping2_comparison(opts.k.min(30), opts.seed);
+        println!("{}", ablations::render("Ablation: ping2 vs AcuteMon", &p2));
+        write_json(&opts.out, "ablate_ping2", &p2);
+        let sp = ablations::static_psm(opts.k.min(40), opts.seed);
+        println!(
+            "{}",
+            ablations::render(
+                "Ablation: static vs adaptive PSM (Nexus 4, 30 ms path)",
+                &sp
+            )
+        );
+        write_json(&opts.out, "ablate_static_psm", &sp);
+        let li = ablations::listen_interval_sweep(8, opts.seed);
+        println!(
+            "{}",
+            ablations::render("Ablation: listen-interval sweep (Nexus 5)", &li)
+        );
+        write_json(&opts.out, "ablate_listen_interval", &li);
+        let fer = ablations::fer_robustness(opts.k.min(60), opts.seed);
+        println!(
+            "{}",
+            ablations::render("Fault injection: WiFi frame errors (Nexus 5, 50 ms)", &fer)
+        );
+        write_json(&opts.out, "ablate_fer", &fer);
+        let up = ablations::uapsd(opts.k.min(40), opts.seed);
+        println!(
+            "{}",
+            ablations::render("Ablation: legacy PSM vs U-APSD (Nexus 4, 60 ms path)", &up)
+        );
+        write_json(&opts.out, "ablate_uapsd", &up);
+        let loss = ablations::loss_robustness(opts.k.min(60), opts.seed);
+        println!(
+            "{}",
+            ablations::render("Fault injection: lossy path (Nexus 5, 50 ms)", &loss)
+        );
+        write_json(&opts.out, "ablate_loss", &loss);
+        let energy = ablations::energy_cost(opts.k.min(50), opts.seed);
+        println!(
+            "{}",
+            ablations::render("Extension: energy/path cost (Nexus 5, 50 ms path)", &energy)
+        );
+        write_json(&opts.out, "ablate_energy", &energy);
+        let cell = ablations::cellular(opts.k.min(30), opts.seed);
+        println!(
+            "{}",
+            ablations::render("Extension: cellular RRC (LTE/UMTS, 40 ms core path)", &cell)
+        );
+        write_json(&opts.out, "ablate_cellular", &cell);
+    }
+    eprintln!("done.");
+}

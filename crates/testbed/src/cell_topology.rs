@@ -1,0 +1,172 @@
+//! The cellular variant of the testbed: phone → cellular bearer (RRC) →
+//! netem link → measurement server. Used by the `ablate_cellular`
+//! experiment and the `cellular_rrc` example to demonstrate the paper's
+//! §4 claim that AcuteMon's scheme also punctures RRC-transition
+//! inflation.
+
+use cellular::{CellConfig, CellNode};
+use netem::{LinkNode, LinkParams, ServerConfig, ServerNode};
+use phone::{App, PhoneNode, PhoneProfile, RuntimeKind};
+use simcore::{NodeId, Sim, SimTime};
+use wire::{Ip, Msg};
+
+/// Addresses for the cellular testbed.
+pub mod cell_addr {
+    use wire::Ip;
+
+    /// The measurement server.
+    pub const SERVER: Ip = Ip::new(10, 0, 0, 1);
+    /// The P-GW / first-hop gateway.
+    pub const GATEWAY: Ip = Ip::new(10, 100, 0, 1);
+    /// The phone's bearer address.
+    pub const PHONE: Ip = Ip::new(10, 100, 0, 2);
+}
+
+/// Configuration of the cellular testbed.
+#[derive(Debug, Clone)]
+pub struct CellTestbedConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// The phone under test. Its WNIC bus model is bypassed on cellular
+    /// (the modem has its own power management — the RRC machine), so
+    /// bus sleep is disabled in the built phone.
+    pub profile: PhoneProfile,
+    /// Cellular bearer parameters (LTE or UMTS presets).
+    pub cell: CellConfig,
+    /// Core-network RTT beyond the bearer, ms.
+    pub core_rtt_ms: u64,
+}
+
+impl CellTestbedConfig {
+    /// An LTE testbed around `profile` with the given core RTT.
+    pub fn lte(seed: u64, profile: PhoneProfile, core_rtt_ms: u64) -> CellTestbedConfig {
+        CellTestbedConfig {
+            seed,
+            profile,
+            cell: CellConfig::lte(cell_addr::GATEWAY),
+            core_rtt_ms,
+        }
+    }
+
+    /// A UMTS/3G testbed.
+    pub fn umts(seed: u64, profile: PhoneProfile, core_rtt_ms: u64) -> CellTestbedConfig {
+        CellTestbedConfig {
+            seed,
+            profile,
+            cell: CellConfig::umts(cell_addr::GATEWAY),
+            core_rtt_ms,
+        }
+    }
+}
+
+/// The assembled cellular testbed.
+pub struct CellTestbed {
+    /// The simulator.
+    pub sim: Sim<Msg>,
+    /// The phone node.
+    pub phone: NodeId,
+    /// The cellular bearer node.
+    pub cell: NodeId,
+    /// The measurement server.
+    pub server: NodeId,
+}
+
+impl CellTestbed {
+    /// Build the testbed.
+    pub fn build(cfg: CellTestbedConfig) -> CellTestbed {
+        let mut sim = Sim::new(cfg.seed);
+        let server = sim.add_node(Box::new(ServerNode::new(
+            100,
+            ServerConfig::standard(cell_addr::SERVER),
+        )));
+        let link = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(
+            cfg.core_rtt_ms / 2,
+        ))));
+        let rng = sim.fork_rng(0xCE11);
+        let cell = sim.add_node(Box::new(CellNode::new(
+            210, cfg.cell, link, // placeholder host; re-pointed below
+            link, rng,
+        )));
+        sim.node_mut::<LinkNode>(link).connect(cell, server);
+        let mut phone_node = PhoneNode::new(1, cfg.profile, cell_addr::PHONE, cell);
+        // The WNIC/SDIO model is a WiFi artifact; the modem's power
+        // behaviour is the RRC machine.
+        phone_node.core_mut().bus.set_sleep_enabled(false);
+        let phone = sim.add_node(Box::new(phone_node));
+        sim.node_mut::<CellNode>(cell).set_host(phone);
+        CellTestbed {
+            sim,
+            phone,
+            cell,
+            server,
+        }
+    }
+
+    /// Install an app on the phone.
+    pub fn install_app(&mut self, app: Box<dyn App>, runtime: RuntimeKind) -> usize {
+        self.sim
+            .node_mut::<PhoneNode>(self.phone)
+            .install_app(app, runtime)
+    }
+
+    /// Run until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Typed app view.
+    pub fn app<T: 'static>(&self, idx: usize) -> &T {
+        self.sim.node::<PhoneNode>(self.phone).app::<T>(idx)
+    }
+
+    /// The server address apps should target.
+    pub fn server_ip(&self) -> Ip {
+        cell_addr::SERVER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{PingApp, PingConfig, RecordSet};
+    use simcore::SimDuration;
+
+    #[test]
+    fn lte_ping_end_to_end() {
+        let mut tb = CellTestbed::build(CellTestbedConfig::lte(1, phone::nexus5(), 40));
+        let app = tb.install_app(
+            Box::new(PingApp::new(PingConfig::new(
+                cell_addr::SERVER,
+                5,
+                SimDuration::from_millis(200),
+            ))),
+            RuntimeKind::Native,
+        );
+        tb.run_until(SimTime::from_secs(10));
+        let ping = tb.app::<PingApp>(app);
+        assert!((ping.records.completion() - 1.0).abs() < 1e-12);
+        let du = ping.records.du();
+        // First probe pays the idle promotion; the rest ride connected.
+        assert!(du[0] > du[1] + 50.0, "du0 {} du1 {}", du[0], du[1]);
+        // Warm RTT ≈ core 40 + bearer ~12.
+        assert!((du[1] - 52.0).abs() < 10.0, "du1 {}", du[1]);
+    }
+
+    #[test]
+    fn sparse_probes_pay_promotions() {
+        let mut tb = CellTestbed::build(CellTestbedConfig::lte(2, phone::nexus5(), 40));
+        let app = tb.install_app(
+            Box::new(PingApp::new(PingConfig::new(
+                cell_addr::SERVER,
+                4,
+                SimDuration::from_secs(15), // > 10 s idle timer
+            ))),
+            RuntimeKind::Native,
+        );
+        tb.run_until(SimTime::from_secs(60));
+        let du = tb.app::<PingApp>(app).records.du();
+        for (i, d) in du.iter().enumerate() {
+            assert!(*d > 110.0, "probe {i} du {d}");
+        }
+    }
+}

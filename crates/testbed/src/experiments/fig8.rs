@@ -1,0 +1,226 @@
+//! **Figure 8**: CDFs of the RTTs reported by AcuteMon, httping, ping and
+//! Java ping on a Nexus 5 over a 30 ms emulated path — without and with
+//! iPerf cross traffic. The claims: AcuteMon's CDF sits > 10 ms left of
+//! every baseline; ~90% of its samples are under 35 ms in the clean case;
+//! and it remains the leftmost curve under congestion.
+
+use acutemon::{AcuteMonApp, AcuteMonConfig};
+use am_stats::{render_cdfs, Ecdf};
+use measure::{
+    HttpingApp, HttpingConfig, JavaPingApp, JavaPingConfig, MobiperfHttpApp, MobiperfHttpConfig,
+    PingApp, PingConfig, RecordSet,
+};
+use phone::{PhoneNode, RuntimeKind};
+use serde::Serialize;
+use simcore::{SimDuration, SimTime};
+
+use crate::{addr, Testbed, TestbedConfig};
+
+/// Which tool a curve belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[allow(missing_docs)]
+pub enum Tool {
+    AcuteMon,
+    Httping,
+    Ping,
+    JavaPing,
+    /// MobiPerf's third method (HttpURLConnection) — an extension curve
+    /// beyond the paper's four.
+    MobiperfHttp,
+}
+
+impl Tool {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::AcuteMon => "AcuteMon",
+            Tool::Httping => "httping",
+            Tool::Ping => "ping",
+            Tool::JavaPing => "Java ping",
+            Tool::MobiperfHttp => "MobiPerf HTTP",
+        }
+    }
+}
+
+/// One CDF curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    /// The tool.
+    pub tool: Tool,
+    /// Cross traffic active?
+    pub cross_traffic: bool,
+    /// Reported RTT samples (ms), ascending.
+    pub samples: Vec<f64>,
+}
+
+/// The Figure 8 result.
+#[derive(Debug, Serialize)]
+pub struct Fig8 {
+    /// All ten curves (5 tools × 2 load conditions).
+    pub curves: Vec<Curve>,
+}
+
+/// Run one tool in one load condition and collect its reported RTTs.
+pub fn run_tool(tool: Tool, cross: bool, k: u32, seed: u64) -> Curve {
+    // Baselines probe at their default 1 s interval; the horizon covers
+    // the slowest (k probes × 1 s) plus slack.
+    let horizon = SimTime::from_secs(u64::from(k) + 10);
+    let mut cfg = TestbedConfig::new(seed, phone::nexus5(), 30);
+    if cross {
+        cfg = cfg.with_cross_traffic(horizon);
+    }
+    let mut tb = Testbed::build(cfg);
+    let second = SimDuration::from_secs(1);
+    let idx = match tool {
+        Tool::AcuteMon => tb.install_app(
+            Box::new(AcuteMonApp::new(AcuteMonConfig::new(addr::SERVER, k))),
+            RuntimeKind::Native,
+        ),
+        Tool::Httping => tb.install_app(
+            Box::new(HttpingApp::new(HttpingConfig::new(addr::SERVER, k, second))),
+            RuntimeKind::Native,
+        ),
+        Tool::Ping => tb.install_app(
+            Box::new(PingApp::new(PingConfig::new(addr::SERVER, k, second))),
+            RuntimeKind::Native,
+        ),
+        Tool::JavaPing => tb.install_app(
+            Box::new(JavaPingApp::new(JavaPingConfig::new(
+                addr::SERVER,
+                k,
+                second,
+            ))),
+            RuntimeKind::Dalvik,
+        ),
+        Tool::MobiperfHttp => tb.install_app(
+            Box::new(MobiperfHttpApp::new(MobiperfHttpConfig::new(
+                addr::SERVER,
+                k,
+                second,
+            ))),
+            RuntimeKind::Dalvik,
+        ),
+    };
+    tb.run_until(horizon);
+    let phone_node = tb.sim.node::<PhoneNode>(tb.phone);
+    let mut samples = match tool {
+        Tool::AcuteMon => phone_node.app::<AcuteMonApp>(idx).records.reported(),
+        Tool::Httping => phone_node.app::<HttpingApp>(idx).records.reported(),
+        Tool::Ping => phone_node.app::<PingApp>(idx).records.reported(),
+        Tool::JavaPing => phone_node.app::<JavaPingApp>(idx).records.reported(),
+        Tool::MobiperfHttp => phone_node.app::<MobiperfHttpApp>(idx).records.reported(),
+    };
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Curve {
+        tool,
+        cross_traffic: cross,
+        samples,
+    }
+}
+
+/// Run the full Figure 8 matrix.
+pub fn run(k: u32, seed: u64) -> Fig8 {
+    let mut curves = Vec::new();
+    for (ci, &cross) in [false, true].iter().enumerate() {
+        for (ti, &tool) in [
+            Tool::AcuteMon,
+            Tool::Httping,
+            Tool::Ping,
+            Tool::JavaPing,
+            Tool::MobiperfHttp,
+        ]
+        .iter()
+        .enumerate()
+        {
+            curves.push(run_tool(
+                tool,
+                cross,
+                k,
+                seed ^ ((ci as u64) << 8 | ti as u64),
+            ));
+        }
+    }
+    Fig8 { curves }
+}
+
+impl Fig8 {
+    /// The curve for a tool/load pair.
+    pub fn curve(&self, tool: Tool, cross: bool) -> &Curve {
+        self.curves
+            .iter()
+            .find(|c| c.tool == tool && c.cross_traffic == cross)
+            .expect("curve present")
+    }
+
+    /// Render both panels as ASCII CDFs.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 8: CDFs of measured RTT, Nexus 5, 30 ms emulated path\n");
+        for cross in [false, true] {
+            out.push_str(if cross {
+                "\n(b) With cross traffic:\n"
+            } else {
+                "\n(a) Without cross traffic:\n"
+            });
+            let series: Vec<(String, Ecdf)> = self
+                .curves
+                .iter()
+                .filter(|c| c.cross_traffic == cross && !c.samples.is_empty())
+                .map(|c| {
+                    (
+                        c.tool.name().to_string(),
+                        Ecdf::of(&c.samples).expect("samples"),
+                    )
+                })
+                .collect();
+            out.push_str(&render_cdfs(&series, 60, 16));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acutemon_beats_baselines_without_cross_traffic() {
+        let am = run_tool(Tool::AcuteMon, false, 25, 1);
+        let ping = run_tool(Tool::Ping, false, 25, 2);
+        let e_am = Ecdf::of(&am.samples).unwrap();
+        let e_ping = Ecdf::of(&ping.samples).unwrap();
+        // ~90% of AcuteMon under 35 ms.
+        assert!(
+            e_am.prob_at_or_below(35.0) > 0.85,
+            "P[am<=35] = {}",
+            e_am.prob_at_or_below(35.0)
+        );
+        // ping (1 s interval) is >10 ms worse at the median.
+        assert!(
+            e_ping.median() - e_am.median() > 10.0,
+            "ping {} vs am {}",
+            e_ping.median(),
+            e_am.median()
+        );
+    }
+
+    #[test]
+    fn cross_traffic_shifts_everyone_but_acutemon_stays_smallest() {
+        let am = run_tool(Tool::AcuteMon, true, 20, 3);
+        let am_clean = run_tool(Tool::AcuteMon, false, 20, 4);
+        let jp = run_tool(Tool::JavaPing, true, 20, 5);
+        let e_am = Ecdf::of(&am.samples).unwrap();
+        let e_clean = Ecdf::of(&am_clean.samples).unwrap();
+        let e_jp = Ecdf::of(&jp.samples).unwrap();
+        assert!(
+            e_am.median() >= e_clean.median(),
+            "congestion should not speed things up"
+        );
+        assert!(
+            e_am.median() < e_jp.median(),
+            "AcuteMon {} vs Java ping {}",
+            e_am.median(),
+            e_jp.median()
+        );
+    }
+}

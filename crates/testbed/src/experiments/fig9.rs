@@ -1,0 +1,135 @@
+//! **Figure 9**: does AcuteMon's own background traffic hurt in a
+//! congested network? Following §4.4: Nexus 5, 30 ms emulated path, iPerf
+//! cross traffic, and the SDIO bus-sleep feature *disabled in the driver*
+//! so the phone stays awake even without background traffic (the emulated
+//! RTT is far below Nexus 5's `Tip` ≈ 205 ms, so PSM is idle too). Then
+//! AcuteMon with background traffic ≈ AcuteMon without it, and both sit
+//! right of the uncongested curve.
+
+use acutemon::{AcuteMonApp, AcuteMonConfig};
+use am_stats::{render_cdfs, Ecdf};
+use measure::RecordSet;
+use phone::{PhoneNode, RuntimeKind};
+use serde::Serialize;
+use simcore::SimTime;
+
+use crate::{addr, Testbed, TestbedConfig};
+
+/// The three curves of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[allow(missing_docs)]
+pub enum Arm {
+    WithBackground,
+    WithoutBackground,
+    NoCrossTraffic,
+}
+
+impl Arm {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arm::WithBackground => "With BG traffic",
+            Arm::WithoutBackground => "Without BG traffic",
+            Arm::NoCrossTraffic => "No cross traffic",
+        }
+    }
+}
+
+/// One curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Curve {
+    /// Which arm.
+    pub arm: Arm,
+    /// Reported RTTs (ms), ascending.
+    pub samples: Vec<f64>,
+}
+
+/// The Figure 9 result.
+#[derive(Debug, Serialize)]
+pub struct Fig9 {
+    /// The three curves.
+    pub curves: Vec<Fig9Curve>,
+}
+
+/// Run one arm.
+pub fn run_arm(arm: Arm, k: u32, seed: u64) -> Fig9Curve {
+    let horizon = SimTime::from_secs((u64::from(k) / 10).max(10) + 10);
+    let mut cfg = TestbedConfig::new(seed, phone::nexus5(), 30).without_bus_sleep();
+    if arm != Arm::NoCrossTraffic {
+        cfg = cfg.with_cross_traffic(horizon);
+    }
+    let mut tb = Testbed::build(cfg);
+    let am_cfg = match arm {
+        Arm::WithoutBackground => AcuteMonConfig::new(addr::SERVER, k).without_background(),
+        _ => AcuteMonConfig::new(addr::SERVER, k),
+    };
+    let app = tb.install_app(Box::new(AcuteMonApp::new(am_cfg)), RuntimeKind::Native);
+    tb.run_until(horizon);
+    let mut samples = tb
+        .sim
+        .node::<PhoneNode>(tb.phone)
+        .app::<AcuteMonApp>(app)
+        .records
+        .reported();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Fig9Curve { arm, samples }
+}
+
+/// Run all three arms.
+pub fn run(k: u32, seed: u64) -> Fig9 {
+    Fig9 {
+        curves: vec![
+            run_arm(Arm::WithBackground, k, seed),
+            run_arm(Arm::WithoutBackground, k, seed ^ 1),
+            run_arm(Arm::NoCrossTraffic, k, seed ^ 2),
+        ],
+    }
+}
+
+impl Fig9 {
+    /// A curve by arm.
+    pub fn curve(&self, arm: Arm) -> &Fig9Curve {
+        self.curves.iter().find(|c| c.arm == arm).expect("curve")
+    }
+
+    /// Render as an ASCII CDF plot.
+    pub fn render(&self) -> String {
+        let series: Vec<(String, Ecdf)> = self
+            .curves
+            .iter()
+            .filter(|c| !c.samples.is_empty())
+            .map(|c| {
+                (
+                    c.arm.name().to_string(),
+                    Ecdf::of(&c.samples).expect("samples"),
+                )
+            })
+            .collect();
+        format!(
+            "Figure 9: AcuteMon with vs without background traffic (bus sleep disabled)\n\n{}",
+            render_cdfs(&series, 60, 16)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_traffic_is_harmless() {
+        let with_bg = run_arm(Arm::WithBackground, 40, 11);
+        let without = run_arm(Arm::WithoutBackground, 40, 12);
+        let clean = run_arm(Arm::NoCrossTraffic, 40, 13);
+        let m_with = Ecdf::of(&with_bg.samples).unwrap().median();
+        let m_without = Ecdf::of(&without.samples).unwrap().median();
+        let m_clean = Ecdf::of(&clean.samples).unwrap().median();
+        // The BG traffic changes the median by under ~3 ms.
+        assert!(
+            (m_with - m_without).abs() < 3.0,
+            "with {m_with} vs without {m_without}"
+        );
+        // The congestion penalty dwarfs it.
+        assert!(m_with > m_clean, "cross traffic must cost something");
+    }
+}

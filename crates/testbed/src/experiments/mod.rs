@@ -1,0 +1,67 @@
+//! Experiment runners — one per table/figure of the paper's evaluation.
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`ping_matrix`] | Table 2 + Fig. 3 (multi-layer ping RTTs and overheads) |
+//! | [`table3`] | Table 3 (driver `dvsend`/`dvrecv`, bus sleep on/off) |
+//! | [`table4`] | Table 4 (PSM timeout `Tip` and listen intervals) |
+//! | [`table5`] | Table 5 (actual nRTT under AcuteMon) |
+//! | [`fig7`] | Fig. 7 (AcuteMon overhead box plots) |
+//! | [`fig8`] | Fig. 8 (tool-comparison CDFs, with/without cross traffic) |
+//! | [`fig9`] | Fig. 9 (background-traffic effect CDFs) |
+//! | [`ablations`] | The DESIGN.md §5 ablation/extension experiments |
+//!
+//! Every runner takes a seed and a probe budget, returns a serializable
+//! result struct with a `render()` method, and is deterministic.
+
+pub mod ablations;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod ping_matrix;
+pub mod seeds;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use am_stats::Summary;
+use serde::Serialize;
+
+/// A `mean ± 95% CI` cell as the paper prints them.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Cell {
+    /// Mean.
+    pub mean: f64,
+    /// 95% CI half-width.
+    pub ci95: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Cell {
+    /// Summarize a sample (empty → zeros, flagged by `n = 0`).
+    pub fn of(xs: &[f64]) -> Cell {
+        match Summary::of(xs) {
+            Some(s) => Cell {
+                mean: s.mean,
+                ci95: s.ci95,
+                n: s.n,
+            },
+            None => Cell {
+                mean: 0.0,
+                ci95: 0.0,
+                n: 0,
+            },
+        }
+    }
+
+    /// Format like the paper's table cells.
+    pub fn fmt(&self) -> String {
+        if self.n == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2} ±{:.2}", self.mean, self.ci95)
+        }
+    }
+}

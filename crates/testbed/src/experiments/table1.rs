@@ -1,0 +1,88 @@
+//! **Table 1**: the smartphones used in the testbed evaluation. Purely an
+//! inventory — rendered from the phone profiles so the model parameters
+//! and the paper's hardware table stay in one place.
+
+use am_stats::Table;
+use phone::ChipVendor;
+use serde::Serialize;
+
+/// One phone row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Model name.
+    pub model: String,
+    /// Android version.
+    pub android: String,
+    /// WNIC chipset.
+    pub wnic: String,
+    /// Chipset vendor.
+    pub vendor: &'static str,
+    /// Modelled CPU slowness factor (1.0 = Nexus 5).
+    pub cpu_factor: f64,
+}
+
+/// The Table 1 result.
+#[derive(Debug, Serialize)]
+pub struct Table1 {
+    /// One row per phone, paper order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Build Table 1 from the profiles.
+pub fn run() -> Table1 {
+    let rows = phone::all_phones()
+        .into_iter()
+        .map(|p| Table1Row {
+            model: p.name.to_string(),
+            android: p.android.to_string(),
+            wnic: p.wnic.to_string(),
+            vendor: match p.vendor {
+                ChipVendor::Broadcom => "Broadcom",
+                ChipVendor::Qualcomm => "Qualcomm",
+            },
+            cpu_factor: p.cpu_factor,
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["Models", "Ver.", "WNIC", "Vendor", "CPU factor"]);
+        for r in &self.rows {
+            t.add_row(vec![
+                r.model.clone(),
+                r.android.clone(),
+                r.wnic.clone(),
+                r.vendor.to_string(),
+                format!("{:.1}", r.cpu_factor),
+            ]);
+        }
+        format!(
+            "Table 1: the smartphones used in the testbed evaluation\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_paper() {
+        let t = run();
+        assert_eq!(t.rows.len(), 5);
+        let find = |m: &str| t.rows.iter().find(|r| r.model.contains(m)).unwrap();
+        assert_eq!(find("Nexus 5").wnic, "BCM4339");
+        assert_eq!(find("Nexus 5").android, "4.4.2");
+        assert_eq!(find("Nexus 4").wnic, "WCN3660");
+        assert_eq!(find("HTC One").vendor, "Qualcomm");
+        assert_eq!(find("Xperia").wnic, "BCM4330");
+        assert_eq!(find("Grand").wnic, "BCM4329");
+        let s = t.render();
+        assert!(s.contains("BCM4339"));
+        assert!(s.contains("Table 1"));
+    }
+}

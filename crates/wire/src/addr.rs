@@ -1,0 +1,144 @@
+//! Network addresses: IPv4 and MAC.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address (host byte order inside).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ip = Ip(0);
+
+    /// Build from dotted octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ip {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Parse from a big-endian octet slice.
+    pub fn from_octets(o: [u8; 4]) -> Ip {
+        Ip(u32::from_be_bytes(o))
+    }
+}
+
+impl fmt::Debug for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Error parsing an [`Ip`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpError;
+
+impl fmt::Display for ParseIpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address")
+    }
+}
+
+impl std::error::Error for ParseIpError {}
+
+impl FromStr for Ip {
+    type Err = ParseIpError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut octets = [0u8; 4];
+        for o in octets.iter_mut() {
+            *o = parts
+                .next()
+                .ok_or(ParseIpError)?
+                .parse::<u8>()
+                .map_err(|_| ParseIpError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseIpError);
+        }
+        Ok(Ip::from_octets(octets))
+    }
+}
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// A locally-administered MAC derived from a small integer, handy for
+    /// assigning distinct addresses to simulated devices.
+    pub const fn local(n: u16) -> Mac {
+        Mac([0x02, 0, 0, 0, (n >> 8) as u8, n as u8])
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Mac::BROADCAST
+    }
+}
+
+impl fmt::Debug for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_roundtrip_octets() {
+        let ip = Ip::new(192, 168, 1, 42);
+        assert_eq!(ip.octets(), [192, 168, 1, 42]);
+        assert_eq!(Ip::from_octets(ip.octets()), ip);
+        assert_eq!(ip.to_string(), "192.168.1.42");
+    }
+
+    #[test]
+    fn ip_parse() {
+        assert_eq!("10.0.0.1".parse::<Ip>().unwrap(), Ip::new(10, 0, 0, 1));
+        assert!("10.0.0".parse::<Ip>().is_err());
+        assert!("10.0.0.1.2".parse::<Ip>().is_err());
+        assert!("10.0.0.256".parse::<Ip>().is_err());
+        assert!("a.b.c.d".parse::<Ip>().is_err());
+    }
+
+    #[test]
+    fn mac_display_and_local() {
+        assert_eq!(Mac::local(0x0102).to_string(), "02:00:00:00:01:02");
+        assert!(Mac::BROADCAST.is_broadcast());
+        assert!(!Mac::local(1).is_broadcast());
+        assert_ne!(Mac::local(1), Mac::local(2));
+    }
+}

@@ -1,0 +1,392 @@
+//! Byte-level encoding and decoding of [`Packet`]s as real IPv4 datagrams.
+//!
+//! The simulator itself moves structured [`Packet`] values around; the codec
+//! exists so that sniffer captures can be exported as valid pcap files and
+//! so the parsers can be property-tested against the builders. Headers are
+//! complete and checksums are correct; payloads are zero-filled except for
+//! the first eight bytes, which carry the simulation packet id (big endian)
+//! when the payload has room — this is what real measurement tools do with
+//! their cookie/sequence payloads, and it lets a pcap analyst correlate.
+
+use crate::addr::Ip;
+use crate::packet::{IcmpKind, Packet, PacketTag, TcpFlags, L4};
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than an IPv4 header.
+    Truncated,
+    /// Not IPv4 or bad IHL.
+    BadVersion,
+    /// The header checksum does not verify.
+    BadIpChecksum,
+    /// The L4 checksum does not verify.
+    BadL4Checksum,
+    /// Unknown or unsupported protocol number.
+    UnknownProtocol(u8),
+    /// The total-length field disagrees with the buffer.
+    BadLength,
+    /// Unsupported ICMP type.
+    UnknownIcmpType(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer shorter than header"),
+            DecodeError::BadVersion => write!(f, "not an IPv4 packet"),
+            DecodeError::BadIpChecksum => write!(f, "IPv4 header checksum mismatch"),
+            DecodeError::BadL4Checksum => write!(f, "transport checksum mismatch"),
+            DecodeError::UnknownProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+            DecodeError::BadLength => write!(f, "total length field mismatch"),
+            DecodeError::UnknownIcmpType(t) => write!(f, "unsupported ICMP type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// RFC 1071 internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+fn pseudo_header_sum(src: Ip, dst: Ip, protocol: u8, l4_len: usize) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    let mut sum: u32 = 0;
+    sum += u32::from(u16::from_be_bytes([s[0], s[1]]));
+    sum += u32::from(u16::from_be_bytes([s[2], s[3]]));
+    sum += u32::from(u16::from_be_bytes([d[0], d[1]]));
+    sum += u32::from(u16::from_be_bytes([d[2], d[3]]));
+    sum += u32::from(protocol);
+    sum += l4_len as u32;
+    sum
+}
+
+fn checksum_with_pseudo(src: Ip, dst: Ip, protocol: u8, l4: &[u8]) -> u16 {
+    let mut sum = pseudo_header_sum(src, dst, protocol, l4.len());
+    let mut chunks = l4.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encode a [`Packet`] as a complete IPv4 datagram.
+pub fn encode(p: &Packet) -> Vec<u8> {
+    let l4_len = p.l4.header_len() + p.payload_len;
+    let total = 20 + l4_len;
+    let mut buf = vec![0u8; total];
+
+    // IPv4 header.
+    buf[0] = 0x45; // version 4, IHL 5
+    buf[1] = 0; // DSCP/ECN
+    buf[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+    buf[4..6].copy_from_slice(&((p.id & 0xffff) as u16).to_be_bytes()); // identification
+    buf[6..8].copy_from_slice(&0u16.to_be_bytes()); // flags/fragment
+    buf[8] = p.ttl;
+    buf[9] = p.l4.protocol();
+    // checksum at [10..12] filled below
+    buf[12..16].copy_from_slice(&p.src.octets());
+    buf[16..20].copy_from_slice(&p.dst.octets());
+    let ipsum = internet_checksum(&buf[0..20]);
+    buf[10..12].copy_from_slice(&ipsum.to_be_bytes());
+
+    // L4 header.
+    {
+        let l4 = &mut buf[20..];
+        match p.l4 {
+            L4::Icmp { kind, ident, seq } => {
+                let (ty, code) = kind.type_code();
+                l4[0] = ty;
+                l4[1] = code;
+                l4[4..6].copy_from_slice(&ident.to_be_bytes());
+                l4[6..8].copy_from_slice(&seq.to_be_bytes());
+            }
+            L4::Udp { src_port, dst_port } => {
+                l4[0..2].copy_from_slice(&src_port.to_be_bytes());
+                l4[2..4].copy_from_slice(&dst_port.to_be_bytes());
+                l4[4..6].copy_from_slice(&(l4_len as u16).to_be_bytes());
+            }
+            L4::Tcp {
+                src_port,
+                dst_port,
+                flags,
+                seq,
+                ack,
+            } => {
+                l4[0..2].copy_from_slice(&src_port.to_be_bytes());
+                l4[2..4].copy_from_slice(&dst_port.to_be_bytes());
+                l4[4..8].copy_from_slice(&seq.to_be_bytes());
+                l4[8..12].copy_from_slice(&ack.to_be_bytes());
+                l4[12] = 5 << 4; // data offset 5 words
+                l4[13] = flags.0;
+                l4[14..16].copy_from_slice(&8192u16.to_be_bytes()); // window
+            }
+        }
+    }
+
+    // Payload: embed the simulation id in the first 8 bytes when possible.
+    let payload_off = 20 + p.l4.header_len();
+    if p.payload_len >= 8 {
+        buf[payload_off..payload_off + 8].copy_from_slice(&p.id.to_be_bytes());
+    }
+
+    // L4 checksum.
+    let sum = match p.l4 {
+        L4::Icmp { .. } => internet_checksum(&buf[20..]),
+        _ => checksum_with_pseudo(p.src, p.dst, p.l4.protocol(), &buf[20..]),
+    };
+    let csum_off = match p.l4 {
+        L4::Icmp { .. } => 20 + 2,
+        L4::Udp { .. } => 20 + 6,
+        L4::Tcp { .. } => 20 + 16,
+    };
+    buf[csum_off..csum_off + 2].copy_from_slice(&sum.to_be_bytes());
+
+    buf
+}
+
+/// Decode an IPv4 datagram back into a [`Packet`].
+///
+/// The simulation id is recovered from the payload when present (payload of
+/// at least 8 bytes), otherwise from the IP identification field. Tags are
+/// not on the wire; decoded packets get [`PacketTag::Other`].
+pub fn decode(buf: &[u8]) -> Result<Packet, DecodeError> {
+    if buf.len() < 20 {
+        return Err(DecodeError::Truncated);
+    }
+    if buf[0] != 0x45 {
+        return Err(DecodeError::BadVersion);
+    }
+    if internet_checksum(&buf[0..20]) != 0 {
+        return Err(DecodeError::BadIpChecksum);
+    }
+    let total = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+    if total != buf.len() {
+        return Err(DecodeError::BadLength);
+    }
+    let ttl = buf[8];
+    let protocol = buf[9];
+    let src = Ip::from_octets([buf[12], buf[13], buf[14], buf[15]]);
+    let dst = Ip::from_octets([buf[16], buf[17], buf[18], buf[19]]);
+    let l4buf = &buf[20..];
+
+    let (l4, header_len) = match protocol {
+        1 => {
+            if l4buf.len() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            if internet_checksum(l4buf) != 0 {
+                return Err(DecodeError::BadL4Checksum);
+            }
+            let kind =
+                IcmpKind::from_type(l4buf[0]).ok_or(DecodeError::UnknownIcmpType(l4buf[0]))?;
+            (
+                L4::Icmp {
+                    kind,
+                    ident: u16::from_be_bytes([l4buf[4], l4buf[5]]),
+                    seq: u16::from_be_bytes([l4buf[6], l4buf[7]]),
+                },
+                8,
+            )
+        }
+        17 => {
+            if l4buf.len() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            if checksum_with_pseudo(src, dst, protocol, l4buf) != 0 {
+                return Err(DecodeError::BadL4Checksum);
+            }
+            (
+                L4::Udp {
+                    src_port: u16::from_be_bytes([l4buf[0], l4buf[1]]),
+                    dst_port: u16::from_be_bytes([l4buf[2], l4buf[3]]),
+                },
+                8,
+            )
+        }
+        6 => {
+            if l4buf.len() < 20 {
+                return Err(DecodeError::Truncated);
+            }
+            if checksum_with_pseudo(src, dst, protocol, l4buf) != 0 {
+                return Err(DecodeError::BadL4Checksum);
+            }
+            (
+                L4::Tcp {
+                    src_port: u16::from_be_bytes([l4buf[0], l4buf[1]]),
+                    dst_port: u16::from_be_bytes([l4buf[2], l4buf[3]]),
+                    flags: TcpFlags(l4buf[13] & 0x1f),
+                    seq: u32::from_be_bytes([l4buf[4], l4buf[5], l4buf[6], l4buf[7]]),
+                    ack: u32::from_be_bytes([l4buf[8], l4buf[9], l4buf[10], l4buf[11]]),
+                },
+                20,
+            )
+        }
+        p => return Err(DecodeError::UnknownProtocol(p)),
+    };
+
+    let payload_len = l4buf.len() - header_len;
+    let id = if payload_len >= 8 {
+        let off = 20 + header_len;
+        u64::from_be_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
+    } else {
+        u64::from(u16::from_be_bytes([buf[4], buf[5]]))
+    };
+
+    Ok(Packet {
+        id,
+        src,
+        dst,
+        ttl,
+        l4,
+        payload_len,
+        tag: PacketTag::Other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn icmp_packet() -> Packet {
+        Packet {
+            id: 0x1234,
+            src: Ip::new(192, 168, 1, 2),
+            dst: Ip::new(192, 168, 1, 1),
+            ttl: 64,
+            l4: L4::Icmp {
+                kind: IcmpKind::EchoRequest,
+                ident: 77,
+                seq: 3,
+            },
+            payload_len: 56,
+            tag: PacketTag::Probe(3),
+        }
+    }
+
+    #[test]
+    fn encode_length_matches_wire_len() {
+        let p = icmp_packet();
+        assert_eq!(encode(&p).len(), p.wire_len());
+    }
+
+    #[test]
+    fn icmp_roundtrip() {
+        let p = icmp_packet();
+        let d = decode(&encode(&p)).unwrap();
+        assert_eq!(d.src, p.src);
+        assert_eq!(d.dst, p.dst);
+        assert_eq!(d.ttl, p.ttl);
+        assert_eq!(d.l4, p.l4);
+        assert_eq!(d.payload_len, p.payload_len);
+        assert_eq!(d.id, p.id); // recovered from payload cookie
+    }
+
+    #[test]
+    fn tcp_roundtrip_preserves_flags() {
+        let p = Packet {
+            id: 99,
+            src: Ip::new(10, 0, 0, 5),
+            dst: Ip::new(10, 0, 0, 9),
+            ttl: 55,
+            l4: L4::Tcp {
+                src_port: 50000,
+                dst_port: 443,
+                flags: TcpFlags::SYN | TcpFlags::ACK,
+                seq: 0xdead_beef,
+                ack: 0x0102_0304,
+            },
+            payload_len: 0,
+            tag: PacketTag::Other,
+        };
+        let d = decode(&encode(&p)).unwrap();
+        assert_eq!(d.l4, p.l4);
+        assert!(d.tcp_has(TcpFlags::SYN | TcpFlags::ACK));
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let p = Packet {
+            id: 0xAA55,
+            src: Ip::new(172, 16, 0, 1),
+            dst: Ip::new(172, 16, 0, 2),
+            ttl: 1,
+            l4: L4::Udp {
+                src_port: 3333,
+                dst_port: 7,
+            },
+            payload_len: 16,
+            tag: PacketTag::WarmUp,
+        };
+        let d = decode(&encode(&p)).unwrap();
+        assert_eq!(d.l4, p.l4);
+        assert_eq!(d.ttl, 1);
+        assert_eq!(d.id, 0xAA55);
+    }
+
+    #[test]
+    fn corrupt_ip_checksum_detected() {
+        let mut b = encode(&icmp_packet());
+        b[15] ^= 0xff; // flip a source-address byte
+        assert_eq!(decode(&b), Err(DecodeError::BadIpChecksum));
+    }
+
+    #[test]
+    fn corrupt_l4_detected() {
+        let mut b = encode(&icmp_packet());
+        let last = b.len() - 1;
+        b[last] ^= 0x01; // flip a payload byte -> ICMP checksum breaks
+        assert_eq!(decode(&b), Err(DecodeError::BadL4Checksum));
+    }
+
+    #[test]
+    fn truncated_and_bad_version() {
+        assert_eq!(decode(&[0u8; 10]), Err(DecodeError::Truncated));
+        let mut b = encode(&icmp_packet());
+        b[0] = 0x60;
+        assert_eq!(decode(&b), Err(DecodeError::BadVersion));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut b = encode(&icmp_packet());
+        b.push(0);
+        assert_eq!(decode(&b), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn checksum_rfc1071_known_vector() {
+        // Example from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = internet_checksum(&data);
+        // Sum = 0xddf2 (with carries folded); checksum is its complement.
+        assert_eq!(sum, !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_checksum_pads() {
+        let a = internet_checksum(&[0x12, 0x34, 0x56]);
+        let b = internet_checksum(&[0x12, 0x34, 0x56, 0x00]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! 802.11 frame model.
+//!
+//! The simulation models the MAC-layer behaviours that matter for the
+//! paper's delay analysis: beacons with a TIM (traffic indication map),
+//! data frames, null-data frames carrying the power-management bit, PS-Poll
+//! retrieval, and ACKs. Frame sizes are realistic so the medium can compute
+//! airtime; the exact on-air bit layout is not modelled.
+
+use crate::addr::Mac;
+use crate::packet::Packet;
+
+/// Body of an 802.11 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameKind {
+    /// AP beacon. `tim` lists the stations for which traffic is buffered
+    /// (the traffic indication map).
+    Beacon {
+        /// Stations with buffered downlink traffic.
+        tim: Vec<Mac>,
+    },
+    /// A data frame carrying an IP packet. On uplink frames `pm` mirrors
+    /// the station's power-management bit (true = "I am going to doze").
+    Data {
+        /// The encapsulated packet.
+        packet: Packet,
+        /// Power-management bit.
+        pm: bool,
+    },
+    /// A null-function data frame used purely to signal `pm` transitions.
+    NullData {
+        /// Power-management bit.
+        pm: bool,
+    },
+    /// PS-Poll: a dozing station asking the AP for one buffered frame.
+    PsPoll,
+    /// Link-layer acknowledgement.
+    Ack,
+}
+
+/// An 802.11 frame as seen on the air.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Simulation-unique frame id (for TX-done correlation and sniffers).
+    pub id: u64,
+    /// Transmitter address.
+    pub src: Mac,
+    /// Receiver address ([`Mac::BROADCAST`] for beacons).
+    pub dst: Mac,
+    /// The body.
+    pub kind: FrameKind,
+}
+
+impl Frame {
+    /// Frame size in bytes for airtime computation: MAC overhead plus body.
+    pub fn air_bytes(&self) -> usize {
+        match &self.kind {
+            // Beacon: MAC header 24 + ~60B of fixed fields/IEs + TIM.
+            FrameKind::Beacon { tim } => 24 + 60 + 4 + tim.len(),
+            // Data: MAC header 24 + LLC/SNAP 8 + IP packet + FCS 4.
+            FrameKind::Data { packet, .. } => 24 + 8 + packet.wire_len() + 4,
+            FrameKind::NullData { .. } => 24 + 4,
+            FrameKind::PsPoll => 16 + 4,
+            FrameKind::Ack => 10 + 4,
+        }
+    }
+
+    /// Whether this frame elicits a link-layer ACK (unicast data / null /
+    /// ps-poll do; beacons and ACKs do not).
+    pub fn wants_ack(&self) -> bool {
+        !matches!(self.kind, FrameKind::Beacon { .. } | FrameKind::Ack) && !self.dst.is_broadcast()
+    }
+
+    /// The encapsulated IP packet, if this is a data frame.
+    pub fn packet(&self) -> Option<&Packet> {
+        match &self.kind {
+            FrameKind::Data { packet, .. } => Some(packet),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for a data frame.
+    pub fn data(id: u64, src: Mac, dst: Mac, packet: Packet, pm: bool) -> Frame {
+        Frame {
+            id,
+            src,
+            dst,
+            kind: FrameKind::Data { packet, pm },
+        }
+    }
+
+    /// Convenience constructor for a null-data frame.
+    pub fn null_data(id: u64, src: Mac, dst: Mac, pm: bool) -> Frame {
+        Frame {
+            id,
+            src,
+            dst,
+            kind: FrameKind::NullData { pm },
+        }
+    }
+
+    /// Convenience constructor for a beacon.
+    pub fn beacon(id: u64, src: Mac, tim: Vec<Mac>) -> Frame {
+        Frame {
+            id,
+            src,
+            dst: Mac::BROADCAST,
+            kind: FrameKind::Beacon { tim },
+        }
+    }
+
+    /// Convenience constructor for a PS-Poll.
+    pub fn ps_poll(id: u64, src: Mac, dst: Mac) -> Frame {
+        Frame {
+            id,
+            src,
+            dst,
+            kind: FrameKind::PsPoll,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ip;
+    use crate::packet::{PacketTag, L4};
+
+    fn pkt(len: usize) -> Packet {
+        Packet {
+            id: 1,
+            src: Ip::new(10, 0, 0, 2),
+            dst: Ip::new(10, 0, 0, 1),
+            ttl: 64,
+            l4: L4::Udp {
+                src_port: 1,
+                dst_port: 2,
+            },
+            payload_len: len,
+            tag: PacketTag::Other,
+        }
+    }
+
+    #[test]
+    fn air_bytes_scale_with_payload() {
+        let small = Frame::data(1, Mac::local(1), Mac::local(2), pkt(0), false);
+        let big = Frame::data(2, Mac::local(1), Mac::local(2), pkt(1000), false);
+        assert_eq!(big.air_bytes() - small.air_bytes(), 1000);
+        assert_eq!(small.air_bytes(), 24 + 8 + 28 + 4);
+    }
+
+    #[test]
+    fn ack_policy() {
+        let beacon = Frame::beacon(1, Mac::local(0), vec![]);
+        assert!(!beacon.wants_ack());
+        let data = Frame::data(2, Mac::local(1), Mac::local(2), pkt(0), false);
+        assert!(data.wants_ack());
+        let bcast_data = Frame::data(3, Mac::local(1), Mac::BROADCAST, pkt(0), false);
+        assert!(!bcast_data.wants_ack());
+        let ack = Frame {
+            id: 4,
+            src: Mac::local(1),
+            dst: Mac::local(2),
+            kind: FrameKind::Ack,
+        };
+        assert!(!ack.wants_ack());
+        assert!(Frame::ps_poll(5, Mac::local(1), Mac::local(0)).wants_ack());
+    }
+
+    #[test]
+    fn packet_accessor() {
+        let f = Frame::data(1, Mac::local(1), Mac::local(2), pkt(5), true);
+        assert_eq!(f.packet().unwrap().payload_len, 5);
+        assert!(Frame::null_data(2, Mac::local(1), Mac::local(2), true)
+            .packet()
+            .is_none());
+    }
+
+    #[test]
+    fn beacon_tim_grows_frame() {
+        let empty = Frame::beacon(1, Mac::local(0), vec![]);
+        let loaded = Frame::beacon(2, Mac::local(0), vec![Mac::local(1), Mac::local(2)]);
+        assert_eq!(loaded.air_bytes() - empty.air_bytes(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! The inter-node message vocabulary of the simulated testbed.
+//!
+//! `simcore`'s engine is generic over a message type; every node in this
+//! workspace exchanges [`Msg`]. Wired segments carry [`Msg::Wire`];
+//! radios talk to the shared medium with [`Msg::MediumTx`] and hear
+//! [`Msg::AirRx`] / [`Msg::TxDone`] back.
+
+use crate::frame::Frame;
+use crate::packet::Packet;
+
+/// A message between simulation nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// An IP packet travelling a wired segment (link, switch, server).
+    Wire(Packet),
+    /// Radio → medium: request to transmit this frame. The medium applies
+    /// contention/backoff and eventually puts the frame on the air.
+    MediumTx(Frame),
+    /// Medium → radio/sniffer: this frame is now fully received off the
+    /// air. All attached radios hear every frame (filtering is up to the
+    /// receiver, as on a real shared channel).
+    AirRx(Frame),
+    /// Medium → transmitter: the frame with this id finished transmitting
+    /// (and was acknowledged, when an ACK was required).
+    TxDone {
+        /// Id of the frame whose transmission completed.
+        frame_id: u64,
+    },
+    /// Medium → transmitter: gave up on this frame (retry limit).
+    TxFailed {
+        /// Id of the frame that was dropped.
+        frame_id: u64,
+    },
+}
+
+impl Msg {
+    /// The wired packet, if any.
+    pub fn wire(&self) -> Option<&Packet> {
+        match self {
+            Msg::Wire(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The frame, for medium-facing variants.
+    pub fn frame(&self) -> Option<&Frame> {
+        match self {
+            Msg::MediumTx(f) | Msg::AirRx(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Ip, Mac};
+    use crate::packet::{PacketTag, L4};
+
+    #[test]
+    fn accessors() {
+        let p = Packet {
+            id: 1,
+            src: Ip::new(1, 1, 1, 1),
+            dst: Ip::new(2, 2, 2, 2),
+            ttl: 64,
+            l4: L4::Udp {
+                src_port: 1,
+                dst_port: 2,
+            },
+            payload_len: 0,
+            tag: PacketTag::Other,
+        };
+        let m = Msg::Wire(p);
+        assert!(m.wire().is_some());
+        assert!(m.frame().is_none());
+
+        let f = Frame::null_data(9, Mac::local(1), Mac::local(2), true);
+        let m = Msg::MediumTx(f.clone());
+        assert_eq!(m.frame().unwrap().id, 9);
+        let m = Msg::AirRx(f);
+        assert!(m.wire().is_none());
+        assert!(m.frame().is_some());
+        assert!(Msg::TxDone { frame_id: 3 }.frame().is_none());
+    }
+}

@@ -1,0 +1,385 @@
+//! The layer-3/4 packet model used throughout the simulated testbed.
+//!
+//! A [`Packet`] carries real protocol fields (addresses, TTL, ports, TCP
+//! flags, ICMP type/id/seq) plus simulation metadata: a unique id for
+//! cross-layer timestamp correlation and a [`PacketTag`] describing the role
+//! of the packet in an experiment (probe, warm-up, background, cross
+//! traffic). The byte-level encoding lives in [`crate::codec`].
+
+use crate::addr::Ip;
+
+/// ICMP message kinds the testbed uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpKind {
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Time exceeded in transit (type 11, code 0) — what a gateway emits
+    /// when a TTL=1 warm-up packet dies at the first hop.
+    TimeExceeded,
+    /// Destination unreachable (type 3).
+    Unreachable,
+}
+
+impl IcmpKind {
+    /// The on-wire ICMP type number.
+    pub fn type_code(self) -> (u8, u8) {
+        match self {
+            IcmpKind::EchoRequest => (8, 0),
+            IcmpKind::EchoReply => (0, 0),
+            IcmpKind::TimeExceeded => (11, 0),
+            IcmpKind::Unreachable => (3, 1),
+        }
+    }
+
+    /// Parse from the on-wire (type, code) pair.
+    pub fn from_type(ty: u8) -> Option<IcmpKind> {
+        match ty {
+            8 => Some(IcmpKind::EchoRequest),
+            0 => Some(IcmpKind::EchoReply),
+            11 => Some(IcmpKind::TimeExceeded),
+            3 => Some(IcmpKind::Unreachable),
+            _ => None,
+        }
+    }
+}
+
+/// A tiny local bitflags implementation (avoids an extra dependency).
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $(
+                $(#[$fmeta:meta])*
+                const $flag:ident = $value:expr;
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(
+                $(#[$fmeta])*
+                pub const $flag: $name = $name($value);
+            )*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self { $name(0) }
+
+            /// Whether all bits of `other` are set.
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Union of two flag sets.
+            pub const fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { $name(self.0 | rhs.0) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP header flags (the subset the testbed exercises).
+    pub struct TcpFlags: u8 {
+        /// FIN.
+        const FIN = 0x01;
+        /// SYN.
+        const SYN = 0x02;
+        /// RST.
+        const RST = 0x04;
+        /// PSH.
+        const PSH = 0x08;
+        /// ACK.
+        const ACK = 0x10;
+    }
+}
+
+/// Layer-4 header content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L4 {
+    /// ICMP message.
+    Icmp {
+        /// Message kind.
+        kind: IcmpKind,
+        /// Echo identifier (per measurement session).
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+    },
+    /// UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// TCP segment.
+    Tcp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Header flags.
+        flags: TcpFlags,
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+    },
+}
+
+impl L4 {
+    /// Protocol number as carried in the IPv4 header.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            L4::Icmp { .. } => 1,
+            L4::Tcp { .. } => 6,
+            L4::Udp { .. } => 17,
+        }
+    }
+
+    /// Length in bytes of the L4 header (TCP without options).
+    pub fn header_len(&self) -> usize {
+        match self {
+            L4::Icmp { .. } => 8,
+            L4::Udp { .. } => 8,
+            L4::Tcp { .. } => 20,
+        }
+    }
+}
+
+/// Role of a packet within an experiment; used by ledgers and analyzers to
+/// classify captures. This metadata rides alongside the packet and is *not*
+/// serialized to bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketTag {
+    /// A measurement probe (request direction) with its probe index.
+    Probe(u32),
+    /// The response to probe `n`.
+    ProbeReply(u32),
+    /// AcuteMon warm-up packet.
+    WarmUp,
+    /// AcuteMon background keep-awake packet.
+    Background,
+    /// Cross-traffic load.
+    CrossTraffic,
+    /// Anything else (control, errors, ...).
+    Other,
+}
+
+/// A layer-3 packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Simulation-unique id, preserved across hops so sniffers and ledgers
+    /// can correlate the same packet at different vantage points. Replies
+    /// get fresh ids.
+    pub id: u64,
+    /// Source address.
+    pub src: Ip,
+    /// Destination address.
+    pub dst: Ip,
+    /// Time-to-live. Decremented by routers; TTL=1 warm-up packets die at
+    /// the first hop (AcuteMon §4.1).
+    pub ttl: u8,
+    /// Transport header.
+    pub l4: L4,
+    /// Application payload length in bytes (payload content is not
+    /// modelled; the codec emits zeros).
+    pub payload_len: usize,
+    /// Experiment role.
+    pub tag: PacketTag,
+}
+
+impl Packet {
+    /// Total on-wire length: IPv4 header + L4 header + payload.
+    pub fn wire_len(&self) -> usize {
+        20 + self.l4.header_len() + self.payload_len
+    }
+
+    /// Construct the reply to this packet: source/destination swapped,
+    /// fresh id, default TTL, given L4 and tag.
+    pub fn reply(&self, id: u64, l4: L4, payload_len: usize, tag: PacketTag) -> Packet {
+        Packet {
+            id,
+            src: self.dst,
+            dst: self.src,
+            ttl: 64,
+            l4,
+            payload_len,
+            tag,
+        }
+    }
+
+    /// Convenience: is this a TCP segment with all the given flags?
+    pub fn tcp_has(&self, flags: TcpFlags) -> bool {
+        matches!(self.l4, L4::Tcp { flags: f, .. } if f.contains(flags))
+    }
+}
+
+/// Deterministic per-source packet-id generator. Each traffic source embeds
+/// its own generator so ids are unique without global state: the top 24 bits
+/// identify the source, the bottom 40 bits count.
+#[derive(Debug, Clone)]
+pub struct PacketIdGen {
+    base: u64,
+    next: u64,
+}
+
+impl PacketIdGen {
+    /// Create a generator for source number `source` (must be < 2^24).
+    pub fn new(source: u32) -> PacketIdGen {
+        assert!(source < (1 << 24), "source id too large");
+        PacketIdGen {
+            base: (source as u64) << 40,
+            next: 0,
+        }
+    }
+
+    /// Allocate the next id.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.base | self.next;
+        self.next += 1;
+        id
+    }
+
+    /// The source number this generator was built with.
+    pub fn source(&self) -> u32 {
+        (self.base >> 40) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ip;
+
+    fn sample() -> Packet {
+        Packet {
+            id: 7,
+            src: Ip::new(10, 0, 0, 2),
+            dst: Ip::new(10, 0, 0, 1),
+            ttl: 64,
+            l4: L4::Tcp {
+                src_port: 4242,
+                dst_port: 80,
+                flags: TcpFlags::SYN,
+                seq: 1000,
+                ack: 0,
+            },
+            payload_len: 0,
+            tag: PacketTag::Probe(3),
+        }
+    }
+
+    #[test]
+    fn wire_len_sums_headers() {
+        let p = sample();
+        assert_eq!(p.wire_len(), 40);
+        let mut u = p;
+        u.l4 = L4::Udp {
+            src_port: 1,
+            dst_port: 2,
+        };
+        u.payload_len = 100;
+        assert_eq!(u.wire_len(), 128);
+    }
+
+    #[test]
+    fn reply_swaps_addresses() {
+        let p = sample();
+        let r = p.reply(
+            8,
+            L4::Tcp {
+                src_port: 80,
+                dst_port: 4242,
+                flags: TcpFlags::SYN | TcpFlags::ACK,
+                seq: 0,
+                ack: 1001,
+            },
+            0,
+            PacketTag::ProbeReply(3),
+        );
+        assert_eq!(r.src, p.dst);
+        assert_eq!(r.dst, p.src);
+        assert_eq!(r.id, 8);
+        assert!(r.tcp_has(TcpFlags::SYN | TcpFlags::ACK));
+    }
+
+    #[test]
+    fn tcp_flags_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::RST));
+        assert!(f.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert!(!TcpFlags::SYN.contains(f));
+        assert_eq!(TcpFlags::empty().0, 0);
+    }
+
+    #[test]
+    fn icmp_kind_roundtrip() {
+        for k in [
+            IcmpKind::EchoRequest,
+            IcmpKind::EchoReply,
+            IcmpKind::TimeExceeded,
+            IcmpKind::Unreachable,
+        ] {
+            let (ty, _) = k.type_code();
+            assert_eq!(IcmpKind::from_type(ty), Some(k));
+        }
+        assert_eq!(IcmpKind::from_type(99), None);
+    }
+
+    #[test]
+    fn id_gen_unique_and_source_tagged() {
+        let mut a = PacketIdGen::new(1);
+        let mut b = PacketIdGen::new(2);
+        let ids: Vec<u64> = (0..10)
+            .map(|_| a.next_id())
+            .chain((0..10).map(|_| b.next_id()))
+            .collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert_eq!(a.source(), 1);
+        assert_eq!(b.source(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "source id too large")]
+    fn id_gen_rejects_large_source() {
+        let _ = PacketIdGen::new(1 << 24);
+    }
+
+    #[test]
+    fn l4_protocol_numbers() {
+        assert_eq!(
+            L4::Icmp {
+                kind: IcmpKind::EchoRequest,
+                ident: 0,
+                seq: 0
+            }
+            .protocol(),
+            1
+        );
+        assert_eq!(
+            L4::Udp {
+                src_port: 0,
+                dst_port: 0
+            }
+            .protocol(),
+            17
+        );
+        assert_eq!(sample().l4.protocol(), 6);
+    }
+}

@@ -1,0 +1,335 @@
+//! Classic libpcap file writer.
+//!
+//! Sniffer captures are exported as standard pcap files (magic
+//! `0xa1b2c3d4`, link type Ethernet) so they open in Wireshark/tcpdump.
+//! Data frames are written as Ethernet II + the real IPv4 bytes produced by
+//! [`crate::codec::encode`]; management frames (beacons, PS-Poll, null
+//! data) are written with a local experimental EtherType `0x88B5` and a tiny
+//! descriptive body so the timeline stays visible in the capture.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use simcore::SimTime;
+
+use crate::addr::Mac;
+use crate::codec;
+use crate::frame::{Frame, FrameKind};
+
+/// EtherType for IPv4.
+const ETHERTYPE_IPV4: u16 = 0x0800;
+/// IEEE local-experimental EtherType used for non-IP management frames.
+const ETHERTYPE_EXPERIMENTAL: u16 = 0x88B5;
+
+/// In-memory pcap builder.
+#[derive(Debug, Default)]
+pub struct PcapWriter {
+    records: Vec<u8>,
+    count: usize,
+}
+
+impl PcapWriter {
+    /// New empty capture.
+    pub fn new() -> PcapWriter {
+        PcapWriter::default()
+    }
+
+    /// Number of records written.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    fn push_record(&mut self, at: SimTime, frame_bytes: &[u8]) {
+        let ns = at.as_nanos();
+        let secs = (ns / 1_000_000_000) as u32;
+        let usecs = ((ns % 1_000_000_000) / 1_000) as u32;
+        self.records.extend_from_slice(&secs.to_le_bytes());
+        self.records.extend_from_slice(&usecs.to_le_bytes());
+        let len = frame_bytes.len() as u32;
+        self.records.extend_from_slice(&len.to_le_bytes()); // incl_len
+        self.records.extend_from_slice(&len.to_le_bytes()); // orig_len
+        self.records.extend_from_slice(frame_bytes);
+        self.count += 1;
+    }
+
+    fn ether_header(dst: Mac, src: Mac, ethertype: u16) -> Vec<u8> {
+        let mut b = Vec::with_capacity(14);
+        b.extend_from_slice(&dst.0);
+        b.extend_from_slice(&src.0);
+        b.extend_from_slice(&ethertype.to_be_bytes());
+        b
+    }
+
+    /// Record a captured 802.11 frame at time `at`.
+    pub fn record_frame(&mut self, at: SimTime, frame: &Frame) {
+        match &frame.kind {
+            FrameKind::Data { packet, .. } => {
+                let mut bytes = Self::ether_header(frame.dst, frame.src, ETHERTYPE_IPV4);
+                bytes.extend_from_slice(&codec::encode(packet));
+                self.push_record(at, &bytes);
+            }
+            other => {
+                let mut bytes = Self::ether_header(frame.dst, frame.src, ETHERTYPE_EXPERIMENTAL);
+                let label: &[u8] = match other {
+                    FrameKind::Beacon { .. } => b"BEACON",
+                    FrameKind::NullData { pm: true } => b"NULL+PM",
+                    FrameKind::NullData { pm: false } => b"NULL-PM",
+                    FrameKind::PsPoll => b"PSPOLL",
+                    FrameKind::Ack => b"ACK",
+                    FrameKind::Data { .. } => unreachable!("handled above"),
+                };
+                bytes.extend_from_slice(label);
+                self.push_record(at, &bytes);
+            }
+        }
+    }
+
+    /// Serialize the whole capture (global header + records).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.records.len());
+        out.extend_from_slice(&0xa1b2_c3d4u32.to_le_bytes()); // magic
+        out.extend_from_slice(&2u16.to_le_bytes()); // major
+        out.extend_from_slice(&4u16.to_le_bytes()); // minor
+        out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+        out.extend_from_slice(&1u32.to_le_bytes()); // linktype: Ethernet
+        out.extend_from_slice(&self.records);
+        out
+    }
+
+    /// Write the capture to a file.
+    pub fn write_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())
+    }
+}
+
+/// One record parsed back out of a pcap byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcapRecord {
+    /// Capture timestamp.
+    pub at: SimTime,
+    /// Destination MAC from the Ethernet header.
+    pub dst: Mac,
+    /// Source MAC from the Ethernet header.
+    pub src: Mac,
+    /// EtherType.
+    pub ethertype: u16,
+    /// The payload after the Ethernet header (IPv4 bytes for data
+    /// frames, the label for management frames).
+    pub payload: Vec<u8>,
+}
+
+impl PcapRecord {
+    /// Decode the payload as an IPv4 packet, if this is an IP record.
+    pub fn packet(&self) -> Option<crate::Packet> {
+        if self.ethertype != ETHERTYPE_IPV4 {
+            return None;
+        }
+        codec::decode(&self.payload).ok()
+    }
+}
+
+/// Errors from [`read_pcap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapReadError {
+    /// Shorter than the global header, or a record header/body cut off.
+    Truncated,
+    /// Magic number not the classic little-endian pcap magic.
+    BadMagic,
+    /// Link type is not Ethernet (this reader only handles what the
+    /// writer produces).
+    UnsupportedLinkType(u32),
+}
+
+impl std::fmt::Display for PcapReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapReadError::Truncated => write!(f, "pcap stream truncated"),
+            PcapReadError::BadMagic => write!(f, "bad pcap magic"),
+            PcapReadError::UnsupportedLinkType(l) => write!(f, "unsupported link type {l}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapReadError {}
+
+/// Parse a classic pcap byte stream produced by [`PcapWriter`] (or any
+/// little-endian Ethernet pcap) back into records.
+pub fn read_pcap(bytes: &[u8]) -> Result<Vec<PcapRecord>, PcapReadError> {
+    if bytes.len() < 24 {
+        return Err(PcapReadError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != 0xa1b2_c3d4 {
+        return Err(PcapReadError::BadMagic);
+    }
+    let linktype = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if linktype != 1 {
+        return Err(PcapReadError::UnsupportedLinkType(linktype));
+    }
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off < bytes.len() {
+        if off + 16 > bytes.len() {
+            return Err(PcapReadError::Truncated);
+        }
+        let secs = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4"));
+        let usecs = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4"));
+        let incl = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4")) as usize;
+        off += 16;
+        if off + incl > bytes.len() || incl < 14 {
+            return Err(PcapReadError::Truncated);
+        }
+        let frame = &bytes[off..off + incl];
+        off += incl;
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&frame[6..12]);
+        let ethertype = u16::from_be_bytes(frame[12..14].try_into().expect("2"));
+        out.push(PcapRecord {
+            at: SimTime::from_micros(u64::from(secs) * 1_000_000 + u64::from(usecs)),
+            dst: Mac(dst),
+            src: Mac(src),
+            ethertype,
+            payload: frame[14..].to_vec(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ip;
+    use crate::packet::{Packet, PacketTag, L4};
+
+    fn data_frame() -> Frame {
+        Frame::data(
+            1,
+            Mac::local(1),
+            Mac::local(2),
+            Packet {
+                id: 5,
+                src: Ip::new(10, 0, 0, 2),
+                dst: Ip::new(10, 0, 0, 1),
+                ttl: 64,
+                l4: L4::Udp {
+                    src_port: 1000,
+                    dst_port: 2000,
+                },
+                payload_len: 12,
+                tag: PacketTag::Other,
+            },
+            false,
+        )
+    }
+
+    #[test]
+    fn header_is_valid_pcap() {
+        let w = PcapWriter::new();
+        let b = w.to_bytes();
+        assert_eq!(b.len(), 24);
+        assert_eq!(&b[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(b[20..24].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn record_layout() {
+        let mut w = PcapWriter::new();
+        let at = SimTime::from_millis(1500); // 1.5 s
+        w.record_frame(at, &data_frame());
+        assert_eq!(w.count(), 1);
+        let b = w.to_bytes();
+        let rec = &b[24..];
+        let secs = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let usecs = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        assert_eq!(secs, 1);
+        assert_eq!(usecs, 500_000);
+        let incl = u32::from_le_bytes(rec[8..12].try_into().unwrap()) as usize;
+        assert_eq!(rec.len() - 16, incl);
+        // Ethernet header then IPv4 (0x45 first byte).
+        assert_eq!(&rec[16..22], &Mac::local(2).0);
+        assert_eq!(&rec[22..28], &Mac::local(1).0);
+        assert_eq!(u16::from_be_bytes(rec[28..30].try_into().unwrap()), 0x0800);
+        assert_eq!(rec[30], 0x45);
+    }
+
+    #[test]
+    fn ip_bytes_in_record_decode_back() {
+        let mut w = PcapWriter::new();
+        let f = data_frame();
+        w.record_frame(SimTime::from_millis(1), &f);
+        let b = w.to_bytes();
+        let ip = &b[24 + 16 + 14..];
+        let p = codec::decode(ip).unwrap();
+        assert_eq!(p.l4, f.packet().unwrap().l4);
+    }
+
+    #[test]
+    fn management_frames_use_experimental_ethertype() {
+        let mut w = PcapWriter::new();
+        w.record_frame(SimTime::ZERO, &Frame::beacon(1, Mac::local(0), vec![]));
+        let b = w.to_bytes();
+        let rec = &b[24..];
+        assert_eq!(u16::from_be_bytes(rec[28..30].try_into().unwrap()), 0x88B5);
+        assert_eq!(&rec[30..36], b"BEACON");
+    }
+
+    #[test]
+    fn read_back_what_we_wrote() {
+        let mut w = PcapWriter::new();
+        let f = data_frame();
+        w.record_frame(SimTime::from_micros(1234), &f);
+        w.record_frame(
+            SimTime::from_millis(2),
+            &Frame::beacon(2, Mac::local(0), vec![]),
+        );
+        let records = read_pcap(&w.to_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].at, SimTime::from_micros(1234));
+        assert_eq!(records[0].src, Mac::local(1));
+        assert_eq!(records[0].ethertype, 0x0800);
+        let p = records[0].packet().unwrap();
+        assert_eq!(p.l4, f.packet().unwrap().l4);
+        assert_eq!(records[1].ethertype, 0x88B5);
+        assert!(records[1].packet().is_none());
+        assert_eq!(records[1].payload, b"BEACON");
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert_eq!(read_pcap(&[0u8; 5]), Err(PcapReadError::Truncated));
+        let mut bad = PcapWriter::new().to_bytes();
+        bad[0] = 0;
+        assert_eq!(read_pcap(&bad), Err(PcapReadError::BadMagic));
+        let mut wrong_link = PcapWriter::new().to_bytes();
+        wrong_link[20] = 101;
+        assert!(matches!(
+            read_pcap(&wrong_link),
+            Err(PcapReadError::UnsupportedLinkType(101))
+        ));
+        // Truncated record body.
+        let mut w = PcapWriter::new();
+        w.record_frame(SimTime::ZERO, &data_frame());
+        let full = w.to_bytes();
+        assert_eq!(
+            read_pcap(&full[..full.len() - 3]),
+            Err(PcapReadError::Truncated)
+        );
+    }
+
+    #[test]
+    fn file_write_roundtrip() {
+        let mut w = PcapWriter::new();
+        w.record_frame(SimTime::from_micros(10), &data_frame());
+        let dir = std::env::temp_dir().join("wire_pcap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pcap");
+        w.write_to_file(&path).unwrap();
+        let read = std::fs::read(&path).unwrap();
+        assert_eq!(read, w.to_bytes());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the byte-level codec: arbitrary packets
+//! roundtrip, and any single-bit corruption is detected.
+
+use proptest::prelude::*;
+use wire::{codec, IcmpKind, Ip, Packet, PacketTag, TcpFlags, L4};
+
+fn arb_l4() -> impl Strategy<Value = L4> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(ident, seq)| L4::Icmp {
+            kind: IcmpKind::EchoRequest,
+            ident,
+            seq
+        }),
+        (any::<u16>(), any::<u16>()).prop_map(|(ident, seq)| L4::Icmp {
+            kind: IcmpKind::EchoReply,
+            ident,
+            seq
+        }),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(src_port, dst_port)| L4::Udp { src_port, dst_port }),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            0u8..32,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(src_port, dst_port, flags, seq, ack)| L4::Tcp {
+                src_port,
+                dst_port,
+                flags: TcpFlags(flags & 0x1f),
+                seq,
+                ack
+            }),
+    ]
+}
+
+prop_compose! {
+    fn arb_packet()(
+        id in any::<u64>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ttl in 1u8..=255,
+        l4 in arb_l4(),
+        payload_len in 0usize..256,
+    ) -> Packet {
+        Packet {
+            id,
+            src: Ip(src),
+            dst: Ip(dst),
+            ttl,
+            l4,
+            // Ids can only be recovered from payloads of >= 8 bytes; the
+            // roundtrip property accounts for that below.
+            payload_len,
+            tag: PacketTag::Other,
+        }
+    }
+}
+
+proptest! {
+    /// encode → decode recovers every header field.
+    #[test]
+    fn roundtrip(p in arb_packet()) {
+        let bytes = codec::encode(&p);
+        prop_assert_eq!(bytes.len(), p.wire_len());
+        let d = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(d.src, p.src);
+        prop_assert_eq!(d.dst, p.dst);
+        prop_assert_eq!(d.ttl, p.ttl);
+        prop_assert_eq!(d.l4, p.l4);
+        prop_assert_eq!(d.payload_len, p.payload_len);
+        if p.payload_len >= 8 {
+            prop_assert_eq!(d.id, p.id);
+        }
+    }
+
+    /// Any single bit flip anywhere in the datagram is detected by one of
+    /// the checks (version, length, IP checksum, or L4 checksum) or changes
+    /// the decode result; it can never silently decode to the same packet.
+    #[test]
+    fn bit_flips_never_pass_silently(p in arb_packet(), flip_byte in 0usize..64, flip_bit in 0u8..8) {
+        let bytes = codec::encode(&p);
+        let idx = flip_byte % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= 1 << flip_bit;
+        match codec::decode(&corrupted) {
+            Err(_) => {} // detected: good
+            Ok(d) => {
+                // Only acceptable if the flip landed somewhere that decode
+                // does not interpret as those header fields AND checksums
+                // still verify — which cannot happen for a single flip,
+                // because every decoded field is covered by a checksum.
+                // The one exception: payload bytes (covered by L4 checksum)
+                // — also impossible. So decoding OK means the packet must
+                // differ (it cannot; fail loudly).
+                prop_assert!(
+                    d.src != p.src || d.dst != p.dst || d.ttl != p.ttl || d.l4 != p.l4,
+                    "single-bit corruption at byte {idx} passed undetected"
+                );
+            }
+        }
+    }
+
+    /// Truncating the datagram always errors.
+    #[test]
+    fn truncation_detected(p in arb_packet(), cut in 1usize..32) {
+        let bytes = codec::encode(&p);
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(codec::decode(&bytes[..keep]).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property test: any sequence of frames written to pcap reads back with
+//! identical timestamps, addresses, and (for data frames) packets.
+
+use proptest::prelude::*;
+use simcore::SimTime;
+use wire::{read_pcap, Frame, Ip, Mac, Packet, PacketTag, PcapWriter, TcpFlags, L4};
+
+#[derive(Debug, Clone)]
+enum Spec {
+    Data { payload: usize, tcp: bool },
+    Beacon { tim: usize },
+    Null { pm: bool },
+    PsPoll,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        (0usize..200, any::<bool>()).prop_map(|(payload, tcp)| Spec::Data { payload, tcp }),
+        (0usize..4).prop_map(|tim| Spec::Beacon { tim }),
+        any::<bool>().prop_map(|pm| Spec::Null { pm }),
+        Just(Spec::PsPoll),
+    ]
+}
+
+fn build(spec: &Spec, i: u64) -> Frame {
+    let src = Mac::local(1 + (i % 3) as u16);
+    let dst = Mac::local(0);
+    match spec {
+        Spec::Data { payload, tcp } => {
+            let l4 = if *tcp {
+                L4::Tcp {
+                    src_port: 40_000 + i as u16,
+                    dst_port: 80,
+                    flags: TcpFlags::SYN,
+                    seq: i as u32,
+                    ack: 0,
+                }
+            } else {
+                L4::Udp {
+                    src_port: 30_000 + i as u16,
+                    dst_port: 7,
+                }
+            };
+            Frame::data(
+                i,
+                src,
+                dst,
+                Packet {
+                    id: 1000 + i,
+                    src: Ip::new(192, 168, 1, 100),
+                    dst: Ip::new(10, 0, 0, 1),
+                    ttl: 64,
+                    l4,
+                    payload_len: *payload,
+                    tag: PacketTag::Other,
+                },
+                false,
+            )
+        }
+        Spec::Beacon { tim } => {
+            Frame::beacon(i, dst, (0..*tim).map(|k| Mac::local(k as u16)).collect())
+        }
+        Spec::Null { pm } => Frame::null_data(i, src, dst, *pm),
+        Spec::PsPoll => Frame::ps_poll(i, src, dst),
+    }
+}
+
+proptest! {
+    #[test]
+    fn write_read_roundtrip(
+        specs in proptest::collection::vec(arb_spec(), 1..40),
+        stamps in proptest::collection::vec(0u64..10_000_000, 1..40),
+    ) {
+        let n = specs.len().min(stamps.len());
+        let mut sorted_stamps: Vec<u64> = stamps[..n].to_vec();
+        sorted_stamps.sort_unstable();
+        let mut w = PcapWriter::new();
+        let frames: Vec<Frame> = specs[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build(s, i as u64))
+            .collect();
+        for (f, &us) in frames.iter().zip(&sorted_stamps) {
+            w.record_frame(SimTime::from_micros(us), f);
+        }
+        let records = read_pcap(&w.to_bytes()).unwrap();
+        prop_assert_eq!(records.len(), n);
+        for ((rec, f), &us) in records.iter().zip(&frames).zip(&sorted_stamps) {
+            prop_assert_eq!(rec.at, SimTime::from_micros(us));
+            prop_assert_eq!(rec.src, f.src);
+            prop_assert_eq!(rec.dst, f.dst);
+            match f.packet() {
+                Some(p) => {
+                    let decoded = rec.packet().expect("ip record decodes");
+                    prop_assert_eq!(decoded.l4, p.l4);
+                    prop_assert_eq!(decoded.src, p.src);
+                    prop_assert_eq!(decoded.payload_len, p.payload_len);
+                }
+                None => prop_assert!(rec.packet().is_none()),
+            }
+        }
+    }
+}

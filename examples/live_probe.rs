@@ -1,0 +1,65 @@
+//! Run the *real-socket* AcuteMon against a local TCP server: the same
+//! warm-up + background-traffic choreography as the paper's app, over
+//! `std::net`, no root needed.
+//!
+//! By default it spins up a loopback acceptor to probe; pass an address
+//! (e.g. `192.168.1.1:80`) to measure something real — on a phone-grade
+//! WiFi link you should see the same stabilization the paper reports.
+//!
+//! ```sh
+//! cargo run --release --example live_probe [HOST:PORT]
+//! ```
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use acutemon_live::{run, LiveConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (target, _keepalive) = match arg {
+        Some(addr) => (addr.parse().expect("HOST:PORT"), None),
+        None => {
+            // Self-contained demo: a loopback acceptor.
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            listener.set_nonblocking(true).expect("nonblocking");
+            let stop = Arc::new(AtomicBool::new(false));
+            let s = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !s.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((c, _)) => drop(c),
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            });
+            println!("(no target given; probing a loopback acceptor at {addr})\n");
+            (addr, Some(stop))
+        }
+    };
+
+    let cfg = LiveConfig::new(target, 50)
+        // On loopback there is no gateway; TTL 8 keeps the demo clean.
+        // Against a real AP, keep the default TTL 1.
+        .with_warmup_ttl(if target.ip().is_loopback() { 8 } else { 1 });
+    let report = run(cfg).expect("measurement failed");
+
+    println!("probes:      {}", report.samples.len());
+    println!("completion:  {:.0}%", report.completion() * 100.0);
+    if let Some(s) = report.summary() {
+        println!(
+            "RTT:         {} ms (min {:.3}, max {:.3})",
+            s.cell(),
+            s.min,
+            s.max
+        );
+    }
+    println!(
+        "background:  {} warm-up + {} keep-awake datagrams, {} send errors",
+        report.bt.warmup_sent, report.bt.background_sent, report.bt.send_errors
+    );
+    println!("elapsed:     {:.1} ms", report.elapsed.as_secs_f64() * 1e3);
+}

@@ -1,0 +1,74 @@
+//! Explore the power-save timers of each phone model:
+//!
+//! 1. the sniffer-based `Tip` measurement of Table 4 (time from last data
+//!    activity to the PM=1 doze announcement), and
+//! 2. the app-level `Tis` training from §4.1's future work
+//!    ([`acutemon::TimeoutInferApp`]): sweep an idle gap and find the RTT
+//!    step where the bus wake appears — then derive a safe `db`.
+//!
+//! ```sh
+//! cargo run --release --example psm_explorer
+//! ```
+
+use acutemon::{estimate_tis, TimeoutInferApp, TimeoutInferConfig};
+use phone::{PhoneNode, RuntimeKind};
+use simcore::SimTime;
+use testbed::experiments::table4;
+use testbed::{addr, Testbed, TestbedConfig};
+
+fn main() {
+    println!("== Table 4 style: sniffer-measured PSM timeout per phone ==\n");
+    for (i, profile) in phone::all_phones().into_iter().enumerate() {
+        let row = table4::measure_phone(profile, 10, 100 + i as u64);
+        println!(
+            "{:<18} Tip ≈ {:>5.0} ms  (range {:>3.0}..{:<3.0})   L assoc {}  L actual {}",
+            row.phone,
+            row.tip_ms,
+            row.tip_range.0,
+            row.tip_range.1,
+            row.listen_assoc,
+            row.listen_actual
+        );
+    }
+
+    println!("\n== §4.1 training: app-level Tis inference (Nexus 5) ==\n");
+    let mut tb = Testbed::build(TestbedConfig::new(11, phone::nexus5(), 20));
+    let app = tb.install_app(
+        Box::new(TimeoutInferApp::new(TimeoutInferConfig::standard(
+            addr::SERVER,
+        ))),
+        RuntimeKind::Native,
+    );
+    tb.run_until(SimTime::from_secs(90));
+    let infer = tb
+        .sim
+        .node::<PhoneNode>(tb.phone)
+        .app::<TimeoutInferApp>(app);
+    println!("collected {} gap samples:", infer.samples.len());
+    let mut gaps: Vec<u64> = infer.samples.iter().map(|s| s.gap_ms).collect();
+    gaps.sort_unstable();
+    gaps.dedup();
+    for g in gaps {
+        let rtts: Vec<f64> = infer
+            .samples
+            .iter()
+            .filter(|s| s.gap_ms == g)
+            .map(|s| s.rtt_ms)
+            .collect();
+        let med = am_stats::median(&rtts).unwrap_or(0.0);
+        println!("  idle gap {g:>4} ms -> median probe RTT {med:>7.2} ms");
+    }
+    match estimate_tis(&infer.samples, 3.0) {
+        Some(est) => {
+            println!(
+                "\nestimate: Tis ≈ {:.0} ms (true: 50), baseline RTT {:.2} ms",
+                est.tis_ms, est.baseline_ms
+            );
+            println!(
+                "recommended background interval db = {:.0} ms (paper default: 20)",
+                est.recommended_db_ms
+            );
+        }
+        None => println!("\nno wake step found (bus sleep disabled?)"),
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 6 as an executable document: run AcuteMon with event tracing on
+//! and print the choreography — warm-up, SDIO wakes, background cadence,
+//! PSM transitions — straight from the simulator's trace.
+//!
+//! ```sh
+//! cargo run --release --example timeline
+//! ```
+
+use acutemon::{AcuteMonApp, AcuteMonConfig};
+use phone::PhoneNode;
+use simcore::{SimTime, Trace};
+use testbed::{addr, Testbed, TestbedConfig};
+use wire::FrameKind;
+
+fn main() {
+    let mut tb = Testbed::build(TestbedConfig::new(12, phone::samsung_grand(), 40));
+    tb.sim
+        .set_trace(Trace::capture_categories(vec!["sdio", "psm", "ap"]).with_cap(10_000));
+    let app = tb.install_app(
+        Box::new(AcuteMonApp::new(AcuteMonConfig::new(addr::SERVER, 8))),
+        phone::RuntimeKind::Native,
+    );
+    // Run past the measurement so the post-run demotions show too.
+    tb.run_until(SimTime::from_secs(3));
+
+    let phone_node = tb.sim.node::<PhoneNode>(tb.phone);
+    let am = phone_node.app::<AcuteMonApp>(app);
+    println!(
+        "Samsung Grand (Tis 50 ms, Tip ~45 ms), 40 ms path, K=8 probes, \
+         dpre=db=20 ms\n"
+    );
+
+    // Interleave trace events with the probe/BG schedule.
+    let mut events: Vec<(SimTime, String)> = Vec::new();
+    for e in tb.sim.trace().events() {
+        events.push((e.at, format!("[{}] {}", e.category, e.detail)));
+    }
+    for r in &am.records {
+        events.push((r.tou, format!("[mt] probe {} sent", r.probe)));
+        if let Some(tiu) = r.tiu {
+            events.push((
+                tiu,
+                format!(
+                    "[mt] probe {} done, du = {:.2} ms",
+                    r.probe,
+                    r.du_ms().expect("completed")
+                ),
+            ));
+        }
+    }
+    // First and last background/warm-up frames from the captures.
+    let index = tb.capture_index();
+    let mut bg_seen = 0u32;
+    for c in index.captures() {
+        if let FrameKind::Data { packet, .. } = &c.frame.kind {
+            match packet.tag {
+                wire::PacketTag::WarmUp => events.push((c.at, "[bt] warm-up packet on air".into())),
+                wire::PacketTag::Background => {
+                    bg_seen += 1;
+                    if bg_seen <= 3 {
+                        events.push((c.at, format!("[bt] background #{bg_seen} on air")));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    events.sort_by_key(|(t, _)| *t);
+    for (t, line) in &events {
+        println!("{:>10.3} ms  {}", t.as_ms_f64(), line);
+    }
+    println!(
+        "\n({} more background packets omitted; total {} + {} warm-up)",
+        am.bt.background_sent.saturating_sub(3),
+        am.bt.background_sent,
+        am.bt.warmup_sent
+    );
+}

@@ -1,0 +1,29 @@
+//! # acutemon-suite — umbrella crate
+//!
+//! Re-exports the whole reproduction workspace for
+//! *Demystifying and Puncturing the Inflated Delay in Smartphone-based
+//! WiFi Network Measurement* (Li, Wu, Chang, Mok — CoNEXT 2016) so that
+//! examples and downstream users can depend on one crate.
+//!
+//! * [`acutemon`] — the paper's contribution (warm-up + background
+//!   keep-awake measurement, timeout training, calibration);
+//! * [`acutemon_live`] — the same algorithm over real sockets;
+//! * [`testbed`] — the simulated Fig.-2 testbed and every experiment;
+//! * the substrates: [`simcore`], [`wire`], [`phone`], [`phy80211`],
+//!   [`netem`], [`sniffer`], [`measure`], [`am_stats`].
+//!
+//! Start with `README.md` and the `quickstart` example.
+
+#![warn(missing_docs)]
+
+pub use acutemon;
+pub use acutemon_live;
+pub use am_stats;
+pub use measure;
+pub use netem;
+pub use phone;
+pub use phy80211;
+pub use simcore;
+pub use sniffer;
+pub use testbed;
+pub use wire;
