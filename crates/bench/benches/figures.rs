@@ -1,73 +1,43 @@
 //! One benchmark per *figure* of the paper's evaluation, at reduced probe
 //! budgets per iteration.
 
-use am_bench::{BENCH_K, BENCH_SEED};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use am_bench::{black_box, Harness, BENCH_K, BENCH_SEED};
 use testbed::experiments::{ablations, fig7, fig8, fig9, ping_matrix};
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("figures");
     // Fig. 3 shares the Table-2 matrix; bench the box-stat extraction on
     // a fresh run (N4, 30 ms, 1 s: the in-and-out-of-phone mixture).
-    c.bench_function("fig3_cell_nexus4_30ms_1s", |b| {
-        b.iter(|| {
-            let run =
-                ping_matrix::run_ping(phone::nexus4(), 30, 1000, black_box(BENCH_K), BENCH_SEED);
-            black_box(run.breakdowns.len())
-        })
+    h.bench("fig3_cell_nexus4_30ms_1s", || {
+        let run = ping_matrix::run_ping(phone::nexus4(), 30, 1000, black_box(BENCH_K), BENCH_SEED);
+        black_box(run.breakdowns.len())
     });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_entry_grand_85ms", |b| {
-        b.iter(|| {
-            let e = fig7::run_entry(phone::samsung_grand(), 85, BENCH_K, BENCH_SEED);
-            black_box(e.dk_n.median)
-        })
+    h.bench("fig7_entry_grand_85ms", || {
+        let e = fig7::run_entry(phone::samsung_grand(), 85, BENCH_K, BENCH_SEED);
+        black_box(e.dk_n.median)
     });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_acutemon_no_cross", |b| {
-        b.iter(|| {
-            let curve = fig8::run_tool(fig8::Tool::AcuteMon, false, BENCH_K, BENCH_SEED);
-            black_box(curve.samples.len())
-        })
+    h.bench("fig8_acutemon_no_cross", || {
+        let curve = fig8::run_tool(fig8::Tool::AcuteMon, false, BENCH_K, BENCH_SEED);
+        black_box(curve.samples.len())
     });
     // The congested arm is the heavyweight: 25 Mbit/s of cross traffic
     // for the whole horizon.
-    c.bench_function("fig8_ping_with_cross_traffic", |b| {
-        b.iter(|| {
-            let curve = fig8::run_tool(fig8::Tool::Ping, true, BENCH_K, BENCH_SEED);
-            black_box(curve.samples.len())
-        })
+    h.bench("fig8_ping_with_cross_traffic", || {
+        let curve = fig8::run_tool(fig8::Tool::Ping, true, BENCH_K, BENCH_SEED);
+        black_box(curve.samples.len())
     });
+    h.bench("fig9_with_background", || {
+        let curve = fig9::run_arm(fig9::Arm::WithBackground, BENCH_K, BENCH_SEED);
+        black_box(curve.samples.len())
+    });
+    h.bench("ablation_ping2_comparison", || {
+        black_box(ablations::ping2_comparison(5, BENCH_SEED).len())
+    });
+    h.bench("ablation_cellular_rrc", || {
+        black_box(ablations::cellular(5, BENCH_SEED).len())
+    });
+    h.bench("ablation_loss_robustness", || {
+        black_box(ablations::loss_robustness(BENCH_K, BENCH_SEED).len())
+    });
+    h.finish();
 }
-
-fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("fig9_with_background", |b| {
-        b.iter(|| {
-            let curve = fig9::run_arm(fig9::Arm::WithBackground, BENCH_K, BENCH_SEED);
-            black_box(curve.samples.len())
-        })
-    });
-}
-
-fn bench_ablations(c: &mut Criterion) {
-    c.bench_function("ablation_ping2_comparison", |b| {
-        b.iter(|| black_box(ablations::ping2_comparison(5, BENCH_SEED).len()))
-    });
-    c.bench_function("ablation_cellular_rrc", |b| {
-        b.iter(|| black_box(ablations::cellular(5, BENCH_SEED).len()))
-    });
-    c.bench_function("ablation_loss_robustness", |b| {
-        b.iter(|| black_box(ablations::loss_robustness(BENCH_K, BENCH_SEED).len()))
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig3, bench_fig7, bench_fig8, bench_fig9, bench_ablations
-}
-criterion_main!(figures);

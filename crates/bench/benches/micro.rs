@@ -1,8 +1,7 @@
 //! Microbenchmarks of the substrates: event-loop throughput, codec,
 //! statistics, and the contention medium under saturation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use am_bench::{black_box, Harness};
 
 use simcore::{Ctx, Node, NodeId, Sim, SimDuration};
 use wire::{codec, Ip, Packet, PacketTag, TcpFlags, L4};
@@ -24,22 +23,17 @@ impl Node<u64> for Ticker {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    const EVENTS: u64 = 100_000;
-    let mut g = c.benchmark_group("simcore");
-    g.throughput(Throughput::Elements(EVENTS));
-    g.bench_function("timer_events", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            sim.add_node(Box::new(Ticker { remaining: EVENTS }));
-            sim.run_until_idle(EVENTS + 10);
-            black_box(sim.events_processed())
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut h = Harness::new("micro");
 
-fn bench_codec(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    h.bench("simcore/timer_events_100k", || {
+        let mut sim = Sim::new(1);
+        sim.add_node(Box::new(Ticker { remaining: EVENTS }));
+        sim.run_until_idle(EVENTS + 10);
+        black_box(sim.events_processed())
+    });
+
     let p = Packet {
         id: 0xDEAD_BEEF,
         src: Ip::new(192, 168, 1, 100),
@@ -56,93 +50,73 @@ fn bench_codec(c: &mut Criterion) {
         tag: PacketTag::Other,
     };
     let bytes = codec::encode(&p);
-    let mut g = c.benchmark_group("wire");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode_tcp_512B", |b| {
-        b.iter(|| black_box(codec::encode(&p)))
+    h.bench("wire/encode_tcp_512B", || black_box(codec::encode(&p)));
+    h.bench("wire/decode_tcp_512B", || {
+        black_box(codec::decode(&bytes).unwrap())
     });
-    g.bench_function("decode_tcp_512B", |b| {
-        b.iter(|| black_box(codec::decode(&bytes).unwrap()))
-    });
-    g.finish();
-}
 
-fn bench_stats(c: &mut Criterion) {
     let xs: Vec<f64> = (0..10_000)
         .map(|i| ((i * 37) % 1000) as f64 / 7.0)
         .collect();
-    let mut g = c.benchmark_group("am-stats");
-    g.throughput(Throughput::Elements(xs.len() as u64));
-    g.bench_function("boxstats_10k", |b| {
-        b.iter(|| black_box(am_stats::BoxStats::of(&xs)))
+    h.bench("am-stats/boxstats_10k", || {
+        black_box(am_stats::BoxStats::of(&xs))
     });
-    g.bench_function("summary_10k", |b| {
-        b.iter(|| black_box(am_stats::Summary::of(&xs)))
+    h.bench("am-stats/summary_10k", || {
+        black_box(am_stats::Summary::of(&xs))
     });
-    g.bench_function("ecdf_build_10k", |b| {
-        b.iter(|| black_box(am_stats::Ecdf::of(&xs)))
+    h.bench("am-stats/ecdf_build_10k", || {
+        black_box(am_stats::Ecdf::of(&xs))
     });
-    g.finish();
-}
 
-fn bench_medium_saturation(c: &mut Criterion) {
-    use phy80211::{MediumConfig, MediumNode};
-    use wire::{Frame, Mac, Msg};
-
-    c.bench_function("medium_1000_frames_2_senders", |b| {
-        b.iter(|| {
-            let mut sim: Sim<Msg> = Sim::new(3);
-            struct Quiet;
-            impl Node<Msg> for Quiet {
-                fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
-            }
-            let a = sim.add_node(Box::new(Quiet));
-            let bb = sim.add_node(Box::new(Quiet));
-            let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
-            sim.node_mut::<MediumNode>(medium).attach(a);
-            sim.node_mut::<MediumNode>(medium).attach(bb);
-            sim.node_mut::<MediumNode>(medium).queue_cap = 2000;
-            for i in 0..500u64 {
-                let pa = Packet {
-                    id: i,
-                    src: Ip::new(1, 1, 1, 1),
-                    dst: Ip::new(2, 2, 2, 2),
-                    ttl: 64,
-                    l4: L4::Udp {
-                        src_port: 1,
-                        dst_port: 2,
-                    },
-                    payload_len: 1400,
-                    tag: PacketTag::CrossTraffic,
-                };
-                sim.inject(
-                    a,
-                    medium,
-                    simcore::SimTime::ZERO,
-                    Msg::MediumTx(Frame::data(i, Mac::local(1), Mac::local(0), pa, false)),
-                );
-                sim.inject(
-                    bb,
-                    medium,
-                    simcore::SimTime::ZERO,
-                    Msg::MediumTx(Frame::data(
-                        1000 + i,
-                        Mac::local(2),
-                        Mac::local(0),
-                        pa,
-                        false,
-                    )),
-                );
-            }
-            sim.run_until_idle(100_000);
-            black_box(sim.events_processed())
-        })
+    h.bench("medium_1000_frames_2_senders", || {
+        use phy80211::{MediumConfig, MediumNode};
+        use wire::{Frame, Mac, Msg};
+        let mut sim: Sim<Msg> = Sim::new(3);
+        struct Quiet;
+        impl Node<Msg> for Quiet {
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let a = sim.add_node(Box::new(Quiet));
+        let bb = sim.add_node(Box::new(Quiet));
+        let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+        sim.node_mut::<MediumNode>(medium).attach(a);
+        sim.node_mut::<MediumNode>(medium).attach(bb);
+        sim.node_mut::<MediumNode>(medium).queue_cap = 2000;
+        for i in 0..500u64 {
+            let pa = Packet {
+                id: i,
+                src: Ip::new(1, 1, 1, 1),
+                dst: Ip::new(2, 2, 2, 2),
+                ttl: 64,
+                l4: L4::Udp {
+                    src_port: 1,
+                    dst_port: 2,
+                },
+                payload_len: 1400,
+                tag: PacketTag::CrossTraffic,
+            };
+            sim.inject(
+                a,
+                medium,
+                simcore::SimTime::ZERO,
+                Msg::MediumTx(Frame::data(i, Mac::local(1), Mac::local(0), pa, false)),
+            );
+            sim.inject(
+                bb,
+                medium,
+                simcore::SimTime::ZERO,
+                Msg::MediumTx(Frame::data(
+                    1000 + i,
+                    Mac::local(2),
+                    Mac::local(0),
+                    pa,
+                    false,
+                )),
+            );
+        }
+        sim.run_until_idle(100_000);
+        black_box(sim.events_processed())
     });
-}
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_engine, bench_codec, bench_stats, bench_medium_saturation
+    h.finish();
 }
-criterion_main!(micro);

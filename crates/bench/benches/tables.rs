@@ -2,53 +2,30 @@
 //! table's experiment at a reduced probe budget. Timings double as
 //! regression guards for the whole simulation stack.
 
-use am_bench::{BENCH_K, BENCH_SEED};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use am_bench::{black_box, Harness, BENCH_K, BENCH_SEED};
 use testbed::experiments::{ping_matrix, table3, table4, table5};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("tables");
     // One cell of the Table-2 matrix: Nexus 5, 60 ms, 1 s interval — the
     // cell where both wake mechanisms fire.
-    c.bench_function("table2_cell_nexus5_60ms_1s", |b| {
-        b.iter(|| {
-            let run =
-                ping_matrix::run_ping(phone::nexus5(), 60, 1000, black_box(BENCH_K), BENCH_SEED);
-            black_box(run.breakdowns.len())
-        })
+    h.bench("table2_cell_nexus5_60ms_1s", || {
+        let run = ping_matrix::run_ping(phone::nexus5(), 60, 1000, black_box(BENCH_K), BENCH_SEED);
+        black_box(run.breakdowns.len())
     });
-    c.bench_function("table2_full_matrix", |b| {
-        b.iter(|| black_box(ping_matrix::run(BENCH_K, BENCH_SEED).table2.len()))
+    h.bench("table2_full_matrix", || {
+        black_box(ping_matrix::run(BENCH_K, BENCH_SEED).table2.len())
     });
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_driver_hooks", |b| {
-        b.iter(|| black_box(table3::run(BENCH_K, BENCH_SEED).rows.len()))
+    h.bench("table3_driver_hooks", || {
+        black_box(table3::run(BENCH_K, BENCH_SEED).rows.len())
     });
-}
-
-fn bench_table4(c: &mut Criterion) {
-    c.bench_function("table4_tip_one_phone", |b| {
-        b.iter(|| {
-            let row = table4::measure_phone(phone::nexus4(), 6, BENCH_SEED);
-            black_box(row.tip_ms)
-        })
+    h.bench("table4_tip_one_phone", || {
+        let row = table4::measure_phone(phone::nexus4(), 6, BENCH_SEED);
+        black_box(row.tip_ms)
     });
-}
-
-fn bench_table5(c: &mut Criterion) {
-    c.bench_function("table5_cell_nexus4_135ms", |b| {
-        b.iter(|| {
-            let cell = table5::run_cell(phone::nexus4(), 135, BENCH_K, BENCH_SEED);
-            black_box(cell.dn.mean)
-        })
+    h.bench("table5_cell_nexus4_135ms", || {
+        let cell = table5::run_cell(phone::nexus4(), 135, BENCH_K, BENCH_SEED);
+        black_box(cell.dn.mean)
     });
+    h.finish();
 }
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2, bench_table3, bench_table4, bench_table5
-}
-criterion_main!(tables);

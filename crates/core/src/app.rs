@@ -19,7 +19,8 @@ use simcore::SimTime;
 use wire::{IcmpKind, Packet, PacketTag, TcpFlags, L4};
 
 use crate::config::{AcuteMonConfig, ProbeKind};
-use measure::RttRecord;
+use measure::{ProbeMetrics, RttRecord};
+use obs::{Counter, Registry};
 
 const TAG_MT_START: u32 = 1;
 const TAG_BG: u32 = 2;
@@ -34,6 +35,25 @@ pub struct BtStats {
     pub background_sent: u64,
 }
 
+/// Telemetry handles for one AcuteMon session (`acutemon.*`).
+/// Defaults to disabled no-op handles.
+#[derive(Default)]
+struct AmMetrics {
+    probes: ProbeMetrics,
+    warmup_sent: Counter,
+    background_sent: Counter,
+}
+
+impl AmMetrics {
+    fn from_registry(reg: &Registry) -> AmMetrics {
+        AmMetrics {
+            probes: ProbeMetrics::from_registry(reg, "acutemon"),
+            warmup_sent: reg.counter("acutemon.warmup_sent"),
+            background_sent: reg.counter("acutemon.background_sent"),
+        }
+    }
+}
+
 /// The AcuteMon app.
 pub struct AcuteMonApp {
     cfg: AcuteMonConfig,
@@ -44,6 +64,7 @@ pub struct AcuteMonApp {
     sent: u32,
     bt_active: bool,
     finished_at: Option<SimTime>,
+    metrics: AmMetrics,
 }
 
 impl AcuteMonApp {
@@ -56,7 +77,14 @@ impl AcuteMonApp {
             sent: 0,
             bt_active: false,
             finished_at: None,
+            metrics: AmMetrics::default(),
         }
+    }
+
+    /// Register this session's telemetry (`measure.acutemon.*` probe
+    /// counters plus `acutemon.{warmup,background}_sent`) in `reg`.
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        self.metrics = AmMetrics::from_registry(reg);
     }
 
     /// The configuration.
@@ -90,8 +118,10 @@ impl AcuteMonApp {
         );
         if warmup {
             self.bt.warmup_sent += 1;
+            self.metrics.warmup_sent.inc();
         } else {
             self.bt.background_sent += 1;
+            self.metrics.background_sent.inc();
         }
     }
 
@@ -129,6 +159,7 @@ impl AcuteMonApp {
             ProbeKind::TcpConnect => 0,
         };
         let id = ctx.send(self.cfg.target, 64, l4, payload, PacketTag::Probe(n));
+        self.metrics.probes.on_send();
         self.records.push(RttRecord {
             probe: n,
             req_id: id,
@@ -212,7 +243,9 @@ impl App for AcuteMonApp {
         let now = ctx.now();
         rec.resp_id = Some(packet.id);
         rec.tiu = Some(now);
-        rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+        let rtt = now.saturating_since(rec.tou).as_ms_f64();
+        rec.reported_ms = Some(rtt);
+        self.metrics.probes.on_reply(rtt);
         if idx as u32 + 1 == self.sent {
             // The latest outstanding probe completed: fire the next one.
             self.advance_mt(ctx);

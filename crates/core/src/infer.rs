@@ -234,7 +234,6 @@ mod tests {
     use netem::{LinkNode, LinkParams, ServerConfig, ServerNode};
     use phone::{PhoneNode, RuntimeKind};
     use simcore::{Sim, SimTime};
-    
 
     #[test]
     fn estimate_from_synthetic_step() {

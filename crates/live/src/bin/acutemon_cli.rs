@@ -5,26 +5,35 @@
 //! acutemon-cli HOST:PORT [--k N] [--dpre MS] [--db MS] [--ttl N]
 //!              [--probe tcp|udp] [--timeout MS] [--no-background]
 //!              [--warmup-dst HOST:PORT] [--json]
+//!              [--metrics-json] [--metrics-text] [-v] [--quiet]
 //! ```
 //!
 //! Defaults mirror the paper: K=100, dpre=db=20 ms, warm-up TTL 1 (the
 //! keep-awake datagrams die at your gateway), TCP-connect probing.
+//!
+//! `--metrics-json` / `--metrics-text` append the session's telemetry
+//! snapshot (`live.*` counters and the per-probe RTT histogram) to
+//! stdout as JSON lines or Prometheus-style text.
 
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use acutemon_live::{run, LiveConfig, LiveProbe};
+use acutemon_live::{run_with_registry, LiveConfig, LiveProbe};
+use obs::{error, info, Registry};
 
 struct Cli {
     cfg: LiveConfig,
     json: bool,
+    metrics_json: bool,
+    metrics_text: bool,
 }
 
 fn usage() -> ! {
-    eprintln!(
+    error!(
         "usage: acutemon-cli HOST:PORT [--k N] [--dpre MS] [--db MS] [--ttl N]\n\
          \x20                [--probe tcp|udp] [--timeout MS] [--no-background]\n\
-         \x20                [--warmup-dst HOST:PORT] [--json]"
+         \x20                [--warmup-dst HOST:PORT] [--json]\n\
+         \x20                [--metrics-json] [--metrics-text] [-v] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -36,14 +45,18 @@ fn parse() -> Cli {
         usage();
     }
     let target: SocketAddr = target.parse().unwrap_or_else(|_| {
-        eprintln!("acutemon-cli: bad target address (need HOST:PORT)");
+        error!("acutemon-cli: bad target address (need HOST:PORT)");
         std::process::exit(2);
     });
     let mut cfg = LiveConfig::new(target, 100);
     let mut json = false;
+    let mut metrics_json = false;
+    let mut metrics_text = false;
+    let mut quiet = false;
+    let mut verbosity = 0u8;
     let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
         args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-            eprintln!("acutemon-cli: {what} needs a number");
+            error!("acutemon-cli: {what} needs a number");
             std::process::exit(2);
         })
     };
@@ -69,18 +82,33 @@ fn parse() -> Cli {
                     .unwrap_or_else(|| usage())
             }
             "--json" => json = true,
+            "--metrics-json" => metrics_json = true,
+            "--metrics-text" => metrics_text = true,
+            "--quiet" | "-q" => quiet = true,
+            "-v" | "--verbose" => verbosity += 1,
             _ => usage(),
         }
     }
-    Cli { cfg, json }
+    obs::log::init_from_flags(quiet, verbosity);
+    Cli {
+        cfg,
+        json,
+        metrics_json,
+        metrics_text,
+    }
 }
 
 fn main() {
     let cli = parse();
-    let report = match run(cli.cfg) {
+    let registry = if cli.metrics_json || cli.metrics_text {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let report = match run_with_registry(cli.cfg, &registry) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("acutemon-cli: {e}");
+            error!("acutemon-cli: {e}");
             std::process::exit(1);
         }
     };
@@ -97,23 +125,29 @@ fn main() {
             report.elapsed.as_secs_f64() * 1e3,
             rtts.join(",")
         );
-        return;
+    } else {
+        info!("probes:      {}", report.samples.len());
+        info!("completion:  {:.0}%", report.completion() * 100.0);
+        match report.summary() {
+            Some(s) => info!(
+                "RTT:         {} ms  (min {:.3}, max {:.3}, n {})",
+                s.cell(),
+                s.min,
+                s.max,
+                s.n
+            ),
+            None => info!("RTT:         no probe completed"),
+        }
+        info!(
+            "background:  {} warm-up + {} keep-awake, {} send errors",
+            report.bt.warmup_sent, report.bt.background_sent, report.bt.send_errors
+        );
+        info!("elapsed:     {:.1} ms", report.elapsed.as_secs_f64() * 1e3);
     }
-    println!("probes:      {}", report.samples.len());
-    println!("completion:  {:.0}%", report.completion() * 100.0);
-    match report.summary() {
-        Some(s) => println!(
-            "RTT:         {} ms  (min {:.3}, max {:.3}, n {})",
-            s.cell(),
-            s.min,
-            s.max,
-            s.n
-        ),
-        None => println!("RTT:         no probe completed"),
+    if cli.metrics_json {
+        print!("{}", obs::export::json_lines(&registry.snapshot()));
     }
-    println!(
-        "background:  {} warm-up + {} keep-awake, {} send errors",
-        report.bt.warmup_sent, report.bt.background_sent, report.bt.send_errors
-    );
-    println!("elapsed:     {:.1} ms", report.elapsed.as_secs_f64() * 1e3);
+    if cli.metrics_text {
+        print!("{}", obs::export::prometheus(&registry.snapshot()));
+    }
 }

@@ -3,7 +3,7 @@
 //! (for `--probe udp`) on one port number.
 //!
 //! ```text
-//! acutemon-echo [PORT]      # default 7777
+//! acutemon-echo [PORT] [-v] [--quiet]      # default port 7777
 //! ```
 //!
 //! Run this on the machine you want to measure towards, then point
@@ -14,39 +14,46 @@ use std::net::{TcpListener, UdpSocket};
 use std::thread;
 use std::time::Duration;
 
+use obs::{error, info, warn};
+
 fn main() {
-    let port: u16 = std::env::args()
-        .nth(1)
-        .map(|p| {
-            p.parse().unwrap_or_else(|_| {
-                eprintln!("acutemon-echo: bad port {p}");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or(7777);
+    let mut port: u16 = 7777;
+    let mut quiet = false;
+    let mut verbosity = 0u8;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "-v" | "--verbose" => verbosity += 1,
+            p => {
+                port = p.parse().unwrap_or_else(|_| {
+                    error!("acutemon-echo: bad port {p}");
+                    std::process::exit(2);
+                })
+            }
+        }
+    }
+    obs::log::init_from_flags(quiet, verbosity);
 
     let tcp = TcpListener::bind(("0.0.0.0", port)).unwrap_or_else(|e| {
-        eprintln!("acutemon-echo: tcp bind :{port}: {e}");
+        error!("acutemon-echo: tcp bind :{port}: {e}");
         std::process::exit(1);
     });
     let udp = UdpSocket::bind(("0.0.0.0", port)).unwrap_or_else(|e| {
-        eprintln!("acutemon-echo: udp bind :{port}: {e}");
+        error!("acutemon-echo: udp bind :{port}: {e}");
         std::process::exit(1);
     });
-    eprintln!("acutemon-echo: serving TCP accept + UDP echo on :{port}");
+    info!("acutemon-echo: serving TCP accept + UDP echo on :{port}");
 
     // TCP: accept, drain whatever arrives briefly, close. The connect
     // completing is all the prober needs.
     thread::spawn(move || {
-        for stream in tcp.incoming() {
-            if let Ok(mut s) = stream {
-                let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
-                thread::spawn(move || {
-                    let mut buf = [0u8; 512];
-                    let _ = s.read(&mut buf);
-                    // Dropped: RST/FIN closes the probe connection.
-                });
-            }
+        for mut s in tcp.incoming().flatten() {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+            thread::spawn(move || {
+                let mut buf = [0u8; 512];
+                let _ = s.read(&mut buf);
+                // Dropped: RST/FIN closes the probe connection.
+            });
         }
     });
 
@@ -58,7 +65,7 @@ fn main() {
                 let _ = udp.send_to(&buf[..n], from);
             }
             Err(e) => {
-                eprintln!("acutemon-echo: udp recv: {e}");
+                warn!("acutemon-echo: udp recv: {e}");
                 thread::sleep(Duration::from_millis(10));
             }
         }

@@ -4,14 +4,37 @@
 
 use std::io;
 use std::net::{TcpStream, UdpSocket};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use obs::Registry;
 
 use crate::config::{LiveConfig, LiveProbe};
+
+/// Telemetry handles for a live session (`live.*`). Defaults to
+/// disabled no-op handles.
+#[derive(Default)]
+struct LiveMetrics {
+    probes_sent: obs::Counter,
+    probes_received: obs::Counter,
+    warmup_sent: obs::Counter,
+    background_sent: obs::Counter,
+    rtt_ms: obs::Histogram,
+}
+
+impl LiveMetrics {
+    fn from_registry(reg: &Registry) -> LiveMetrics {
+        LiveMetrics {
+            probes_sent: reg.counter("live.probes_sent"),
+            probes_received: reg.counter("live.probes_received"),
+            warmup_sent: reg.counter("live.warmup_sent"),
+            background_sent: reg.counter("live.background_sent"),
+            rtt_ms: reg.histogram_ms("live.rtt_ms"),
+        }
+    }
+}
 
 /// One probe's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,13 +92,21 @@ impl LiveReport {
 
 /// The background thread body: one warm-up datagram, then keep-awake
 /// datagrams every `db` until `stop` fires.
-fn bt_loop(cfg: LiveConfig, stats: Arc<Mutex<LiveBtStats>>, stop: Receiver<()>) -> io::Result<()> {
+fn bt_loop(
+    cfg: LiveConfig,
+    stats: Arc<Mutex<LiveBtStats>>,
+    metrics: Arc<LiveMetrics>,
+    stop: Receiver<()>,
+) -> io::Result<()> {
     let socket = UdpSocket::bind("0.0.0.0:0")?;
     socket.set_ttl(cfg.warmup_ttl)?;
     // Warm-up packet.
     match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
-        Ok(_) => stats.lock().warmup_sent += 1,
-        Err(_) => stats.lock().send_errors += 1,
+        Ok(_) => {
+            stats.lock().unwrap().warmup_sent += 1;
+            metrics.warmup_sent.inc();
+        }
+        Err(_) => stats.lock().unwrap().send_errors += 1,
     }
     if !cfg.background_enabled {
         // Warm-up only: wait for the stop signal so the session still
@@ -87,16 +118,19 @@ fn bt_loop(cfg: LiveConfig, stats: Arc<Mutex<LiveBtStats>>, stop: Receiver<()>) 
         // `recv_timeout` doubles as the db pacing clock.
         match stop.recv_timeout(cfg.db) {
             Ok(()) => return Ok(()),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+            Err(RecvTimeoutError::Timeout) => {
                 match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
-                    Ok(_) => stats.lock().background_sent += 1,
+                    Ok(_) => {
+                        stats.lock().unwrap().background_sent += 1;
+                        metrics.background_sent.inc();
+                    }
                     // With TTL=1 the kernel may surface the gateway's ICMP
                     // Time Exceeded as an error on the next send; that is
                     // exactly the by-design behaviour — count and go on.
-                    Err(_) => stats.lock().send_errors += 1,
+                    Err(_) => stats.lock().unwrap().send_errors += 1,
                 }
             }
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return Ok(()),
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
         }
     }
 }
@@ -142,26 +176,38 @@ fn probe_once(cfg: &LiveConfig, probe: u32) -> Option<f64> {
 /// Run a complete AcuteMon session over real sockets: start the BT, wait
 /// `dpre`, fire `K` sequential probes, stop the BT.
 pub fn run(cfg: LiveConfig) -> io::Result<LiveReport> {
+    run_with_registry(cfg, &Registry::disabled())
+}
+
+/// Like [`run`], recording per-probe telemetry (`live.*`) into `reg`.
+pub fn run_with_registry(cfg: LiveConfig, reg: &Registry) -> io::Result<LiveReport> {
+    let metrics = Arc::new(LiveMetrics::from_registry(reg));
     let stats = Arc::new(Mutex::new(LiveBtStats::default()));
-    let (stop_tx, stop_rx): (Sender<()>, Receiver<()>) = bounded(1);
+    let (stop_tx, stop_rx): (SyncSender<()>, Receiver<()>) = sync_channel(1);
     let bt_cfg = cfg.clone();
     let bt_stats = Arc::clone(&stats);
+    let bt_metrics = Arc::clone(&metrics);
     let bt = thread::Builder::new()
         .name("acutemon-bt".into())
-        .spawn(move || bt_loop(bt_cfg, bt_stats, stop_rx))?;
+        .spawn(move || bt_loop(bt_cfg, bt_stats, bt_metrics, stop_rx))?;
 
     thread::sleep(cfg.dpre);
     let t_start = Instant::now();
     let mut samples = Vec::with_capacity(cfg.k as usize);
     for probe in 0..cfg.k {
+        metrics.probes_sent.inc();
         let rtt_ms = probe_once(&cfg, probe);
+        if let Some(ms) = rtt_ms {
+            metrics.probes_received.inc();
+            metrics.rtt_ms.observe(ms);
+        }
         samples.push(LiveSample { probe, rtt_ms });
     }
     let elapsed = t_start.elapsed();
 
     let _ = stop_tx.send(());
     let _ = bt.join().expect("bt thread panicked");
-    let bt_stats = *stats.lock();
+    let bt_stats = *stats.lock().unwrap();
     Ok(LiveReport {
         samples,
         bt: bt_stats,

@@ -7,6 +7,7 @@ use phone::{App, AppCtx};
 use simcore::SimDuration;
 use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
 
+use crate::metrics::ProbeMetrics;
 use crate::record::RttRecord;
 
 /// httping configuration.
@@ -45,6 +46,7 @@ pub struct HttpingApp {
     /// Per-probe records.
     pub records: Vec<RttRecord>,
     sent: u32,
+    metrics: ProbeMetrics,
 }
 
 impl HttpingApp {
@@ -54,7 +56,13 @@ impl HttpingApp {
             cfg,
             records: Vec::new(),
             sent: 0,
+            metrics: ProbeMetrics::default(),
         }
+    }
+
+    /// Register this session's telemetry as `measure.httping.*` in `reg`.
+    pub fn attach_metrics(&mut self, reg: &obs::Registry) {
+        self.metrics = ProbeMetrics::from_registry(reg, "httping");
     }
 
     fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
@@ -72,6 +80,7 @@ impl HttpingApp {
             0,
             PacketTag::Probe(self.sent),
         );
+        self.metrics.on_send();
         self.records.push(RttRecord {
             probe: self.sent,
             req_id: id,
@@ -124,7 +133,9 @@ impl App for HttpingApp {
         let now = ctx.now();
         rec.resp_id = Some(packet.id);
         rec.tiu = Some(now);
-        rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+        let rtt = now.saturating_since(rec.tou).as_ms_f64();
+        rec.reported_ms = Some(rtt);
+        self.metrics.on_reply(rtt);
     }
 
     fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {

@@ -9,6 +9,7 @@ use phone::{App, AppCtx};
 use simcore::SimDuration;
 use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
 
+use crate::metrics::ProbeMetrics;
 use crate::record::RttRecord;
 
 /// Java-ping configuration.
@@ -48,6 +49,7 @@ pub struct JavaPingApp {
     /// Per-probe records.
     pub records: Vec<RttRecord>,
     sent: u32,
+    metrics: ProbeMetrics,
 }
 
 impl JavaPingApp {
@@ -57,7 +59,13 @@ impl JavaPingApp {
             cfg,
             records: Vec::new(),
             sent: 0,
+            metrics: ProbeMetrics::default(),
         }
+    }
+
+    /// Register this session's telemetry as `measure.javaping.*` in `reg`.
+    pub fn attach_metrics(&mut self, reg: &obs::Registry) {
+        self.metrics = ProbeMetrics::from_registry(reg, "javaping");
     }
 
     fn probe_for_port(&self, dst_port: u16) -> Option<usize> {
@@ -80,6 +88,7 @@ impl JavaPingApp {
             0,
             PacketTag::Probe(self.sent),
         );
+        self.metrics.on_send();
         self.records.push(RttRecord {
             probe: self.sent,
             req_id: id,
@@ -127,7 +136,9 @@ impl App for JavaPingApp {
         let now = ctx.now();
         rec.resp_id = Some(packet.id);
         rec.tiu = Some(now);
-        rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+        let rtt = now.saturating_since(rec.tou).as_ms_f64();
+        rec.reported_ms = Some(rtt);
+        self.metrics.on_reply(rtt);
     }
 
     fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {

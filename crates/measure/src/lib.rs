@@ -22,6 +22,7 @@
 
 mod httping;
 mod javaping;
+mod metrics;
 mod mobiperf_http;
 mod ping;
 mod ping2;
@@ -31,6 +32,7 @@ mod testutil;
 
 pub use httping::{HttpingApp, HttpingConfig};
 pub use javaping::{JavaPingApp, JavaPingConfig};
+pub use metrics::ProbeMetrics;
 pub use mobiperf_http::{MobiperfHttpApp, MobiperfHttpConfig};
 pub use ping::{PingApp, PingConfig};
 pub use ping2::{Ping2Config, Ping2Prober, Ping2Record};

@@ -11,6 +11,7 @@ use phone::{App, AppCtx};
 use simcore::SimDuration;
 use wire::{Ip, Packet, PacketTag, TcpFlags, L4};
 
+use crate::metrics::ProbeMetrics;
 use crate::record::RttRecord;
 
 /// Configuration for the HttpURLConnection prober.
@@ -54,6 +55,7 @@ pub struct MobiperfHttpApp {
     /// HTTP responses received (the GET after the handshake).
     pub http_responses: u64,
     sent: u32,
+    metrics: ProbeMetrics,
 }
 
 impl MobiperfHttpApp {
@@ -64,7 +66,14 @@ impl MobiperfHttpApp {
             records: Vec::new(),
             http_responses: 0,
             sent: 0,
+            metrics: ProbeMetrics::default(),
         }
+    }
+
+    /// Register this session's telemetry as `measure.mobiperf_http.*`
+    /// in `reg`.
+    pub fn attach_metrics(&mut self, reg: &obs::Registry) {
+        self.metrics = ProbeMetrics::from_registry(reg, "mobiperf_http");
     }
 
     fn probe_for_port(&self, dst_port: u16) -> Option<usize> {
@@ -87,6 +96,7 @@ impl MobiperfHttpApp {
             0,
             PacketTag::Probe(self.sent),
         );
+        self.metrics.on_send();
         self.records.push(RttRecord {
             probe: self.sent,
             req_id: id,
@@ -146,7 +156,9 @@ impl App for MobiperfHttpApp {
             if rec.tiu.is_none() {
                 rec.resp_id = Some(packet.id);
                 rec.tiu = Some(now);
-                rec.reported_ms = Some(now.saturating_since(rec.tou).as_ms_f64());
+                let rtt = now.saturating_since(rec.tou).as_ms_f64();
+                rec.reported_ms = Some(rtt);
+                self.metrics.on_reply(rtt);
             }
             // ...and HttpURLConnection then actually issues the GET.
             self.send_get(ctx, dst_port, seq.wrapping_add(1));

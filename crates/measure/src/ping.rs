@@ -8,6 +8,7 @@ use phone::{App, AppCtx};
 use simcore::{SimDuration, SimTime};
 use wire::{IcmpKind, Ip, Packet, PacketTag, L4};
 
+use crate::metrics::ProbeMetrics;
 use crate::record::{ping_report_quirk, RttRecord};
 
 /// Ping configuration.
@@ -53,6 +54,7 @@ pub struct PingApp {
     pub records: Vec<RttRecord>,
     sent: u32,
     finished_at: Option<SimTime>,
+    metrics: ProbeMetrics,
 }
 
 impl PingApp {
@@ -63,7 +65,13 @@ impl PingApp {
             records: Vec::new(),
             sent: 0,
             finished_at: None,
+            metrics: ProbeMetrics::default(),
         }
+    }
+
+    /// Register this session's telemetry as `measure.ping.*` in `reg`.
+    pub fn attach_metrics(&mut self, reg: &obs::Registry) {
+        self.metrics = ProbeMetrics::from_registry(reg, "ping");
     }
 
     /// When the last probe completed or timed out (None while running).
@@ -84,6 +92,7 @@ impl PingApp {
             self.cfg.payload,
             PacketTag::Probe(self.sent),
         );
+        self.metrics.on_send();
         self.records.push(RttRecord {
             probe: self.sent,
             req_id: id,
@@ -132,6 +141,7 @@ impl App for PingApp {
         rec.tiu = Some(now);
         let du = now.saturating_since(rec.tou).as_ms_f64();
         rec.reported_ms = Some(ping_report_quirk(du, ctx.profile().ping_integer_rounding));
+        self.metrics.on_reply(du);
         if self.sent == self.cfg.count && self.records.iter().all(|r| r.completed()) {
             self.finished_at = Some(now);
         }
@@ -140,10 +150,9 @@ impl App for PingApp {
     fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_>, tag: u32) {
         match tag {
             TAG_SEND => self.send_probe(ctx),
-            TAG_DEADLINE
-                if self.finished_at.is_none() => {
-                    self.finished_at = Some(ctx.now());
-                }
+            TAG_DEADLINE if self.finished_at.is_none() => {
+                self.finished_at = Some(ctx.now());
+            }
             _ => {}
         }
     }

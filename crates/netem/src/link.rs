@@ -3,8 +3,30 @@
 //! nRTTs of 20–135 ms; experiments here do the same with a [`LinkNode`]
 //! in front of the measurement server.
 
+use obs::{Counter, Gauge, Registry};
 use simcore::{Ctx, LatencyDist, Node, NodeId, SimDuration};
 use wire::Msg;
+
+/// Telemetry handles for one link (`netem.link.<label>.*`). Defaults to
+/// disabled no-op handles.
+#[derive(Default)]
+struct LinkMetrics {
+    forwarded: Counter,
+    lost: Counter,
+    /// Serialization backlog on the wire after the most recent enqueue,
+    /// µs (0 when the link is unlimited).
+    occupancy_us: Gauge,
+}
+
+impl LinkMetrics {
+    fn from_registry(reg: &Registry, label: &str) -> LinkMetrics {
+        LinkMetrics {
+            forwarded: reg.counter(&format!("netem.link.{label}.forwarded")),
+            lost: reg.counter(&format!("netem.link.{label}.lost")),
+            occupancy_us: reg.gauge(&format!("netem.link.{label}.occupancy_us")),
+        }
+    }
+}
 
 /// Link parameters.
 #[derive(Debug, Clone)]
@@ -70,6 +92,7 @@ pub struct LinkNode {
     busy_until: [simcore::SimTime; 2],
     /// Counters.
     pub stats: LinkStats,
+    metrics: LinkMetrics,
 }
 
 impl LinkNode {
@@ -81,7 +104,14 @@ impl LinkNode {
             b: None,
             busy_until: [simcore::SimTime::ZERO; 2],
             stats: LinkStats::default(),
+            metrics: LinkMetrics::default(),
         }
+    }
+
+    /// Register this link's telemetry as `netem.link.<label>.*` in `reg`.
+    /// Without this call every metric handle is a disabled no-op.
+    pub fn attach_metrics(&mut self, reg: &Registry, label: &str) {
+        self.metrics = LinkMetrics::from_registry(reg, label);
     }
 
     /// Connect the two endpoints.
@@ -124,9 +154,11 @@ impl Node<Msg> for LinkNode {
         let loss = self.params.loss;
         if loss > 0.0 && ctx.rng().chance(loss) {
             self.stats.lost += 1;
+            self.metrics.lost.inc();
             return;
         }
         self.stats.forwarded += 1;
+        self.metrics.forwarded.inc();
         let mut d = self.one_way(ctx);
         if let Some(rate) = self.params.rate_mbps {
             // Serialization: the packet occupies the wire for size/rate
@@ -136,7 +168,11 @@ impl Node<Msg> for LinkNode {
             let xmit = SimDuration::from_us_f64(packet.wire_len() as f64 * 8.0 / rate);
             let start = self.busy_until[dir].max(now);
             self.busy_until[dir] = start + xmit;
-            d = d + self.busy_until[dir].saturating_since(now);
+            let backlog = self.busy_until[dir].saturating_since(now);
+            self.metrics
+                .occupancy_us
+                .set((backlog.as_nanos() / 1_000) as i64);
+            d += backlog;
         }
         ctx.send(out, d, Msg::Wire(packet));
     }

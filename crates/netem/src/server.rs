@@ -15,8 +15,28 @@
 
 use std::collections::HashSet;
 
+use obs::{Counter, Registry};
 use simcore::{Ctx, LatencyDist, Node, NodeId};
 use wire::{IcmpKind, Ip, Msg, Packet, PacketIdGen, PacketTag, TcpFlags, L4};
+
+/// Telemetry handles for a server (`netem.server.*`). Defaults to
+/// disabled no-op handles.
+#[derive(Default)]
+struct ServerMetrics {
+    requests: Counter,
+    responses: Counter,
+    discarded: Counter,
+}
+
+impl ServerMetrics {
+    fn from_registry(reg: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            requests: reg.counter("netem.server.requests"),
+            responses: reg.counter("netem.server.responses"),
+            discarded: reg.counter("netem.server.discarded"),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +92,7 @@ pub struct ServerNode {
     ids: PacketIdGen,
     /// Counters.
     pub stats: ServerStats,
+    metrics: ServerMetrics,
 }
 
 impl ServerNode {
@@ -81,7 +102,14 @@ impl ServerNode {
             cfg,
             ids: PacketIdGen::new(source),
             stats: ServerStats::default(),
+            metrics: ServerMetrics::default(),
         }
+    }
+
+    /// Register this server's telemetry (`netem.server.*`) in `reg`.
+    /// Without this call every metric handle is a disabled no-op.
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        self.metrics = ServerMetrics::from_registry(reg);
     }
 
     fn reply_tag(req: &Packet) -> PacketTag {
@@ -94,6 +122,7 @@ impl ServerNode {
     fn respond(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, req: &Packet, l4: L4, len: usize) {
         let reply = req.reply(self.ids.next_id(), l4, len, Self::reply_tag(req));
         let d = self.cfg.processing.sample(ctx.rng());
+        self.metrics.responses.inc();
         ctx.send(to, d, Msg::Wire(reply));
     }
 }
@@ -107,6 +136,7 @@ impl Node<Msg> for ServerNode {
         if packet.dst != self.cfg.ip {
             return; // not ours; a real host would drop silently
         }
+        self.metrics.requests.inc();
         match packet.l4 {
             L4::Icmp {
                 kind: IcmpKind::EchoRequest,
@@ -203,6 +233,7 @@ impl Node<Msg> for ServerNode {
                 } else {
                     self.stats.udp_discarded += 1;
                     self.stats.udp_discarded_bytes += packet.payload_len as u64;
+                    self.metrics.discarded.inc();
                 }
             }
         }

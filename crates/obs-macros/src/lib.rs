@@ -1,0 +1,160 @@
+//! Derive macros for the `obs` telemetry crate.
+//!
+//! `#[derive(ToJson)]` implements `obs::json::ToJson` for plain structs
+//! with named fields (every field must itself implement `ToJson`) and for
+//! enums whose variants are all unit variants (serialized as the variant
+//! name). No external parser crates: the input grammar is deliberately
+//! restricted to what the workspace actually uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `obs::json::ToJson`.
+///
+/// Structs map to JSON objects in field order; unit-variant enums map to
+/// the variant name as a JSON string.
+#[proc_macro_derive(ToJson)]
+pub fn derive_to_json(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (#[...]) and visibility until `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => return Err("ToJson: expected `struct` or `enum`".into()),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("ToJson: expected a type name".into()),
+    };
+    i += 1;
+
+    // Find the brace-delimited body; anything before it (generics, where
+    // clauses) is unsupported.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("ToJson: generic type `{name}` is not supported"));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("ToJson: `{name}` has no braced body")),
+        }
+    };
+
+    let out = if kind == "struct" {
+        let fields = struct_fields(body)?;
+        let mut sets = String::new();
+        for f in &fields {
+            sets.push_str(&format!(
+                "obj.set({f:?}, ::obs::json::ToJson::to_json(&self.{f}));\n"
+            ));
+        }
+        format!(
+            "impl ::obs::json::ToJson for {name} {{\n\
+             fn to_json(&self) -> ::obs::json::Json {{\n\
+             let mut obj = ::obs::json::Json::object();\n{sets}obj\n}}\n}}"
+        )
+    } else {
+        let variants = enum_variants(body, &name)?;
+        let mut arms = String::new();
+        for v in &variants {
+            arms.push_str(&format!(
+                "{name}::{v} => ::obs::json::Json::Str({v:?}.to_string()),\n"
+            ));
+        }
+        format!(
+            "impl ::obs::json::ToJson for {name} {{\n\
+             fn to_json(&self) -> ::obs::json::Json {{\n\
+             match self {{\n{arms}}}\n}}\n}}"
+        )
+    };
+    out.parse()
+        .map_err(|e| format!("ToJson: generated code failed to parse: {e:?}"))
+}
+
+/// Field names of a named-field struct body.
+fn struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility in front of the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // pub(crate) etc: skip the parenthesized restriction.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => return Err("ToJson: tuple structs are not supported".into()),
+                }
+                // Skip the type: everything until a comma at angle-depth 0.
+                let mut angle = 0i32;
+                while let Some(t) = tokens.get(i) {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+            }
+            _ => return Err("ToJson: unsupported struct body".into()),
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a unit-variant enum body.
+fn enum_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    return Err(format!(
+                        "ToJson: enum `{name}` has a non-unit variant; only unit variants are supported"
+                    ));
+                }
+            }
+            _ => return Err(format!("ToJson: unsupported enum body in `{name}`")),
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,133 @@
+//! Bounded, category-filtered event streams.
+//!
+//! [`EventStream`] is the storage backend for `simcore::Trace`: it keeps
+//! the enabled/disabled switch, the optional category whitelist, the
+//! bounded buffer, and the counter of events dropped by eviction. It is
+//! generic over the event payload so other layers can reuse it for their
+//! own structured event logs.
+
+/// A bounded buffer of categorized events.
+#[derive(Debug, Clone)]
+pub struct EventStream<E> {
+    enabled: bool,
+    filter: Option<Vec<&'static str>>,
+    cap: usize,
+    events: Vec<E>,
+    dropped: u64,
+}
+
+/// Default buffer capacity (events beyond this evict the oldest).
+pub const DEFAULT_CAP: usize = 1_000_000;
+
+impl<E> EventStream<E> {
+    /// A stream that records nothing.
+    pub fn disabled() -> EventStream<E> {
+        EventStream {
+            enabled: false,
+            filter: None,
+            cap: DEFAULT_CAP,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Record every category.
+    pub fn capture_all() -> EventStream<E> {
+        EventStream {
+            enabled: true,
+            ..EventStream::disabled()
+        }
+    }
+
+    /// Record only the listed categories.
+    pub fn capture_categories(categories: Vec<&'static str>) -> EventStream<E> {
+        EventStream {
+            enabled: true,
+            filter: Some(categories),
+            ..EventStream::disabled()
+        }
+    }
+
+    /// Override the buffer capacity.
+    pub fn with_cap(mut self, cap: usize) -> EventStream<E> {
+        self.cap = cap.max(1);
+        self
+    }
+
+    /// Whether an event in `category` would be recorded. Call before
+    /// building an expensive payload.
+    pub fn enabled(&self, category: &str) -> bool {
+        self.enabled
+            && match &self.filter {
+                Some(cats) => cats.contains(&category),
+                None => true,
+            }
+    }
+
+    /// Append an event, evicting the oldest when full. The caller is
+    /// expected to have checked [`EventStream::enabled`]; this checks
+    /// again so unconditional calls stay correct.
+    pub fn record(&mut self, category: &str, event: E) {
+        if !self.enabled(category) {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> &[E] {
+        &self.events
+    }
+
+    /// How many events were evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut s: EventStream<u32> = EventStream::disabled();
+        s.record("any", 1);
+        assert!(s.is_empty());
+        assert!(!s.enabled("any"));
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut s: EventStream<u32> = EventStream::capture_categories(vec!["sdio", "psm"]);
+        assert!(s.enabled("sdio"));
+        assert!(!s.enabled("tcp"));
+        s.record("sdio", 1);
+        s.record("tcp", 2);
+        s.record("psm", 3);
+        assert_eq!(s.events(), &[1, 3]);
+    }
+
+    #[test]
+    fn bounded_buffer_evicts_oldest_and_counts_drops() {
+        let mut s: EventStream<u32> = EventStream::capture_all().with_cap(3);
+        for i in 0..5 {
+            s.record("c", i);
+        }
+        assert_eq!(s.events(), &[2, 3, 4]);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Snapshot exporters: JSON-lines and Prometheus-style text.
+
+use std::fmt::Write as _;
+
+use crate::json::{Json, ToJson};
+use crate::metrics::Snapshot;
+
+/// One JSON object per line per metric — suitable for appending to a
+/// log file and joining across runs.
+pub fn json_lines(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let mut obj = Json::object();
+        obj.set("type", "counter");
+        obj.set("name", name);
+        obj.set("value", *v);
+        out.push_str(&obj.to_string());
+        out.push('\n');
+    }
+    for (name, v) in &snap.gauges {
+        let mut obj = Json::object();
+        obj.set("type", "gauge");
+        obj.set("name", name);
+        obj.set("value", *v);
+        out.push_str(&obj.to_string());
+        out.push('\n');
+    }
+    for h in &snap.histograms {
+        let mut obj = Json::object();
+        obj.set("type", "histogram");
+        // HistogramSnapshot::to_json is an object; splice its fields in
+        // after the type tag.
+        if let Json::Obj(fields) = h.to_json() {
+            for (k, v) in fields {
+                obj.set(&k, v);
+            }
+        }
+        out.push_str(&obj.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Prometheus text exposition format (`# TYPE` headers, cumulative `le`
+/// buckets, `_sum`/`_count` series). Metric names have `.` and `-`
+/// folded to `_`.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+    }
+    for h in &snap.histograms {
+        let n = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            cum += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("sim.events").add(42);
+        r.gauge("sim.queue_depth").set(7);
+        let h = r.histogram("phone.sdio.wake_latency_ms", &[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(12.0);
+        h.observe(12.0);
+        r
+    }
+
+    #[test]
+    fn json_lines_one_object_per_line() {
+        let text = json_lines(&sample_registry().snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""type":"counter""#));
+        assert!(lines[0].contains(r#""value":42"#));
+        assert!(lines[2].contains(r#""type":"histogram""#));
+        assert!(lines[2].contains(r#""count":3"#));
+    }
+
+    #[test]
+    fn prometheus_cumulative_buckets() {
+        let text = prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE sim_events counter\nsim_events 42"));
+        assert!(text.contains("sim_queue_depth 7"));
+        assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"100\"} 3"));
+        assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("phone_sdio_wake_latency_ms_count 3"));
+    }
+}

@@ -1,0 +1,342 @@
+//! A minimal JSON value type and serialization trait.
+//!
+//! The workspace runs in fully offline environments, so experiment
+//! output goes through this module instead of an external serializer.
+//! Object keys keep insertion order, which keeps emitted reports stable
+//! across runs and easy to diff.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All numbers are f64; integral values print without a fraction.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn array() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Set a key on an object (replaces an existing key). Panics if
+    /// `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl ToJson) {
+        match self {
+            Json::Obj(entries) => {
+                let v = value.to_json();
+                if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+                    e.1 = v;
+                } else {
+                    entries.push((key.to_string(), v));
+                }
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Push a value onto an array. Panics if `self` is not an array.
+    pub fn push(&mut self, value: impl ToJson) {
+        match self {
+            Json::Arr(items) => items.push(value.to_json()),
+            _ => panic!("Json::push on a non-array"),
+        }
+    }
+
+    /// Look up a key on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+/// Compact single-line rendering (`.to_string()` comes from this).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! num_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+num_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let mut obj = Json::object();
+        obj.set("name", "acute\"mon");
+        obj.set("k", 50u32);
+        obj.set("rtt_ms", 33.25);
+        obj.set("gap", Option::<f64>::None);
+        obj.set("layers", vec!["user", "kernel"]);
+        assert_eq!(
+            obj.to_string(),
+            r#"{"name":"acute\"mon","k":50,"rtt_ms":33.25,"gap":null,"layers":["user","kernel"]}"#
+        );
+    }
+
+    #[test]
+    fn integral_floats_print_as_integers() {
+        assert_eq!(Json::Num(102.4).to_string(), "102.4");
+        assert_eq!(Json::Num(50.0).to_string(), "50");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let mut obj = Json::object();
+        obj.set("a", 1u32);
+        let mut inner = Json::object();
+        inner.set("b", 2u32);
+        obj.set("inner", inner);
+        assert_eq!(
+            obj.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"inner\": {\n    \"b\": 2\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut obj = Json::object();
+        obj.set("x", 1u32);
+        obj.set("x", 2u32);
+        assert_eq!(obj.get("x"), Some(&Json::Num(2.0)));
+    }
+
+    #[derive(obs::ToJson)]
+    struct Probe {
+        idx: u32,
+        rtt_ms: Option<f64>,
+        tool: String,
+    }
+
+    #[derive(obs::ToJson, Debug, PartialEq)]
+    enum Kind {
+        Icmp,
+        TcpSyn,
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        let p = Probe {
+            idx: 3,
+            rtt_ms: Some(14.5),
+            tool: "ping".into(),
+        };
+        assert_eq!(
+            p.to_json().to_string(),
+            r#"{"idx":3,"rtt_ms":14.5,"tool":"ping"}"#
+        );
+        assert_eq!(Kind::Icmp.to_json(), Json::Str("Icmp".into()));
+        assert_eq!(Kind::TcpSyn.to_json().to_string(), "\"TcpSyn\"");
+    }
+}

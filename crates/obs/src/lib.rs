@@ -1,0 +1,45 @@
+//! `obs` — workspace-wide telemetry.
+//!
+//! The paper's contribution is *attributing* inflated delay to specific
+//! layers (SDIO bus sleep, 802.11 adaptive PSM, runtime overhead). This
+//! crate gives every layer a cheap way to report what it sees:
+//!
+//! - [`metrics::Registry`] — counters, gauges, and fixed-bucket
+//!   histograms behind a clonable handle that is a strict no-op when
+//!   disabled (a disabled registry allocates nothing and every operation
+//!   is a branch on `None`).
+//! - [`span::SpanTimer`] — scoped wall-clock timers that record into a
+//!   histogram on drop.
+//! - [`events::EventStream`] — the bounded, category-filtered event
+//!   buffer that backs `simcore::Trace` (categories, filtering, and the
+//!   drop counter live here).
+//! - [`export`] — JSON-lines and Prometheus-style text exporters over a
+//!   [`metrics::Snapshot`].
+//! - [`log`] — a tiny leveled stderr logger (`obs::info!`, `obs::warn!`,
+//!   ...) so human logs never interleave with machine output on stdout.
+//! - [`json`] — a minimal JSON value type and [`json::ToJson`] trait,
+//!   with a `#[derive(ToJson)]` macro, used by exporters and by the
+//!   experiment binaries in place of external serializers.
+//!
+//! The crate is deliberately dependency-free (besides its own derive
+//! macro): it must build in fully offline environments and be safe to
+//! pull into every other crate in the workspace.
+
+// Let `#[derive(ToJson)]` (which expands to paths under `::obs`) work
+// inside this crate's own tests.
+extern crate self as obs;
+
+pub mod events;
+pub mod export;
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use events::EventStream;
+pub use json::{Json, ToJson};
+pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+pub use span::SpanTimer;
+
+/// Derive `ToJson` for a struct with named fields or a unit-variant enum.
+pub use obs_macros::ToJson;

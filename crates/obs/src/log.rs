@@ -1,0 +1,122 @@
+//! A tiny leveled logger.
+//!
+//! Human-readable diagnostics go to **stderr** so they never interleave
+//! with machine output (JSON reports, metric dumps) on stdout. The level
+//! is a process-wide atomic; binaries set it once from `--quiet`/`-v`
+//! flags and every crate logs through the `obs::error!` / `obs::warn!` /
+//! `obs::info!` / `obs::debug!` macros.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the maximum level that will be emitted.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current maximum level.
+pub fn level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Apply the conventional CLI flags: `--quiet` caps at errors, each `-v`
+/// raises verbosity (0 = info, 1+ = debug).
+pub fn init_from_flags(quiet: bool, verbosity: u8) {
+    set_level(if quiet {
+        Level::Error
+    } else if verbosity > 0 {
+        Level::Debug
+    } else {
+        Level::Info
+    });
+}
+
+/// Whether a message at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emit a message to stderr (used by the macros; prefer those).
+pub fn log(level: Level, args: fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[{}] {}", level.tag(), args);
+    }
+}
+
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_mapping() {
+        init_from_flags(true, 0);
+        assert_eq!(level(), Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Warn));
+
+        init_from_flags(false, 2);
+        assert_eq!(level(), Level::Debug);
+        assert!(enabled(Level::Debug));
+
+        init_from_flags(false, 0);
+        assert_eq!(level(), Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+}

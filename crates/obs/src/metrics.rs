@@ -1,0 +1,464 @@
+//! Counters, gauges, and fixed-bucket histograms behind a [`Registry`].
+//!
+//! A `Registry` is a cheap clonable handle. `Registry::disabled()` costs
+//! nothing: every metric handle it vends is `None` inside and every
+//! operation is a single branch. An enabled registry interns metrics by
+//! name in `BTreeMap`s, so snapshots are deterministically ordered and
+//! two requests for the same name share one underlying cell.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{Json, ToJson};
+use crate::span::SpanTimer;
+
+/// Cap on raw samples retained per histogram for exact quantiles. The
+/// reservoir is first-N (deterministic); past the cap only the bucket
+/// counts keep growing and `sample_overflow` records how many raw values
+/// were not retained.
+pub const SAMPLE_CAP: usize = 4096;
+
+/// Default bucket upper bounds for millisecond-scale latencies, spanning
+/// sub-ms kernel costs up to multi-second PSM stalls.
+pub fn default_ms_buckets() -> Vec<f64> {
+    vec![
+        0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 25.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0,
+        5000.0,
+    ]
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    hists: BTreeMap<String, Arc<Mutex<HistInner>>>,
+}
+
+/// Handle to a metrics registry; `None` inside means disabled/no-op.
+#[derive(Clone, Default)]
+pub struct Registry(Option<Arc<Mutex<Inner>>>);
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Registry {
+        Registry(Some(Arc::new(Mutex::new(Inner::default()))))
+    }
+
+    /// A disabled registry: allocates nothing, every operation no-ops.
+    pub fn disabled() -> Registry {
+        Registry(None)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.0.as_ref().map(|inner| {
+            let mut g = inner.lock().unwrap();
+            g.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .clone()
+        }))
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.0.as_ref().map(|inner| {
+            let mut g = inner.lock().unwrap();
+            g.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0)))
+                .clone()
+        }))
+    }
+
+    /// Get or create a histogram with the given bucket upper bounds.
+    /// Bounds must be sorted ascending; an existing histogram keeps its
+    /// original bounds.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        Histogram(self.0.as_ref().map(|inner| {
+            let mut g = inner.lock().unwrap();
+            g.hists
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(HistInner::new(bounds))))
+                .clone()
+        }))
+    }
+
+    /// Get or create a histogram with [`default_ms_buckets`].
+    pub fn histogram_ms(&self, name: &str) -> Histogram {
+        self.histogram(name, &default_ms_buckets())
+    }
+
+    /// Start a wall-clock span recording into histogram `name` (in ms)
+    /// when dropped.
+    pub fn span(&self, name: &str) -> SpanTimer {
+        SpanTimer::start(self.histogram_ms(name))
+    }
+
+    /// A deterministic, name-sorted snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(inner) = &self.0 {
+            let g = inner.lock().unwrap();
+            for (name, c) in &g.counters {
+                snap.counters
+                    .push((name.clone(), c.load(Ordering::Relaxed)));
+            }
+            for (name, v) in &g.gauges {
+                snap.gauges.push((name.clone(), v.load(Ordering::Relaxed)));
+            }
+            for (name, h) in &g.hists {
+                snap.histograms.push(h.lock().unwrap().snapshot(name));
+            }
+        }
+        snap
+    }
+}
+
+/// Monotonic event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Instantaneous signed level (queue depth, dozing stations, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: Vec<f64>,
+    /// `buckets[i]` counts observations `<= bounds[i]`; the final slot
+    /// is the overflow bucket (`> bounds.last()`).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+    sample_overflow: u64,
+}
+
+impl HistInner {
+    fn new(bounds: &[f64]) -> HistInner {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        HistInner {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: Vec::new(),
+            sample_overflow: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(v);
+        } else {
+            self.sample_overflow += 1;
+        }
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            samples: self.samples.clone(),
+            sample_overflow: self.sample_overflow,
+        }
+    }
+}
+
+/// Fixed-bucket latency/size histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<Mutex<HistInner>>>);
+
+impl Histogram {
+    /// Whether this handle records anywhere (false for handles vended
+    /// by a disabled registry).
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    pub fn observe(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.lock().unwrap().observe(v);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.lock().unwrap().count)
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// First-N raw samples (deterministic reservoir, cap [`SAMPLE_CAP`]).
+    pub samples: Vec<f64>,
+    /// Observations beyond the sample cap (bucket counts still include
+    /// them; quantiles from `samples` become approximate).
+    pub sample_overflow: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile from the retained raw samples (linear interpolation,
+    /// R type-7 — same convention as `am_stats::quantile`). Exact while
+    /// `sample_overflow == 0`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let mut xs = self.samples.clone();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let h = p.clamp(0.0, 1.0) * (xs.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        xs[lo] + (xs[hi] - xs[lo]) * (h - lo as f64)
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("name", &self.name);
+        obj.set("count", self.count);
+        obj.set("sum", self.sum);
+        obj.set("min", self.min);
+        obj.set("max", self.max);
+        obj.set("mean", self.mean());
+        obj.set("p50", self.p50());
+        obj.set("p95", self.p95());
+        obj.set("p99", self.p99());
+        obj.set("bounds", &self.bounds);
+        obj.set("buckets", &self.buckets);
+        obj.set("sample_overflow", self.sample_overflow);
+        obj
+    }
+}
+
+/// Deterministic (name-sorted) view of a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl ToJson for Snapshot {
+    fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (name, v) in &self.counters {
+            counters.set(name, *v);
+        }
+        let mut gauges = Json::object();
+        for (name, v) in &self.gauges {
+            gauges.set(name, *v);
+        }
+        let mut hists = Json::array();
+        for h in &self.histograms {
+            hists.push(h.to_json());
+        }
+        let mut obj = Json::object();
+        obj.set("counters", counters);
+        obj.set("gauges", gauges);
+        obj.set("histograms", hists);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_a_noop() {
+        let r = Registry::disabled();
+        let c = r.counter("x");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = r.gauge("y");
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        let h = r.histogram_ms("z");
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn same_name_shares_one_cell() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").get(), 3);
+        assert_eq!(r.snapshot().counter("a"), Some(3));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_le() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[1.0, 10.0]);
+        for v in [0.5, 1.0, 1.0001, 10.0, 11.0] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        // <=1: {0.5, 1.0}; <=10: {1.0001, 10.0}; >10: {11.0}
+        assert_eq!(hs.buckets, vec![2, 2, 1]);
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.min, 0.5);
+        assert_eq!(hs.max, 11.0);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        r.gauge("mid").set(1);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn quantiles_match_r7() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[100.0]);
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("q").unwrap();
+        assert!((hs.p50() - 50.5).abs() < 1e-9);
+        assert!((hs.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((hs.quantile(1.0) - 100.0).abs() < 1e-9);
+        assert!((hs.p95() - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_reservoir_caps_and_counts_overflow() {
+        let r = Registry::new();
+        let h = r.histogram("cap", &[1e9]);
+        for v in 0..(SAMPLE_CAP + 10) {
+            h.observe(v as f64);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("cap").unwrap();
+        assert_eq!(hs.samples.len(), SAMPLE_CAP);
+        assert_eq!(hs.sample_overflow, 10);
+        assert_eq!(hs.count, (SAMPLE_CAP + 10) as u64);
+    }
+}

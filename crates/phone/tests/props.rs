@@ -1,12 +1,13 @@
-//! Property-based tests for the phone pipeline: timestamp-chain ordering,
+//! Property-style tests for the phone pipeline: timestamp-chain ordering,
 //! bus-sleep accounting, and ledger consistency under randomized traffic
-//! schedules and profiles.
-
-use proptest::prelude::*;
+//! schedules and profiles. Randomized inputs come from the workspace's
+//! seeded [`DetRng`], so every case is reproducible.
 
 use phone::{App, AppCtx, PhoneNode, RuntimeKind};
-use simcore::{Ctx, Node, NodeId, Sim, SimDuration, SimTime};
+use simcore::{Ctx, DetRng, Node, NodeId, Sim, SimDuration, SimTime};
 use wire::{IcmpKind, Ip, Msg, Packet, PacketTag, L4};
+
+const CASES: u64 = 24;
 
 /// Echoes every packet back after a fixed delay.
 struct EchoNic {
@@ -82,21 +83,21 @@ fn profiles() -> Vec<phone::PhoneProfile> {
     phone::all_phones()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// For any phone profile, runtime kind, network delay, and probing
+/// schedule: the TX stamp chain is ordered, the RX stamp chain is
+/// ordered, every probe completes, and the bus accounting is sane.
+#[test]
+fn pipeline_stamps_always_ordered() {
+    let mut rng = DetRng::new(0x7403_0001);
+    for _ in 0..CASES {
+        let profile_idx = rng.uniform_u64(0, 4) as usize;
+        let runtime_native = rng.chance(0.5);
+        let delay_ms = rng.uniform_u64(1, 149);
+        let n_gaps = rng.uniform_u64(1, 11) as usize;
+        let gaps: Vec<u64> = (0..n_gaps).map(|_| rng.uniform_u64(1, 799)).collect();
+        let sleep_enabled = rng.chance(0.5);
+        let seed = rng.uniform_u64(0, 999);
 
-    /// For any phone profile, runtime kind, network delay, and probing
-    /// schedule: the TX stamp chain is ordered, the RX stamp chain is
-    /// ordered, every probe completes, and the bus accounting is sane.
-    #[test]
-    fn pipeline_stamps_always_ordered(
-        profile_idx in 0usize..5,
-        runtime_native in any::<bool>(),
-        delay_ms in 1u64..150,
-        gaps in proptest::collection::vec(1u64..800, 1..12),
-        sleep_enabled in any::<bool>(),
-        seed in 0u64..1000,
-    ) {
         let mut sim = Sim::new(seed);
         let nic = sim.add_node(Box::new(EchoNic {
             delay: SimDuration::from_millis(delay_ms),
@@ -126,8 +127,8 @@ proptest! {
 
         let phone_node = sim.node::<PhoneNode>(phone_id);
         let sched = phone_node.app::<Scheduler>(app);
-        prop_assert_eq!(sched.sent.len(), n_probes);
-        prop_assert_eq!(sched.received, n_probes, "all probes must complete");
+        assert_eq!(sched.sent.len(), n_probes);
+        assert_eq!(sched.received, n_probes, "all probes must complete");
 
         for &req in &sched.sent {
             let s = phone_node.ledger().get(req).expect("request stamped");
@@ -135,32 +136,37 @@ proptest! {
             let tok = s.tok.expect("tok");
             let tov = s.tov.expect("tov");
             let tbus = s.tbus.expect("tbus");
-            prop_assert!(tou <= tok && tok <= tov && tov <= tbus);
+            assert!(tou <= tok && tok <= tov && tov <= tbus);
             // dvsend is non-negative and bounded by the worst wake + base.
             let dvsend = s.dvsend_ms().expect("dvsend");
-            prop_assert!((0.0..20.0).contains(&dvsend), "dvsend {dvsend}");
+            assert!((0.0..20.0).contains(&dvsend), "dvsend {dvsend}");
         }
         // Bus accounting.
         let bus = &phone_node.core().bus.stats;
-        prop_assert_eq!(bus.ops_awake + bus.ops_asleep,
-            phone_node.core().stats.tx_pkts + phone_node.core().stats.rx_pkts);
+        assert_eq!(
+            bus.ops_awake + bus.ops_asleep,
+            phone_node.core().stats.tx_pkts + phone_node.core().stats.rx_pkts
+        );
         if !sleep_enabled {
-            prop_assert_eq!(bus.wakeups, 0);
+            assert_eq!(bus.wakeups, 0);
         } else {
-            prop_assert!(bus.wakeups >= 1, "first op must wake the bus");
+            assert!(bus.wakeups >= 1, "first op must wake the bus");
         }
-        prop_assert!(bus.awake_ns <= sim.now().as_nanos());
+        assert!(bus.awake_ns <= sim.now().as_nanos());
     }
+}
 
-    /// The user-level RTT always dominates the network delay, and with
-    /// the bus sleep disabled it stays within the profile's driver/runtime
-    /// budget of it.
-    #[test]
-    fn du_bounds(
-        profile_idx in 0usize..5,
-        delay_ms in 5u64..120,
-        seed in 0u64..1000,
-    ) {
+/// The user-level RTT always dominates the network delay, and with
+/// the bus sleep disabled it stays within the profile's driver/runtime
+/// budget of it.
+#[test]
+fn du_bounds() {
+    let mut rng = DetRng::new(0x7403_0002);
+    for _ in 0..CASES {
+        let profile_idx = rng.uniform_u64(0, 4) as usize;
+        let delay_ms = rng.uniform_u64(5, 119);
+        let seed = rng.uniform_u64(0, 999);
+
         let mut sim = Sim::new(seed);
         let nic = sim.add_node(Box::new(EchoNic {
             delay: SimDuration::from_millis(delay_ms),
@@ -187,7 +193,7 @@ proptest! {
             let tbus = s.tbus.expect("tbus");
             let tou = s.tou.expect("tou");
             let tx_cost = tbus.saturating_since(tou).as_ms_f64();
-            prop_assert!(tx_cost < 10.0, "tx path cost {tx_cost} with sleep off");
+            assert!(tx_cost < 10.0, "tx path cost {tx_cost} with sleep off");
         }
     }
 }

@@ -10,10 +10,38 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use obs::{Counter, Histogram, Registry};
 use simcore::{Ctx, Node, NodeId, SimDuration, SimTime};
 use wire::{Frame, FrameKind, IcmpKind, Ip, Mac, Msg, Packet, PacketIdGen, PacketTag, L4};
 
 const TAG_BEACON: u64 = 1;
+
+/// Telemetry handles for the AP (`phy.ap.*`). Defaults to disabled
+/// no-op handles.
+#[derive(Default)]
+struct ApMetrics {
+    beacons: Counter,
+    forwarded_up: Counter,
+    forwarded_down: Counter,
+    ps_buffered: Counter,
+    dropped: Counter,
+    /// Time each PS-buffered packet waited at the AP before release, ms.
+    /// This is the beacon-buffering half of ∆dv−n in the paper.
+    ps_buffer_wait_ms: Histogram,
+}
+
+impl ApMetrics {
+    fn from_registry(reg: &Registry) -> ApMetrics {
+        ApMetrics {
+            beacons: reg.counter("phy.ap.beacons"),
+            forwarded_up: reg.counter("phy.ap.forwarded_up"),
+            forwarded_down: reg.counter("phy.ap.forwarded_down"),
+            ps_buffered: reg.counter("phy.ap.ps_buffered"),
+            dropped: reg.counter("phy.ap.dropped"),
+            ps_buffer_wait_ms: reg.histogram_ms("phy.ap.ps_buffer_wait_ms"),
+        }
+    }
+}
 
 /// AP configuration.
 #[derive(Debug, Clone)]
@@ -59,7 +87,9 @@ struct StaEntry {
     /// U-APSD (WMM power save): buffered frames are released by the
     /// station's own uplink triggers instead of PS-Polls after TIM.
     uapsd: bool,
-    buffered: VecDeque<Packet>,
+    /// Buffered downlink packets with their enqueue time, so the wait
+    /// in the PS buffer can be measured at release.
+    buffered: VecDeque<(SimTime, Packet)>,
 }
 
 /// Counters the AP accumulates.
@@ -97,6 +127,7 @@ pub struct ApNode {
     in_flight: usize,
     /// Public counters.
     pub stats: ApStats,
+    metrics: ApMetrics,
 }
 
 impl ApNode {
@@ -113,7 +144,14 @@ impl ApNode {
             pkt_ids: PacketIdGen::new(source + 1),
             in_flight: 0,
             stats: ApStats::default(),
+            metrics: ApMetrics::default(),
         }
+    }
+
+    /// Register this AP's telemetry (`phy.ap.*`) in `reg`. Without this
+    /// call every metric handle is a disabled no-op.
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        self.metrics = ApMetrics::from_registry(reg);
     }
 
     /// Associate a station: its MAC joins the BSS and `ip` routes to it.
@@ -151,6 +189,7 @@ impl ApNode {
     fn tx_data(&mut self, ctx: &mut Ctx<'_, Msg>, dst: Mac, packet: Packet) {
         if self.in_flight >= self.cfg.downlink_cap {
             self.stats.dropped_queue_full += 1;
+            self.metrics.dropped.inc();
             return;
         }
         self.in_flight += 1;
@@ -161,23 +200,28 @@ impl ApNode {
     fn downlink(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet) {
         let Some(&mac) = self.ip_to_mac.get(&packet.dst) else {
             self.stats.dropped_no_route += 1;
+            self.metrics.dropped.inc();
             return;
         };
         let dozing = self.stations.get(&mac).map(|s| s.dozing).unwrap_or(false);
         if dozing {
             let cap = self.cfg.ps_buffer_cap;
+            let now = ctx.now();
             let entry = self.stations.get_mut(&mac).expect("associated");
             if entry.buffered.len() >= cap {
                 self.stats.dropped_ps_full += 1;
+                self.metrics.dropped.inc();
             } else {
-                entry.buffered.push_back(packet);
+                entry.buffered.push_back((now, packet));
                 self.stats.ps_buffered += 1;
+                self.metrics.ps_buffered.inc();
                 if ctx.trace_enabled("ap") {
                     ctx.trace("ap", format!("buffered pkt {} for dozing {mac}", packet.id));
                 }
             }
         } else {
             self.stats.forwarded_down += 1;
+            self.metrics.forwarded_down.inc();
             self.tx_data(ctx, mac, packet);
         }
     }
@@ -202,13 +246,17 @@ impl ApNode {
     }
 
     fn flush_buffered(&mut self, ctx: &mut Ctx<'_, Msg>, mac: Mac) {
-        let drained: Vec<Packet> = self
+        let drained: Vec<(SimTime, Packet)> = self
             .stations
             .get_mut(&mac)
             .map(|e| e.buffered.drain(..).collect())
             .unwrap_or_default();
-        for packet in drained {
+        let now = ctx.now();
+        for (enqueued, packet) in drained {
+            let waited_ms = now.saturating_since(enqueued).as_nanos() as f64 / 1e6;
+            self.metrics.ps_buffer_wait_ms.observe(waited_ms);
             self.stats.forwarded_down += 1;
+            self.metrics.forwarded_down.inc();
             self.tx_data(ctx, mac, packet);
         }
     }
@@ -218,6 +266,7 @@ impl ApNode {
         packet.ttl = packet.ttl.saturating_sub(1);
         if packet.ttl == 0 {
             self.stats.dropped_ttl += 1;
+            self.metrics.dropped.inc();
             if ctx.trace_enabled("ap") {
                 ctx.trace("ap", format!("TTL expired for pkt {}", packet.id));
             }
@@ -245,6 +294,7 @@ impl ApNode {
             return;
         }
         self.stats.forwarded_up += 1;
+        self.metrics.forwarded_up.inc();
         ctx.send(self.wired, self.cfg.forward_latency, Msg::Wire(packet));
     }
 }
@@ -284,6 +334,7 @@ impl Node<Msg> for ApNode {
                 packet.ttl = packet.ttl.saturating_sub(1);
                 if packet.ttl == 0 {
                     self.stats.dropped_ttl += 1;
+                    self.metrics.dropped.inc();
                     return;
                 }
                 self.downlink(ctx, packet);
@@ -310,6 +361,7 @@ impl Node<Msg> for ApNode {
         let beacon = Frame::beacon(self.frame_ids.next_id(), self.cfg.mac, tim);
         ctx.send(self.medium, SimDuration::ZERO, Msg::MediumTx(beacon));
         self.stats.beacons += 1;
+        self.metrics.beacons.inc();
         ctx.set_timer(self.cfg.beacon_interval, TAG_BEACON);
     }
 }

@@ -15,6 +15,7 @@
 //!   received.
 //! * **static PSM**: doze immediately after every exchange (ablation).
 
+use obs::{Counter, Histogram, Registry};
 use simcore::{Ctx, Node, NodeId, SimDuration, SimTime, TimerId};
 use wire::{Frame, FrameKind, Mac, Msg, Packet, PacketIdGen};
 
@@ -22,6 +23,36 @@ use crate::config::{PsmPolicy, StaConfig};
 
 const TAG_PSM_TIMEOUT: u64 = 1;
 const TAG_WAKE_TX: u64 = 2;
+
+/// Telemetry handles for one station (`phy.sta.*`). Defaults to
+/// disabled no-op handles.
+#[derive(Default)]
+struct StaMetrics {
+    data_tx: Counter,
+    data_rx: Counter,
+    ps_polls: Counter,
+    beacons_heard: Counter,
+    beacons_missed: Counter,
+    wakeups: Counter,
+    dozes: Counter,
+    /// Length of each completed CAM (awake) stint, ms.
+    cam_interval_ms: Histogram,
+}
+
+impl StaMetrics {
+    fn from_registry(reg: &Registry) -> StaMetrics {
+        StaMetrics {
+            data_tx: reg.counter("phy.sta.data_tx"),
+            data_rx: reg.counter("phy.sta.data_rx"),
+            ps_polls: reg.counter("phy.sta.ps_polls"),
+            beacons_heard: reg.counter("phy.sta.beacons_heard"),
+            beacons_missed: reg.counter("phy.sta.beacons_missed"),
+            wakeups: reg.counter("phy.sta.wakeups"),
+            dozes: reg.counter("phy.sta.dozes"),
+            cam_interval_ms: reg.histogram_ms("phy.sta.cam_interval_ms"),
+        }
+    }
+}
 
 /// Power state of the station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +102,7 @@ pub struct StaMacNode {
     ids: PacketIdGen,
     /// Public counters.
     pub stats: StaStats,
+    metrics: StaMetrics,
 }
 
 impl StaMacNode {
@@ -99,7 +131,14 @@ impl StaMacNode {
             waking: false,
             ids: PacketIdGen::new(source),
             stats: StaStats::default(),
+            metrics: StaMetrics::default(),
         }
+    }
+
+    /// Register this station's telemetry (`phy.sta.*`) in `reg`.
+    /// Without this call every metric handle is a disabled no-op.
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        self.metrics = StaMetrics::from_registry(reg);
     }
 
     /// Current power state.
@@ -118,10 +157,16 @@ impl StaMacNode {
             return;
         }
         if self.state == PowerState::Cam {
-            self.stats.cam_ns += ctx.now().saturating_since(self.state_since).as_nanos();
+            let stint = ctx.now().saturating_since(self.state_since);
+            self.stats.cam_ns += stint.as_nanos();
+            self.metrics.dozes.inc();
+            self.metrics
+                .cam_interval_ms
+                .observe(stint.as_nanos() as f64 / 1e6);
         }
         if next == PowerState::Cam {
             self.stats.wakeups += 1;
+            self.metrics.wakeups.inc();
         }
         if ctx.trace_enabled("psm") {
             ctx.trace("psm", format!("{} -> {next:?}", self.mac));
@@ -156,6 +201,7 @@ impl StaMacNode {
     fn transmit_data(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet) {
         let frame = Frame::data(self.ids.next_id(), self.mac, self.ap, packet, false);
         self.stats.data_tx += 1;
+        self.metrics.data_tx.inc();
         ctx.send(self.medium, SimDuration::ZERO, Msg::MediumTx(frame));
         self.poke_activity(ctx);
     }
@@ -168,6 +214,7 @@ impl StaMacNode {
     fn send_ps_poll(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let frame = Frame::ps_poll(self.ids.next_id(), self.mac, self.ap);
         self.stats.ps_polls += 1;
+        self.metrics.ps_polls.inc();
         ctx.send(self.medium, SimDuration::ZERO, Msg::MediumTx(frame));
     }
 
@@ -176,7 +223,9 @@ impl StaMacNode {
             return; // In CAM the beacon carries no actionable state.
         }
         // Listen interval: wake for every (L+1)-th beacon only.
-        let due = self.doze_beacons.is_multiple_of(self.cfg.listen_interval + 1);
+        let due = self
+            .doze_beacons
+            .is_multiple_of(self.cfg.listen_interval + 1);
         self.doze_beacons += 1;
         if !due {
             return;
@@ -184,9 +233,11 @@ impl StaMacNode {
         // Even a due beacon can be missed (clock drift, deep sleep).
         if ctx.rng().chance(self.cfg.beacon_miss_prob) {
             self.stats.beacons_missed += 1;
+            self.metrics.beacons_missed.inc();
             return;
         }
         self.stats.beacons_heard += 1;
+        self.metrics.beacons_heard.inc();
         if self.cfg.uapsd {
             // U-APSD: no PS-Poll; deliveries ride our own triggers.
             return;
@@ -205,6 +256,7 @@ impl StaMacNode {
         // a race; accept and wake (receiving costs nothing extra here).
         self.set_state(ctx, PowerState::Cam);
         self.stats.data_rx += 1;
+        self.metrics.data_rx.inc();
         ctx.send(self.host, SimDuration::ZERO, Msg::Wire(packet));
         self.poke_activity(ctx);
     }

@@ -1,14 +1,15 @@
-//! Property-based tests for the 802.11 substrate: frame conservation on
+//! Property-style tests for the 802.11 substrate: frame conservation on
 //! the medium, AP power-save buffering conservation, and STA PSM
-//! invariants under randomized schedules.
-
-use proptest::prelude::*;
+//! invariants under randomized schedules. Randomized inputs come from
+//! the workspace's seeded [`DetRng`], so every case is reproducible.
 
 use phy80211::{
     ApConfig, ApNode, MediumConfig, MediumNode, PowerState, PsmPolicy, StaConfig, StaMacNode,
 };
-use simcore::{Ctx, LatencyDist, Node, NodeId, Sim, SimTime};
+use simcore::{Ctx, DetRng, LatencyDist, Node, NodeId, Sim, SimTime};
 use wire::{Frame, Ip, Mac, Msg, Packet, PacketTag, L4};
+
+const CASES: u64 = 32;
 
 fn pkt(id: u64, src: Ip, dst: Ip) -> Packet {
     Packet {
@@ -54,19 +55,20 @@ impl Node<Msg> for Counter {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Medium conservation: every injected frame is either delivered (and
+/// heard by every other listener), dropped at the retry limit, or
+/// dropped at a full sender queue. Nothing vanishes, nothing duplicates.
+#[test]
+fn medium_conserves_frames() {
+    let mut rng = DetRng::new(0x802_1101);
+    for _ in 0..CASES {
+        let n_batches = rng.uniform_u64(1, 7) as usize;
+        let batches: Vec<(usize, u64)> = (0..n_batches)
+            .map(|_| (rng.uniform_u64(0, 1) as usize, rng.uniform_u64(1, 29)))
+            .collect();
+        let collision_prob = rng.unit() * 0.4;
+        let seed = rng.uniform_u64(0, 999);
 
-    /// Medium conservation: every injected frame is either delivered (and
-    /// heard by every other listener), dropped at the retry limit, or
-    /// dropped at a full sender queue. Nothing vanishes, nothing
-    /// duplicates.
-    #[test]
-    fn medium_conserves_frames(
-        batches in proptest::collection::vec((0usize..2, 1u64..30), 1..8),
-        collision_prob in 0.0f64..0.4,
-        seed in 0u64..1000,
-    ) {
         let mut sim = Sim::new(seed);
         let a = sim.add_node(Box::new(Counter::new()));
         let b = sim.add_node(Box::new(Counter::new()));
@@ -97,7 +99,7 @@ proptest! {
         }
         sim.run_until_idle(1_000_000);
         let st = sim.node::<MediumNode>(medium).stats.clone();
-        prop_assert_eq!(
+        assert_eq!(
             st.delivered + st.dropped_retry + st.dropped_queue_full,
             total,
             "conservation"
@@ -105,23 +107,29 @@ proptest! {
         // Each delivered frame is heard by exactly one other listener
         // (two listeners total, sender excluded).
         let heard = sim.node::<Counter>(a).air + sim.node::<Counter>(b).air;
-        prop_assert_eq!(heard as u64, st.delivered);
+        assert_eq!(heard as u64, st.delivered);
         // TxDone + TxFailed notifications match.
         let done = sim.node::<Counter>(a).done + sim.node::<Counter>(b).done;
         let failed = sim.node::<Counter>(a).failed + sim.node::<Counter>(b).failed;
-        prop_assert_eq!(done as u64, st.delivered);
-        prop_assert_eq!(failed as u64, st.dropped_retry + st.dropped_queue_full);
+        assert_eq!(done as u64, st.delivered);
+        assert_eq!(failed as u64, st.dropped_retry + st.dropped_queue_full);
         // The channel cannot be busy longer than the whole run.
-        prop_assert!(st.busy_ns <= sim.now().as_nanos());
+        assert!(st.busy_ns <= sim.now().as_nanos());
     }
+}
 
-    /// AP power-save conservation: every downlink packet is forwarded,
-    /// buffered (and still buffered at the end), or counted as dropped.
-    #[test]
-    fn ap_conserves_downlink_packets(
-        events in proptest::collection::vec((any::<bool>(), 1u64..5), 1..20),
-        seed in 0u64..1000,
-    ) {
+/// AP power-save conservation: every downlink packet is forwarded,
+/// buffered (and still buffered at the end), or counted as dropped.
+#[test]
+fn ap_conserves_downlink_packets() {
+    let mut rng = DetRng::new(0x802_1102);
+    for _ in 0..CASES {
+        let n_events = rng.uniform_u64(1, 19) as usize;
+        let events: Vec<(bool, u64)> = (0..n_events)
+            .map(|_| (rng.chance(0.5), rng.uniform_u64(1, 4)))
+            .collect();
+        let seed = rng.uniform_u64(0, 999);
+
         let mut sim = Sim::new(seed);
         let wired = sim.add_node(Box::new(Counter::new()));
         let radio = sim.add_node(Box::new(Counter::new()));
@@ -135,7 +143,8 @@ proptest! {
         sim.node_mut::<MediumNode>(medium).attach(ap);
         sim.node_mut::<MediumNode>(medium).attach(radio);
         let phone_ip = Ip::new(192, 168, 1, 100);
-        sim.node_mut::<ApNode>(ap).associate(Mac::local(1), phone_ip);
+        sim.node_mut::<ApNode>(ap)
+            .associate(Mac::local(1), phone_ip);
         let mut t = SimTime::ZERO;
         let mut total = 0u64;
         let mut id = 0u64;
@@ -146,7 +155,12 @@ proptest! {
                 medium,
                 ap,
                 t,
-                Msg::AirRx(Frame::null_data(10_000 + id, Mac::local(1), Mac::local(0), doze)),
+                Msg::AirRx(Frame::null_data(
+                    10_000 + id,
+                    Mac::local(1),
+                    Mac::local(0),
+                    doze,
+                )),
             );
             for _ in 0..burst {
                 id += 1;
@@ -163,7 +177,7 @@ proptest! {
         let ap_node = sim.node::<ApNode>(ap);
         let st = &ap_node.stats;
         let still_buffered = ap_node.buffered_for(Mac::local(1)) as u64;
-        prop_assert_eq!(
+        assert_eq!(
             st.forwarded_down + still_buffered + st.dropped_ps_full + st.dropped_queue_full,
             total,
             "forwarded {} buffered {} ps_full {} q_full {}",
@@ -173,26 +187,30 @@ proptest! {
             st.dropped_queue_full
         );
     }
+}
 
-    /// STA PSM invariants under random probing schedules: CAM time never
-    /// exceeds the run length; a station that just transmitted is always
-    /// in CAM; delivered-to-host count equals unicast data accepted.
-    #[test]
-    fn sta_psm_invariants(
-        gaps in proptest::collection::vec(1u64..400, 1..25),
-        tip_ms in 20.0f64..300.0,
-        seed in 0u64..1000,
-    ) {
-        struct Host {
-            delivered: usize,
-        }
-        impl Node<Msg> for Host {
-            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
-                if matches!(msg, Msg::Wire(_)) {
-                    self.delivered += 1;
-                }
+/// STA PSM invariants under random probing schedules: CAM time never
+/// exceeds the run length; a station that just transmitted is always
+/// in CAM; delivered-to-host count equals unicast data accepted.
+#[test]
+fn sta_psm_invariants() {
+    struct Host {
+        delivered: usize,
+    }
+    impl Node<Msg> for Host {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+            if matches!(msg, Msg::Wire(_)) {
+                self.delivered += 1;
             }
         }
+    }
+    let mut rng = DetRng::new(0x802_1103);
+    for _ in 0..CASES {
+        let n_gaps = rng.uniform_u64(1, 24) as usize;
+        let gaps: Vec<u64> = (0..n_gaps).map(|_| rng.uniform_u64(1, 399)).collect();
+        let tip_ms = 20.0 + rng.unit() * 280.0;
+        let seed = rng.uniform_u64(0, 999);
+
         let mut sim = Sim::new(seed);
         let host = sim.add_node(Box::new(Host { delivered: 0 }));
         let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
@@ -221,20 +239,24 @@ proptest! {
                 host,
                 sta,
                 t,
-                Msg::Wire(pkt(i as u64, Ip::new(192, 168, 1, 100), Ip::new(10, 0, 0, 1))),
+                Msg::Wire(pkt(
+                    i as u64,
+                    Ip::new(192, 168, 1, 100),
+                    Ip::new(10, 0, 0, 1),
+                )),
             );
         }
         sim.run_until(t + simcore::SimDuration::from_millis(5));
         {
             let sta_node = sim.node::<StaMacNode>(sta);
             // Just transmitted (within wake + tx): must be CAM.
-            prop_assert_eq!(sta_node.power_state(), PowerState::Cam);
-            prop_assert!(sta_node.stats.cam_ns <= sim.now().as_nanos());
-            prop_assert_eq!(sta_node.stats.data_tx, gaps.len() as u64);
+            assert_eq!(sta_node.power_state(), PowerState::Cam);
+            assert!(sta_node.stats.cam_ns <= sim.now().as_nanos());
+            assert_eq!(sta_node.stats.data_tx, gaps.len() as u64);
         }
         // Let it settle past Tip: must doze and have announced it.
         sim.run_until(t + simcore::SimDuration::from_ms_f64(tip_ms + 50.0));
         let sta_node = sim.node::<StaMacNode>(sta);
-        prop_assert_eq!(sta_node.power_state(), PowerState::Doze);
+        assert_eq!(sta_node.power_state(), PowerState::Doze);
     }
 }

@@ -14,9 +14,43 @@ use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use obs::{Counter, Gauge, Registry};
+
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
+
+/// Telemetry handles for the engine's hot path. All handles come from one
+/// [`Registry`]; with the default (disabled) registry every update is a
+/// single branch on `None`.
+#[derive(Default)]
+struct SimMetrics {
+    /// `sim.events_processed` — dispatched messages + timer firings.
+    events: Counter,
+    /// `sim.queue_depth` — current future-event-list length.
+    queue_depth: Gauge,
+    /// `sim.advance_ns` — total simulated time advanced, in ns. Together
+    /// with `sim.wall_ns` this yields sim-time advance per wall-second.
+    advance_ns: Counter,
+    /// `sim.wall_ns` — wall-clock ns spent inside the run loops.
+    wall_ns: Counter,
+    /// `sim.timers_set` / `sim.timers_cancelled`.
+    timers_set: Counter,
+    timers_cancelled: Counter,
+}
+
+impl SimMetrics {
+    fn from_registry(reg: &Registry) -> SimMetrics {
+        SimMetrics {
+            events: reg.counter("sim.events_processed"),
+            queue_depth: reg.gauge("sim.queue_depth"),
+            advance_ns: reg.counter("sim.advance_ns"),
+            wall_ns: reg.counter("sim.wall_ns"),
+            timers_set: reg.counter("sim.timers_set"),
+            timers_cancelled: reg.counter("sim.timers_cancelled"),
+        }
+    }
+}
 
 /// Identifier of a node inside a [`Sim`], assigned by [`Sim::add_node`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -108,6 +142,7 @@ struct Inner<M> {
     trace: Trace,
     stop: bool,
     events_processed: u64,
+    metrics: SimMetrics,
 }
 
 impl<M> Inner<M> {
@@ -115,6 +150,7 @@ impl<M> Inner<M> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, entry });
+        self.metrics.queue_depth.set(self.heap.len() as i64);
     }
 }
 
@@ -175,13 +211,16 @@ impl<'a, M> Ctx<'a, M> {
                 tag,
             },
         );
+        self.inner.metrics.timers_set.inc();
         id
     }
 
     /// Cancel a pending timer. Cancelling an already-fired or
     /// already-cancelled timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.inner.cancelled.insert(id.0);
+        if self.inner.cancelled.insert(id.0) {
+            self.inner.metrics.timers_cancelled.inc();
+        }
     }
 
     /// The node's deterministic random source (shared engine stream; nodes
@@ -230,6 +269,7 @@ impl<M: 'static> Sim<M> {
                 trace: Trace::disabled(),
                 stop: false,
                 events_processed: 0,
+                metrics: SimMetrics::default(),
             },
             started: false,
         }
@@ -238,6 +278,13 @@ impl<M: 'static> Sim<M> {
     /// Install a trace sink (replacing the default disabled one).
     pub fn set_trace(&mut self, trace: Trace) {
         self.inner.trace = trace;
+    }
+
+    /// Attach engine telemetry (`sim.*` counters and gauges) to a
+    /// registry. With no call, or a disabled registry, every update in
+    /// the hot path is a no-op.
+    pub fn set_metrics(&mut self, registry: &Registry) {
+        self.inner.metrics = SimMetrics::from_registry(registry);
     }
 
     /// The trace sink.
@@ -332,19 +379,30 @@ impl<M: 'static> Sim<M> {
                     if self.inner.cancelled.remove(&id.0) {
                         continue; // cancelled; try the next event
                     }
-                    self.inner.now = sched.at;
-                    self.inner.events_processed += 1;
+                    self.advance_to(sched.at);
                     self.dispatch_timer(node, tag);
                     return !self.inner.stop;
                 }
                 Entry::Msg { from, to, msg } => {
-                    self.inner.now = sched.at;
-                    self.inner.events_processed += 1;
+                    self.advance_to(sched.at);
                     self.dispatch_message(from, to, msg);
                     return !self.inner.stop;
                 }
             }
         }
+    }
+
+    /// Advance the clock to an event's timestamp and account for it.
+    fn advance_to(&mut self, at: SimTime) {
+        let delta = at.saturating_since(self.inner.now);
+        self.inner.now = at;
+        self.inner.events_processed += 1;
+        self.inner.metrics.events.inc();
+        self.inner.metrics.advance_ns.add(delta.as_nanos());
+        self.inner
+            .metrics
+            .queue_depth
+            .set(self.inner.heap.len() as i64);
     }
 
     fn dispatch_message(&mut self, from: NodeId, to: NodeId, msg: M) {
@@ -381,12 +439,17 @@ impl<M: 'static> Sim<M> {
     /// `max_events` more events have been dispatched (a runaway guard).
     pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
         self.start_if_needed();
+        let wall = std::time::Instant::now();
         let start = self.inner.events_processed;
         while self.inner.events_processed - start < max_events {
             if !self.step() {
                 break;
             }
         }
+        self.inner
+            .metrics
+            .wall_ns
+            .add(wall.elapsed().as_nanos() as u64);
         self.inner.events_processed - start
     }
 
@@ -394,6 +457,7 @@ impl<M: 'static> Sim<M> {
     /// clock to exactly `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_if_needed();
+        let wall = std::time::Instant::now();
         loop {
             if self.inner.stop {
                 break;
@@ -408,8 +472,14 @@ impl<M: 'static> Sim<M> {
             }
         }
         if self.inner.now < deadline {
+            let delta = deadline.saturating_since(self.inner.now);
             self.inner.now = deadline;
+            self.inner.metrics.advance_ns.add(delta.as_nanos());
         }
+        self.inner
+            .metrics
+            .wall_ns
+            .add(wall.elapsed().as_nanos() as u64);
     }
 
     /// Run for `dur` of simulated time from the current clock.
@@ -674,5 +744,22 @@ mod tests {
         }
         sim.run_until_idle(100);
         assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn metrics_track_events_and_sim_advance() {
+        let reg = Registry::new();
+        let mut sim = Sim::new(0);
+        sim.set_metrics(&reg);
+        let rec = sim.add_node(Box::new(Recorder { got: vec![] }));
+        for i in 0..5 {
+            sim.inject(rec, rec, SimTime::from_millis(i), i as u32);
+        }
+        sim.run_until(SimTime::from_millis(10));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.events_processed"), Some(5));
+        // 4ms of event-driven advance + 6ms idle advance to the deadline.
+        assert_eq!(snap.counter("sim.advance_ns"), Some(10_000_000));
+        assert_eq!(snap.gauge("sim.queue_depth"), Some(0));
     }
 }

@@ -3,36 +3,68 @@
 //! Every stochastic element of the testbed (bus wake latency, PSM timeout
 //! jitter, contention backoff, link jitter) draws from a [`DetRng`] seeded by
 //! the experiment configuration, so a run is a pure function of its seed.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The engine is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, so the crate carries no
+//! external RNG dependency and the stream is identical on every platform.
 
 use crate::time::SimDuration;
+
+/// SplitMix64 step — used to expand a 64-bit seed into xoshiro state and
+/// to mix fork salts.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random source with the distribution helpers the models need.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.s = [n0, n1, n2, n3];
+        result
     }
 
     /// Derive an independent child generator. Used to give each node its own
     /// stream so adding a node does not perturb the draws of existing nodes.
     pub fn fork(&mut self, salt: u64) -> DetRng {
-        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s: u64 = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::new(s)
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 top bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -40,7 +72,7 @@ impl DetRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Uniform integer draw in `[lo, hi]` inclusive.
@@ -48,7 +80,19 @@ impl DetRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo + 1;
+        if span == 0 {
+            // Full u64 range.
+            return self.next_u64();
+        }
+        // Unbiased modulo rejection.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return lo + r % span;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -58,7 +102,7 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -69,12 +113,12 @@ impl DetRng {
         }
         // Box-Muller; u1 must be strictly positive for ln().
         let u1 = loop {
-            let u = self.inner.gen::<f64>();
+            let u = self.unit();
             if u > 0.0 {
                 break u;
             }
         };
-        let u2 = self.inner.gen::<f64>();
+        let u2 = self.unit();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         mean + std * z
     }
@@ -91,7 +135,7 @@ impl DetRng {
             return 0.0;
         }
         let u = loop {
-            let u = self.inner.gen::<f64>();
+            let u = self.unit();
             if u > 0.0 {
                 break u;
             }
@@ -110,7 +154,7 @@ impl DetRng {
         if len <= 1 {
             0
         } else {
-            self.inner.gen_range(0..len)
+            self.uniform_u64(0, len as u64 - 1) as usize
         }
     }
 }
@@ -191,6 +235,27 @@ mod tests {
         assert_eq!(a1.unit().to_bits(), a2.unit().to_bits());
         let mut b = root1.fork(2);
         assert_ne!(a1.unit().to_bits(), b.unit().to_bits());
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_is_inclusive_and_covers_range() {
+        let mut rng = DetRng::new(12);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.uniform_u64(10, 15);
+            assert!((10..=15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! is still cheap to build for hot paths that format lazily via
 //! [`Trace::enabled`]). The testbed enables it for debugging scenarios and
 //! the pcap-style event dumps in the examples.
+//!
+//! Storage is an [`obs::EventStream`]: the category filter, the bounded
+//! buffer, and the eviction drop counter all live in the telemetry layer
+//! so other event logs share the exact same semantics.
+
+use obs::EventStream;
 
 use crate::engine::NodeId;
 use crate::time::SimTime;
@@ -26,85 +32,65 @@ pub struct TraceEvent {
 /// buffer (oldest entries are dropped once the cap is hit).
 #[derive(Debug)]
 pub struct Trace {
-    enabled: bool,
-    filter: Option<Vec<&'static str>>,
-    cap: usize,
-    events: Vec<TraceEvent>,
-    dropped: usize,
+    stream: EventStream<TraceEvent>,
 }
 
 impl Default for Trace {
     fn default() -> Self {
-        Trace {
-            enabled: false,
-            filter: None,
-            cap: 1_000_000,
-            events: Vec::new(),
-            dropped: 0,
-        }
+        Trace::disabled()
     }
 }
 
 impl Trace {
     /// A disabled trace (the default).
     pub fn disabled() -> Self {
-        Trace::default()
+        Trace {
+            stream: EventStream::disabled(),
+        }
     }
 
     /// A trace capturing every category.
     pub fn capture_all() -> Self {
         Trace {
-            enabled: true,
-            ..Trace::default()
+            stream: EventStream::capture_all(),
         }
     }
 
     /// A trace capturing only the given categories.
     pub fn capture_categories(cats: Vec<&'static str>) -> Self {
         Trace {
-            enabled: true,
-            filter: Some(cats),
-            ..Trace::default()
+            stream: EventStream::capture_categories(cats),
         }
     }
 
     /// Cap the number of retained events.
     pub fn with_cap(mut self, cap: usize) -> Self {
-        self.cap = cap.max(1);
+        self.stream = self.stream.with_cap(cap);
         self
     }
 
     /// Whether a record for `category` would be kept. Hot paths should check
     /// this before formatting an expensive detail string.
     pub fn enabled(&self, category: &'static str) -> bool {
-        self.enabled
-            && self
-                .filter
-                .as_ref()
-                .map(|f| f.contains(&category))
-                .unwrap_or(true)
+        self.stream.enabled(category)
     }
 
     /// Record an event (no-op unless [`Trace::enabled`] for the category).
     pub fn record(&mut self, at: SimTime, node: NodeId, category: &'static str, detail: String) {
-        if !self.enabled(category) {
-            return;
-        }
-        if self.events.len() >= self.cap {
-            self.events.remove(0);
-            self.dropped += 1;
-        }
-        self.events.push(TraceEvent {
-            at,
-            node,
+        self.stream.record(
             category,
-            detail,
-        });
+            TraceEvent {
+                at,
+                node,
+                category,
+                detail,
+            },
+        );
     }
 
     /// All retained events in time order.
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.stream.events()
     }
 
     /// Events in one category.
@@ -112,18 +98,18 @@ impl Trace {
         &'a self,
         category: &'a str,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| e.category == category)
+        self.events().iter().filter(move |e| e.category == category)
     }
 
     /// How many events were evicted by the cap.
     pub fn dropped(&self) -> usize {
-        self.dropped
+        self.stream.dropped() as usize
     }
 
     /// Render as plain text, one line per event.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
+        for e in self.events() {
             out.push_str(&format!(
                 "{:>12.6}ms  n{:<3} [{}] {}\n",
                 e.at.as_ms_f64(),

@@ -1,7 +1,13 @@
-//! Property-based tests for the simcore engine invariants.
+//! Property-style tests for the simcore engine invariants.
+//!
+//! Each property is exercised over many randomized cases generated from
+//! the crate's own seeded [`DetRng`], so the inputs are reproducible
+//! bit-for-bit on every platform and the suite needs no external
+//! property-testing framework.
 
-use proptest::prelude::*;
-use simcore::{Ctx, Node, NodeId, Sim, SimDuration, SimTime};
+use simcore::{Ctx, DetRng, Node, NodeId, Sim, SimDuration, SimTime};
+
+const CASES: u64 = 48;
 
 /// Collects (arrival time, payload) pairs.
 struct Collector {
@@ -14,11 +20,20 @@ impl Node<u64> for Collector {
     }
 }
 
-proptest! {
-    /// Delivery order is always sorted by (time, injection sequence),
-    /// regardless of the injection order.
-    #[test]
-    fn delivery_is_time_ordered(delays in proptest::collection::vec(0u64..1000, 1..100)) {
+fn random_delays(rng: &mut DetRng, max_len: u64, max_delay: u64) -> Vec<u64> {
+    let len = rng.uniform_u64(1, max_len);
+    (0..len)
+        .map(|_| rng.uniform_u64(0, max_delay - 1))
+        .collect()
+}
+
+/// Delivery order is always sorted by (time, injection sequence),
+/// regardless of the injection order.
+#[test]
+fn delivery_is_time_ordered() {
+    let mut rng = DetRng::new(0xD311_0001);
+    for _ in 0..CASES {
+        let delays = random_delays(&mut rng, 99, 1000);
         let mut sim = Sim::new(0);
         let c = sim.add_node(Box::new(Collector { got: vec![] }));
         for (i, d) in delays.iter().enumerate() {
@@ -26,23 +41,25 @@ proptest! {
         }
         sim.run_until_idle(10_000);
         let got = &sim.node::<Collector>(c).got;
-        prop_assert_eq!(got.len(), delays.len());
+        assert_eq!(got.len(), delays.len());
         for w in got.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
                 // Equal timestamps: FIFO by injection order.
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal time");
+                assert!(w[0].1 < w[1].1, "FIFO violated at equal time");
             }
         }
     }
+}
 
-    /// run_until(t) then run_until_idle is equivalent to a single
-    /// run_until_idle for any split point: no event is lost or duplicated.
-    #[test]
-    fn run_until_split_is_lossless(
-        delays in proptest::collection::vec(0u64..500, 1..60),
-        split in 0u64..500,
-    ) {
+/// run_until(t) then run_until_idle is equivalent to a single
+/// run_until_idle for any split point: no event is lost or duplicated.
+#[test]
+fn run_until_split_is_lossless() {
+    let mut rng = DetRng::new(0xD311_0002);
+    for _ in 0..CASES {
+        let delays = random_delays(&mut rng, 59, 500);
+        let split = rng.uniform_u64(0, 499);
         let build = |sim: &mut Sim<u64>| {
             let c = sim.add_node(Box::new(Collector { got: vec![] }));
             for (i, d) in delays.iter().enumerate() {
@@ -59,39 +76,50 @@ proptest! {
         two.run_until(SimTime::from_millis(split));
         two.run_until_idle(100_000);
 
-        prop_assert_eq!(&one.node::<Collector>(c1).got, &two.node::<Collector>(c2).got);
+        assert_eq!(
+            &one.node::<Collector>(c1).got,
+            &two.node::<Collector>(c2).got
+        );
     }
+}
 
-    /// Timers set with random delays always fire exactly once, at the right
-    /// time, unless cancelled.
-    #[test]
-    fn timers_fire_once_at_right_time(
-        specs in proptest::collection::vec((0u64..200, any::<bool>()), 1..40)
-    ) {
-        struct T {
-            specs: Vec<(u64, bool)>,
-            fired: Vec<(SimTime, u64)>,
-        }
-        impl Node<u64> for T {
-            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
-                let specs = self.specs.clone();
-                for (tag, (delay, cancel)) in specs.into_iter().enumerate() {
-                    let id = ctx.set_timer(SimDuration::from_millis(delay), tag as u64);
-                    if cancel {
-                        ctx.cancel_timer(id);
-                    }
+/// Timers set with random delays always fire exactly once, at the right
+/// time, unless cancelled.
+#[test]
+fn timers_fire_once_at_right_time() {
+    struct T {
+        specs: Vec<(u64, bool)>,
+        fired: Vec<(SimTime, u64)>,
+    }
+    impl Node<u64> for T {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let specs = self.specs.clone();
+            for (tag, (delay, cancel)) in specs.into_iter().enumerate() {
+                let id = ctx.set_timer(SimDuration::from_millis(delay), tag as u64);
+                if cancel {
+                    ctx.cancel_timer(id);
                 }
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeId, _: u64) {}
-            fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, tag: u64) {
-                self.fired.push((ctx.now(), tag));
-            }
         }
+        fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeId, _: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, tag: u64) {
+            self.fired.push((ctx.now(), tag));
+        }
+    }
+    let mut rng = DetRng::new(0xD311_0003);
+    for _ in 0..CASES {
+        let len = rng.uniform_u64(1, 39);
+        let specs: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.uniform_u64(0, 199), rng.chance(0.5)))
+            .collect();
         let mut sim = Sim::new(0);
-        let n = sim.add_node(Box::new(T { specs: specs.clone(), fired: vec![] }));
+        let n = sim.add_node(Box::new(T {
+            specs: specs.clone(),
+            fired: vec![],
+        }));
         sim.run_until_idle(100_000);
         let fired = &sim.node::<T>(n).fired;
-        let expected: Vec<u64> = specs
+        let mut expected: Vec<u64> = specs
             .iter()
             .enumerate()
             .filter(|(_, (_, cancel))| !cancel)
@@ -99,44 +127,50 @@ proptest! {
             .collect();
         let mut got: Vec<u64> = fired.iter().map(|f| f.1).collect();
         got.sort_unstable();
-        let mut exp_sorted = expected.clone();
-        exp_sorted.sort_unstable();
-        prop_assert_eq!(got, exp_sorted);
+        expected.sort_unstable();
+        assert_eq!(got, expected);
         for (at, tag) in fired {
-            prop_assert_eq!(at.as_nanos(), specs[*tag as usize].0 * 1_000_000);
+            assert_eq!(at.as_nanos(), specs[*tag as usize].0 * 1_000_000);
         }
     }
+}
 
-    /// Simulated clock never runs backwards across a whole run.
-    #[test]
-    fn clock_is_monotone(delays in proptest::collection::vec(0u64..300, 1..80)) {
-        struct Chain {
-            hops: Vec<u64>,
-            seen: Vec<SimTime>,
-        }
-        impl Node<u64> for Chain {
-            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
-                if let Some(d) = self.hops.first().copied() {
-                    let me = ctx.me();
-                    ctx.send(me, SimDuration::from_millis(d), 0);
-                }
-            }
-            fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _: NodeId, hop: u64) {
-                self.seen.push(ctx.now());
-                let next = (hop + 1) as usize;
-                if let Some(d) = self.hops.get(next).copied() {
-                    let me = ctx.me();
-                    ctx.send(me, SimDuration::from_millis(d), hop + 1);
-                }
+/// Simulated clock never runs backwards across a whole run.
+#[test]
+fn clock_is_monotone() {
+    struct Chain {
+        hops: Vec<u64>,
+        seen: Vec<SimTime>,
+    }
+    impl Node<u64> for Chain {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if let Some(d) = self.hops.first().copied() {
+                let me = ctx.me();
+                ctx.send(me, SimDuration::from_millis(d), 0);
             }
         }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _: NodeId, hop: u64) {
+            self.seen.push(ctx.now());
+            let next = (hop + 1) as usize;
+            if let Some(d) = self.hops.get(next).copied() {
+                let me = ctx.me();
+                ctx.send(me, SimDuration::from_millis(d), hop + 1);
+            }
+        }
+    }
+    let mut rng = DetRng::new(0xD311_0004);
+    for _ in 0..CASES {
+        let delays = random_delays(&mut rng, 79, 300);
         let mut sim = Sim::new(0);
-        let n = sim.add_node(Box::new(Chain { hops: delays.clone(), seen: vec![] }));
+        let n = sim.add_node(Box::new(Chain {
+            hops: delays.clone(),
+            seen: vec![],
+        }));
         sim.run_until_idle(100_000);
         let seen = &sim.node::<Chain>(n).seen;
-        prop_assert_eq!(seen.len(), delays.len());
+        assert_eq!(seen.len(), delays.len());
         for w in seen.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
     }
 }

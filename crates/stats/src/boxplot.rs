@@ -4,12 +4,12 @@
 //! maximum and minimum, respectively, after excluding the outliers" —
 //! outliers being points beyond 1.5·IQR from the quartiles (Tukey fences).
 
-use serde::Serialize;
+use obs::ToJson;
 
 use crate::quantile::quantile_sorted;
 
 /// Five-number box-plot summary plus outliers.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, ToJson)]
 pub struct BoxStats {
     /// 25th percentile.
     pub q1: f64,

@@ -1,10 +1,10 @@
 //! Empirical cumulative distribution functions, used for the Figure-8/9
 //! style CDF comparisons.
 
-use serde::Serialize;
+use obs::ToJson;
 
 /// An empirical CDF over a sample.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, ToJson)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

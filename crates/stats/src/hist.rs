@@ -1,0 +1,74 @@
+//! Bridge between `obs` histograms and the paper's percentile machinery.
+//!
+//! An [`obs::metrics::HistogramSnapshot`] retains a deterministic
+//! first-N reservoir of raw samples. This module extracts percentiles
+//! from that reservoir with the same R type-7 [`quantile`](crate::quantile)
+//! used for every table and figure, so telemetry reports and experiment
+//! tables agree digit-for-digit.
+
+use obs::metrics::HistogramSnapshot;
+
+use crate::quantile::quantile;
+
+/// p50/p95/p99 of a histogram, plus count and mean, ready for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistPercentiles {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean over all observations (not just retained samples).
+    pub mean: f64,
+    /// Median of the retained samples.
+    pub p50: f64,
+    /// 95th percentile of the retained samples.
+    pub p95: f64,
+    /// 99th percentile of the retained samples.
+    pub p99: f64,
+}
+
+/// Compute [`HistPercentiles`] via `am_stats::quantile`. Returns `None`
+/// when the histogram has no observations.
+pub fn hist_percentiles(h: &HistogramSnapshot) -> Option<HistPercentiles> {
+    if h.samples.is_empty() {
+        return None;
+    }
+    Some(HistPercentiles {
+        count: h.count,
+        mean: h.mean(),
+        p50: quantile(&h.samples, 0.50)?,
+        p95: quantile(&h.samples, 0.95)?,
+        p99: quantile(&h.samples, 0.99)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Registry;
+
+    #[test]
+    fn percentiles_match_quantile_machinery() {
+        let reg = Registry::new();
+        let h = reg.histogram("t", &[50.0, 100.0]);
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let snap = reg.snapshot();
+        let hp = hist_percentiles(snap.histogram("t").unwrap()).unwrap();
+        assert_eq!(hp.count, 100);
+        assert!((hp.mean - 50.5).abs() < 1e-9);
+        assert!(
+            (hp.p50 - quantile(&snap.histogram("t").unwrap().samples, 0.5).unwrap()).abs() < 1e-12
+        );
+        // And the obs-side approximation agrees with the am-stats one
+        // while the reservoir has not overflowed.
+        assert!((hp.p95 - snap.histogram("t").unwrap().p95()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_yields_none() {
+        let reg = Registry::new();
+        reg.histogram("empty", &[1.0]);
+        let snap = reg.snapshot();
+        assert!(hist_percentiles(snap.histogram("empty").unwrap()).is_none());
+    }
+}

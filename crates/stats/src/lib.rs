@@ -15,12 +15,14 @@
 
 mod boxplot;
 mod ecdf;
+mod hist;
 mod quantile;
 pub mod render;
 mod summary;
 
 pub use boxplot::BoxStats;
 pub use ecdf::Ecdf;
+pub use hist::{hist_percentiles, HistPercentiles};
 pub use quantile::{median, quantile, quantile_sorted};
 pub use render::{render_boxplots, render_cdfs, Table};
 pub use summary::{t_quantile_975, Summary};

@@ -167,9 +167,7 @@ pub fn render_cdfs(series: &[(String, Ecdf)], width: usize, height: usize) -> St
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, e)) in series.iter().enumerate() {
         let mark = markers[si % markers.len()];
-        for (cx, x) in (0..width)
-            .map(|c| (c, lo + span * c as f64 / (width - 1) as f64))
-        {
+        for (cx, x) in (0..width).map(|c| (c, lo + span * c as f64 / (width - 1) as f64)) {
             let p = e.prob_at_or_below(x);
             let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
             grid[row.min(height - 1)][cx] = mark;

@@ -4,7 +4,7 @@
 //! (Tables 2, 3, 5). The interval here is the classic Student-t interval
 //! `mean ± t(0.975, n−1) · s/√n`.
 
-use serde::Serialize;
+use obs::ToJson;
 
 /// Two-sided 97.5% Student-t quantiles for small degrees of freedom,
 /// indexed by `df` (1-based). Falls back to the normal quantile above 120.
@@ -28,7 +28,7 @@ pub fn t_quantile_975(df: usize) -> f64 {
 }
 
 /// Summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -1,88 +1,133 @@
-//! Property-based tests for statistical invariants.
+//! Property-style tests for statistical invariants, driven by seeded
+//! deterministic inputs from `simcore`-independent sampling (a tiny
+//! local LCG keeps this crate dependency-free).
 
 use am_stats::{quantile, BoxStats, Ecdf, Summary};
-use proptest::prelude::*;
 
-fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, 1..200)
-}
+const CASES: u64 = 64;
 
-proptest! {
-    /// min ≤ mean ≤ max, CI ≥ 0, std ≥ 0.
-    #[test]
-    fn summary_invariants(xs in arb_sample()) {
-        let s = Summary::of(&xs).unwrap();
-        prop_assert!(s.min <= s.mean + 1e-9);
-        prop_assert!(s.mean <= s.max + 1e-9);
-        prop_assert!(s.std >= 0.0);
-        prop_assert!(s.ci95 >= 0.0);
-        prop_assert_eq!(s.n, xs.len());
+/// Minimal deterministic generator for test inputs (SplitMix64).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// Mean is translation-equivariant; std is translation-invariant.
-    #[test]
-    fn summary_translation(xs in arb_sample(), shift in -1e3f64..1e3) {
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn sample(&mut self) -> Vec<f64> {
+        let len = 1 + (self.next_u64() % 199) as usize;
+        (0..len).map(|_| self.in_range(-1e6, 1e6)).collect()
+    }
+}
+
+/// min ≤ mean ≤ max, CI ≥ 0, std ≥ 0.
+#[test]
+fn summary_invariants() {
+    let mut rng = TestRng(0x57A7_0001);
+    for _ in 0..CASES {
+        let xs = rng.sample();
+        let s = Summary::of(&xs).unwrap();
+        assert!(s.min <= s.mean + 1e-9);
+        assert!(s.mean <= s.max + 1e-9);
+        assert!(s.std >= 0.0);
+        assert!(s.ci95 >= 0.0);
+        assert_eq!(s.n, xs.len());
+    }
+}
+
+/// Mean is translation-equivariant; std is translation-invariant.
+#[test]
+fn summary_translation() {
+    let mut rng = TestRng(0x57A7_0002);
+    for _ in 0..CASES {
+        let xs = rng.sample();
+        let shift = rng.in_range(-1e3, 1e3);
         let s0 = Summary::of(&xs).unwrap();
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
         let s1 = Summary::of(&shifted).unwrap();
-        prop_assert!((s1.mean - (s0.mean + shift)).abs() < 1e-6);
-        prop_assert!((s1.std - s0.std).abs() < 1e-6);
+        assert!((s1.mean - (s0.mean + shift)).abs() < 1e-6);
+        assert!((s1.std - s0.std).abs() < 1e-6);
     }
+}
 
-    /// Box stats ordering chain holds for any sample. Note the whiskers
-    /// are *sample points* while the quartiles are interpolated, so a
-    /// whisker may legitimately cross its quartile when every sample on
-    /// that side is outlier-fenced; only the quartile chain and the
-    /// whisker-vs-whisker order are invariant.
-    #[test]
-    fn boxstats_ordering(xs in arb_sample()) {
+/// Box stats ordering chain holds for any sample. Note the whiskers
+/// are *sample points* while the quartiles are interpolated, so a
+/// whisker may legitimately cross its quartile when every sample on
+/// that side is outlier-fenced; only the quartile chain and the
+/// whisker-vs-whisker order are invariant.
+#[test]
+fn boxstats_ordering() {
+    let mut rng = TestRng(0x57A7_0003);
+    for _ in 0..CASES {
+        let xs = rng.sample();
         let b = BoxStats::of(&xs).unwrap();
-        prop_assert!(b.lo_whisker <= b.hi_whisker + 1e-9);
-        prop_assert!(b.q1 <= b.median + 1e-9);
-        prop_assert!(b.median <= b.q3 + 1e-9);
+        assert!(b.lo_whisker <= b.hi_whisker + 1e-9);
+        assert!(b.q1 <= b.median + 1e-9);
+        assert!(b.median <= b.q3 + 1e-9);
         // Whiskers are actual sample points.
-        prop_assert!(xs.iter().any(|&x| (x - b.lo_whisker).abs() < 1e-9));
-        prop_assert!(xs.iter().any(|&x| (x - b.hi_whisker).abs() < 1e-9));
+        assert!(xs.iter().any(|&x| (x - b.lo_whisker).abs() < 1e-9));
+        assert!(xs.iter().any(|&x| (x - b.hi_whisker).abs() < 1e-9));
         // Outliers lie strictly outside the whiskers.
         for o in &b.outliers {
-            prop_assert!(*o < b.lo_whisker || *o > b.hi_whisker);
+            assert!(*o < b.lo_whisker || *o > b.hi_whisker);
         }
     }
+}
 
-    /// Quantile is monotone in p and bounded by min/max.
-    #[test]
-    fn quantile_monotone(xs in arb_sample(), ps in proptest::collection::vec(0.0f64..=1.0, 2..10)) {
-        let mut ps = ps;
+/// Quantile is monotone in p and bounded by min/max.
+#[test]
+fn quantile_monotone() {
+    let mut rng = TestRng(0x57A7_0004);
+    for _ in 0..CASES {
+        let xs = rng.sample();
+        let n_ps = 2 + (rng.next_u64() % 8) as usize;
+        let mut ps: Vec<f64> = (0..n_ps).map(|_| rng.unit()).collect();
         ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = f64::NEG_INFINITY;
         for &p in &ps {
             let q = quantile(&xs, p).unwrap();
-            prop_assert!(q >= prev - 1e-9);
+            assert!(q >= prev - 1e-9);
             prev = q;
         }
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(quantile(&xs, 0.0).unwrap() >= lo - 1e-9);
-        prop_assert!(quantile(&xs, 1.0).unwrap() <= hi + 1e-9);
+        assert!(quantile(&xs, 0.0).unwrap() >= lo - 1e-9);
+        assert!(quantile(&xs, 1.0).unwrap() <= hi + 1e-9);
     }
+}
 
-    /// ECDF is a valid distribution function: monotone, ends at 1, and
-    /// value_at/prob_at_or_below are mutually consistent.
-    #[test]
-    fn ecdf_is_valid(xs in arb_sample()) {
+/// ECDF is a valid distribution function: monotone, ends at 1, and
+/// value_at/prob_at_or_below are mutually consistent.
+#[test]
+fn ecdf_is_valid() {
+    let mut rng = TestRng(0x57A7_0005);
+    for _ in 0..CASES {
+        let xs = rng.sample();
         let e = Ecdf::of(&xs).unwrap();
         let pts = e.points();
-        prop_assert_eq!(pts.len(), xs.len());
-        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert_eq!(pts.len(), xs.len());
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
         let mut prev = 0.0;
         for (_, p) in &pts {
-            prop_assert!(*p >= prev);
+            assert!(*p >= prev);
             prev = *p;
         }
         for i in 1..=4 {
             let p = i as f64 / 4.0;
             let v = e.value_at(p);
-            prop_assert!(e.prob_at_or_below(v) + 1e-12 >= p);
+            assert!(e.prob_at_or_below(v) + 1e-12 >= p);
         }
     }
 }

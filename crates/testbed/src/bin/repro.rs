@@ -2,24 +2,32 @@
 //! line.
 //!
 //! ```text
-//! repro [--k N] [--seed S] [--out DIR] [table1|table2|table3|table4|
-//!        table5|fig3|fig7|fig8|fig9|seeds|ablations|all]...
+//! repro [--k N] [--seed S] [--out DIR] [--metrics-json] [--metrics-text]
+//!       [-v] [--quiet]
+//!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
+//!        seeds|ablations|telemetry|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
-//! result as JSON under `--out` (default `results/`).
+//! result as JSON under `--out` (default `results/`). The `telemetry`
+//! experiment runs instrumented sessions and emits the workspace metrics
+//! snapshot (SDIO wake-latency, PSM beacon-buffering, per-layer
+//! counters); `--metrics-json` / `--metrics-text` choose the format
+//! (default: Prometheus-style text).
 
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
+use obs::{error, info, Registry, ToJson};
 use testbed::experiments::{
-    ablations, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5,
+    ablations, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5, telemetry,
 };
 
 struct Options {
     k: u32,
     seed: u64,
     out: PathBuf,
+    metrics_json: bool,
+    metrics_text: bool,
     experiments: Vec<String>,
 }
 
@@ -28,8 +36,12 @@ fn parse_args() -> Options {
         k: 100,
         seed: 2016,
         out: PathBuf::from("results"),
+        metrics_json: false,
+        metrics_text: false,
         experiments: Vec::new(),
     };
+    let mut quiet = false;
+    let mut verbosity = 0u8;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -51,34 +63,67 @@ fn parse_args() -> Options {
                     .map(PathBuf::from)
                     .unwrap_or_else(|| die("--out needs a path"))
             }
+            "--metrics-json" => opts.metrics_json = true,
+            "--metrics-text" => opts.metrics_text = true,
+            "--quiet" | "-q" => quiet = true,
+            "-v" | "--verbose" => verbosity += 1,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--k N] [--seed S] [--out DIR] \
+                     [--metrics-json] [--metrics-text] [-v] [--quiet] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
-                     seeds|ablations|all]..."
+                     seeds|ablations|telemetry|all]..."
                 );
                 std::process::exit(0);
             }
             other => opts.experiments.push(other.to_string()),
         }
     }
+    obs::log::init_from_flags(quiet, verbosity);
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
+    }
+    const KNOWN: [&str; 13] = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig3",
+        "fig7",
+        "fig8",
+        "fig9",
+        "seeds",
+        "ablations",
+        "telemetry",
+        "all",
+    ];
+    for e in &opts.experiments {
+        if !KNOWN.contains(&e.as_str()) {
+            die(&format!("unknown experiment '{e}' (see --help)"));
+        }
     }
     opts
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
+    error!("repro: {msg}");
     std::process::exit(2);
 }
 
-fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+fn write_json<T: ToJson>(dir: &Path, name: &str, value: &T) {
+    write_raw(
+        dir,
+        &format!("{name}.json"),
+        value.to_json().to_string_pretty(),
+    );
+}
+
+fn write_raw(dir: &Path, file: &str, contents: String) {
     std::fs::create_dir_all(dir).expect("create results dir");
-    let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize result");
-    std::fs::write(&path, json).expect("write result");
-    println!("[saved {}]", path.display());
+    let path = dir.join(file);
+    std::fs::write(&path, contents).expect("write result");
+    info!("[saved {}]", path.display());
 }
 
 fn main() {
@@ -92,7 +137,7 @@ fn main() {
     }
     // Table 2 and Fig. 3 come from the same ping matrix: run it once.
     if wants("table2") || wants("fig3") {
-        eprintln!("running ping matrix (Table 2 + Fig 3), k={} ...", opts.k);
+        info!("running ping matrix (Table 2 + Fig 3), k={} ...", opts.k);
         let m = ping_matrix::run(opts.k, opts.seed);
         if wants("table2") {
             println!("\n{}", m.render_table2());
@@ -103,49 +148,49 @@ fn main() {
         write_json(&opts.out, "ping_matrix", &m);
     }
     if wants("table3") {
-        eprintln!("running Table 3, k={} ...", opts.k);
+        info!("running Table 3, k={} ...", opts.k);
         let t = table3::run(opts.k, opts.seed);
         println!("\n{}", t.render());
         write_json(&opts.out, "table3", &t);
     }
     if wants("table4") {
-        eprintln!("running Table 4 ...");
+        info!("running Table 4 ...");
         let t = table4::run(12, opts.seed);
         println!("\n{}", t.render());
         write_json(&opts.out, "table4", &t);
     }
     if wants("table5") {
-        eprintln!("running Table 5, k={} ...", opts.k);
+        info!("running Table 5, k={} ...", opts.k);
         let t = table5::run(opts.k, opts.seed);
         println!("\n{}", t.render());
         write_json(&opts.out, "table5", &t);
     }
     if wants("fig7") {
-        eprintln!("running Fig 7, k={} ...", opts.k);
+        info!("running Fig 7, k={} ...", opts.k);
         let f = fig7::run(opts.k, opts.seed);
         println!("\n{}", f.render());
         write_json(&opts.out, "fig7", &f);
     }
     if wants("fig8") {
-        eprintln!("running Fig 8, k={} ...", opts.k);
+        info!("running Fig 8, k={} ...", opts.k);
         let f = fig8::run(opts.k, opts.seed);
         println!("\n{}", f.render());
         write_json(&opts.out, "fig8", &f);
     }
     if wants("fig9") {
-        eprintln!("running Fig 9, k={} ...", opts.k);
+        info!("running Fig 9, k={} ...", opts.k);
         let f = fig9::run(opts.k, opts.seed);
         println!("\n{}", f.render());
         write_json(&opts.out, "fig9", &f);
     }
     if wants("seeds") {
-        eprintln!("running seed sweep ...");
+        info!("running seed sweep ...");
         let s = seeds::run(20, opts.k.min(50));
         println!("\n{}", s.render());
         write_json(&opts.out, "seed_sweep", &s);
     }
     if wants("ablations") {
-        eprintln!("running ablations ...");
+        info!("running ablations ...");
         let db = ablations::db_sweep(opts.k.min(50), opts.seed);
         println!(
             "\n{}",
@@ -207,5 +252,28 @@ fn main() {
         );
         write_json(&opts.out, "ablate_cellular", &cell);
     }
-    eprintln!("done.");
+    if wants("telemetry") {
+        for (label, tool) in [
+            ("slow ping", telemetry::TelemetryTool::SlowPing),
+            ("acutemon", telemetry::TelemetryTool::AcuteMon),
+        ] {
+            info!("running instrumented {label} session, 300 ms path ...");
+            let reg = Registry::new();
+            telemetry::run(tool, opts.k.min(30), opts.seed, 300, &reg);
+            let snap = reg.snapshot();
+            let slug = label.replace(' ', "_");
+            println!("\nTelemetry snapshot ({label}, Nexus 5, 300 ms path):");
+            if opts.metrics_json {
+                print!("{}", obs::export::json_lines(&snap));
+            } else {
+                print!("{}", obs::export::prometheus(&snap));
+            }
+            write_raw(
+                &opts.out,
+                &format!("telemetry_{slug}.jsonl"),
+                obs::export::json_lines(&snap),
+            );
+        }
+    }
+    info!("done.");
 }

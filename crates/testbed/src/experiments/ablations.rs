@@ -11,15 +11,15 @@ use acutemon::{AcuteMonApp, AcuteMonConfig};
 use am_stats::median;
 use measure::{Ping2Config, Ping2Prober, PingApp, PingConfig, RecordSet};
 use netem::ServerNode;
+use obs::ToJson;
 use phone::{PhoneNode, RuntimeKind};
 use phy80211::PsmPolicy;
-use serde::Serialize;
 use simcore::{LatencyDist, SimDuration, SimTime};
 
 use crate::{addr, Testbed, TestbedConfig};
 
 /// One point of the `db` sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct DbSweepPoint {
     /// Background interval (ms).
     pub db_ms: u64,
@@ -54,7 +54,7 @@ pub fn db_sweep(k: u32, seed: u64) -> Vec<DbSweepPoint> {
 }
 
 /// One arm of the TTL ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct TtlArm {
     /// Warm-up TTL used.
     pub ttl: u8,
@@ -93,7 +93,7 @@ pub fn ttl_ablation(k: u32, seed: u64) -> Vec<TtlArm> {
 }
 
 /// One arm of the ping2 comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Ping2Arm {
     /// Emulated RTT (ms).
     pub rtt_ms: u64,
@@ -145,7 +145,7 @@ pub fn ping2_comparison(k: u32, seed: u64) -> Vec<Ping2Arm> {
 }
 
 /// One arm of the PSM-policy ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct PsmArm {
     /// `"static"` or `"adaptive"`.
     pub policy: &'static str,
@@ -192,7 +192,7 @@ pub fn static_psm(k: u32, seed: u64) -> Vec<PsmArm> {
 }
 
 /// One arm of the listen-interval sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct ListenArm {
     /// Listen interval `L`.
     pub listen_interval: u32,
@@ -231,7 +231,7 @@ pub fn listen_interval_sweep(k: u32, seed: u64) -> Vec<ListenArm> {
 }
 
 /// One arm of the U-APSD ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct UapsdArm {
     /// Power-save flavour + tool.
     pub arm: &'static str,
@@ -316,7 +316,7 @@ pub fn uapsd(k: u32, seed: u64) -> Vec<UapsdArm> {
 }
 
 /// One point of the loss-robustness sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct LossPoint {
     /// Per-direction loss probability on the server link.
     pub loss: f64,
@@ -359,7 +359,7 @@ pub fn loss_robustness(k: u32, seed: u64) -> Vec<LossPoint> {
 }
 
 /// One point of the channel-error sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct FerPoint {
     /// Channel frame-error rate.
     pub fer: f64,
@@ -403,7 +403,7 @@ pub fn fer_robustness(k: u32, seed: u64) -> Vec<FerPoint> {
 }
 
 /// One arm of the energy-cost experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct EnergyArm {
     /// Strategy description.
     pub arm: &'static str,
@@ -522,7 +522,7 @@ pub fn energy_cost(k: u32, seed: u64) -> Vec<EnergyArm> {
 }
 
 /// One arm of the cellular (RRC) extension experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct CellularArm {
     /// Radio technology (`"lte"` / `"umts"`).
     pub rat: &'static str,
@@ -606,13 +606,10 @@ pub fn cellular(k: u32, seed: u64) -> Vec<CellularArm> {
 }
 
 /// Render any ablation output as aligned text.
-pub fn render<T: Serialize>(title: &str, rows: &[T]) -> String {
+pub fn render<T: ToJson>(title: &str, rows: &[T]) -> String {
     let mut out = format!("{title}\n");
     for r in rows {
-        out.push_str(&format!(
-            "  {}\n",
-            serde_json::to_string(r).expect("serializable row")
-        ));
+        out.push_str(&format!("  {}\n", obs::ToJson::to_json(r)));
     }
     out
 }

@@ -8,15 +8,15 @@
 
 use acutemon::{AcuteMonApp, AcuteMonConfig};
 use am_stats::{render_boxplots, BoxStats};
+use obs::ToJson;
 use phone::{PhoneNode, PhoneProfile, RuntimeKind};
-use serde::Serialize;
 use simcore::SimTime;
 
 use crate::metrics::{breakdowns, series};
 use crate::{addr, Testbed, TestbedConfig};
 
 /// Box statistics for one (phone, rtt) pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Fig7Entry {
     /// Phone model.
     pub phone: String,
@@ -29,7 +29,7 @@ pub struct Fig7Entry {
 }
 
 /// The Figure 7 result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct Fig7 {
     /// All entries.
     pub entries: Vec<Fig7Entry>,

@@ -9,14 +9,14 @@
 use acutemon::{AcuteMonApp, AcuteMonConfig};
 use am_stats::{render_cdfs, Ecdf};
 use measure::RecordSet;
+use obs::ToJson;
 use phone::{PhoneNode, RuntimeKind};
-use serde::Serialize;
 use simcore::SimTime;
 
 use crate::{addr, Testbed, TestbedConfig};
 
 /// The three curves of Fig. 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson)]
 #[allow(missing_docs)]
 pub enum Arm {
     WithBackground,
@@ -36,7 +36,7 @@ impl Arm {
 }
 
 /// One curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Fig9Curve {
     /// Which arm.
     pub arm: Arm,
@@ -45,7 +45,7 @@ pub struct Fig9Curve {
 }
 
 /// The Figure 9 result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct Fig9 {
     /// The three curves.
     pub curves: Vec<Fig9Curve>,

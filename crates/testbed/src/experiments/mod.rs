@@ -10,6 +10,7 @@
 //! | [`fig8`] | Fig. 8 (tool-comparison CDFs, with/without cross traffic) |
 //! | [`fig9`] | Fig. 9 (background-traffic effect CDFs) |
 //! | [`ablations`] | The DESIGN.md §5 ablation/extension experiments |
+//! | [`telemetry`] | An instrumented session cross-checking the obs counters |
 //!
 //! Every runner takes a seed and a probe budget, returns a serializable
 //! result struct with a `render()` method, and is deterministic.
@@ -24,12 +25,13 @@ pub mod table1;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod telemetry;
 
 use am_stats::Summary;
-use serde::Serialize;
+use obs::ToJson;
 
 /// A `mean ± 95% CI` cell as the paper prints them.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, ToJson)]
 pub struct Cell {
     /// Mean.
     pub mean: f64,

@@ -6,8 +6,8 @@
 
 use am_stats::{render_boxplots, BoxStats, Table};
 use measure::{PingApp, PingConfig};
+use obs::ToJson;
 use phone::{PhoneNode, PhoneProfile, RuntimeKind};
-use serde::Serialize;
 use simcore::{SimDuration, SimTime};
 
 use crate::experiments::Cell;
@@ -62,7 +62,7 @@ pub fn run_ping(
 }
 
 /// A Table 2 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Table2Row {
     /// Phone model.
     pub phone: String,
@@ -79,7 +79,7 @@ pub struct Table2Row {
 }
 
 /// A Figure 3 panel entry: box stats for one (phone, interval, rtt).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Fig3Entry {
     /// Panel label, e.g. `"N5(1s)"`.
     pub label: String,
@@ -92,7 +92,7 @@ pub struct Fig3Entry {
 }
 
 /// The full matrix result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct PingMatrix {
     /// Table 2 rows.
     pub table2: Vec<Table2Row>,

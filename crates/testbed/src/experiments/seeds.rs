@@ -7,14 +7,14 @@
 use acutemon::{AcuteMonApp, AcuteMonConfig};
 use am_stats::{median, Summary};
 use measure::{PingApp, PingConfig, RecordSet};
+use obs::ToJson;
 use phone::{PhoneNode, RuntimeKind};
-use serde::Serialize;
 use simcore::{SimDuration, SimTime};
 
 use crate::{addr, Testbed, TestbedConfig};
 
 /// Per-seed outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct SeedOutcome {
     /// The seed.
     pub seed: u64,
@@ -25,7 +25,7 @@ pub struct SeedOutcome {
 }
 
 /// The sweep result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct SeedSweep {
     /// Per-seed outcomes.
     pub outcomes: Vec<SeedOutcome>,

@@ -3,11 +3,11 @@
 //! and the paper's hardware table stay in one place.
 
 use am_stats::Table;
+use obs::ToJson;
 use phone::ChipVendor;
-use serde::Serialize;
 
 /// One phone row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Table1Row {
     /// Model name.
     pub model: String,
@@ -22,7 +22,7 @@ pub struct Table1Row {
 }
 
 /// The Table 1 result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct Table1 {
     /// One row per phone, paper order.
     pub rows: Vec<Table1Row>,

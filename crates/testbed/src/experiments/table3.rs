@@ -7,14 +7,14 @@
 
 use am_stats::Table;
 use measure::{PingApp, PingConfig};
+use obs::ToJson;
 use phone::{PhoneNode, RuntimeKind};
-use serde::Serialize;
 use simcore::{SimDuration, SimTime};
 
 use crate::{addr, Testbed, TestbedConfig};
 
 /// One row of Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Table3Row {
     /// `"dvsend"` or `"dvrecv"`.
     pub kind: &'static str,
@@ -31,7 +31,7 @@ pub struct Table3Row {
 }
 
 /// The Table 3 result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct Table3 {
     /// All rows in the paper's order.
     pub rows: Vec<Table3Row>,

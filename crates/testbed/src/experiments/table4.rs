@@ -11,15 +11,15 @@
 
 use am_stats::{median, Table};
 use measure::{PingApp, PingConfig};
+use obs::ToJson;
 use phone::PhoneProfile;
-use serde::Serialize;
 use simcore::{SimDuration, SimTime};
 use wire::FrameKind;
 
 use crate::{addr, Testbed, TestbedConfig};
 
 /// One phone's Table 4 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Table4Row {
     /// Phone model.
     pub phone: String,
@@ -36,7 +36,7 @@ pub struct Table4Row {
 }
 
 /// The Table 4 result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct Table4 {
     /// One row per phone, paper order.
     pub rows: Vec<Table4Row>,

@@ -7,8 +7,8 @@
 use acutemon::{AcuteMonApp, AcuteMonConfig};
 use am_stats::Table;
 use measure::RecordSet;
+use obs::ToJson;
 use phone::{PhoneNode, PhoneProfile, RuntimeKind};
-use serde::Serialize;
 use simcore::SimTime;
 
 use crate::experiments::Cell;
@@ -16,7 +16,7 @@ use crate::metrics::{breakdowns, series};
 use crate::{addr, Testbed, TestbedConfig};
 
 /// One (phone × RTT) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, ToJson)]
 pub struct Table5Cell {
     /// Phone model.
     pub phone: String,
@@ -31,7 +31,7 @@ pub struct Table5Cell {
 }
 
 /// The Table 5 result.
-#[derive(Debug, Serialize)]
+#[derive(Debug, ToJson)]
 pub struct Table5 {
     /// All cells, phone-major.
     pub cells: Vec<Table5Cell>,

@@ -7,12 +7,12 @@
 //! `∆dk−n = dk − dn`.
 
 use measure::RttRecord;
+use obs::ToJson;
 use phone::Ledger;
-use serde::Serialize;
 use sniffer::CaptureIndex;
 
 /// All per-layer RTTs and overheads for one probe, in ms.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, ToJson)]
 pub struct ProbeBreakdown {
     /// Probe index.
     pub probe: u32,

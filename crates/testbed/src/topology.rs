@@ -311,6 +311,37 @@ impl Testbed {
             .install_app(app, runtime)
     }
 
+    /// Register telemetry for every layer of the testbed in `reg`: the
+    /// simulator engine (`sim.*`), the phone's host bus (`phone.sdio.*`),
+    /// the station and AP MACs (`phy.sta.*`, `phy.ap.*`), the netem link
+    /// (`netem.link.server.*`) and the measurement server
+    /// (`netem.server.*`). Apps attach their own metrics via
+    /// [`Testbed::app_mut`]. Call before running; with no call every
+    /// metric is a disabled no-op.
+    pub fn attach_metrics(&mut self, reg: &obs::Registry) {
+        self.sim.set_metrics(reg);
+        self.sim
+            .node_mut::<PhoneNode>(self.phone)
+            .core_mut()
+            .bus
+            .attach_metrics(reg);
+        self.sim
+            .node_mut::<StaMacNode>(self.sta)
+            .attach_metrics(reg);
+        self.sim.node_mut::<ApNode>(self.ap).attach_metrics(reg);
+        self.sim
+            .node_mut::<LinkNode>(self.server_link)
+            .attach_metrics(reg, "server");
+        self.sim
+            .node_mut::<ServerNode>(self.server)
+            .attach_metrics(reg);
+    }
+
+    /// Mutable typed app view (e.g. to attach an app's telemetry).
+    pub fn app_mut<T: 'static>(&mut self, idx: usize) -> &mut T {
+        self.sim.node_mut::<PhoneNode>(self.phone).app_mut::<T>(idx)
+    }
+
     /// Run until `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.sim.run_until(t);

@@ -1,9 +1,11 @@
-//! Property test: any sequence of frames written to pcap reads back with
-//! identical timestamps, addresses, and (for data frames) packets.
+//! Property-style test: any sequence of frames written to pcap reads
+//! back with identical timestamps, addresses, and (for data frames)
+//! packets. Randomized inputs come from the workspace's seeded DetRng.
 
-use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::{DetRng, SimTime};
 use wire::{read_pcap, Frame, Ip, Mac, Packet, PacketTag, PcapWriter, TcpFlags, L4};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum Spec {
@@ -13,13 +15,20 @@ enum Spec {
     PsPoll,
 }
 
-fn arb_spec() -> impl Strategy<Value = Spec> {
-    prop_oneof![
-        (0usize..200, any::<bool>()).prop_map(|(payload, tcp)| Spec::Data { payload, tcp }),
-        (0usize..4).prop_map(|tim| Spec::Beacon { tim }),
-        any::<bool>().prop_map(|pm| Spec::Null { pm }),
-        Just(Spec::PsPoll),
-    ]
+fn random_spec(rng: &mut DetRng) -> Spec {
+    match rng.uniform_u64(0, 3) {
+        0 => Spec::Data {
+            payload: rng.uniform_u64(0, 199) as usize,
+            tcp: rng.chance(0.5),
+        },
+        1 => Spec::Beacon {
+            tim: rng.uniform_u64(0, 3) as usize,
+        },
+        2 => Spec::Null {
+            pm: rng.chance(0.5),
+        },
+        _ => Spec::PsPoll,
+    }
 }
 
 fn build(spec: &Spec, i: u64) -> Frame {
@@ -65,17 +74,16 @@ fn build(spec: &Spec, i: u64) -> Frame {
     }
 }
 
-proptest! {
-    #[test]
-    fn write_read_roundtrip(
-        specs in proptest::collection::vec(arb_spec(), 1..40),
-        stamps in proptest::collection::vec(0u64..10_000_000, 1..40),
-    ) {
-        let n = specs.len().min(stamps.len());
-        let mut sorted_stamps: Vec<u64> = stamps[..n].to_vec();
+#[test]
+fn write_read_roundtrip() {
+    let mut rng = DetRng::new(0x9CA9_0001);
+    for _ in 0..CASES {
+        let n = rng.uniform_u64(1, 39) as usize;
+        let specs: Vec<Spec> = (0..n).map(|_| random_spec(&mut rng)).collect();
+        let mut sorted_stamps: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 9_999_999)).collect();
         sorted_stamps.sort_unstable();
         let mut w = PcapWriter::new();
-        let frames: Vec<Frame> = specs[..n]
+        let frames: Vec<Frame> = specs
             .iter()
             .enumerate()
             .map(|(i, s)| build(s, i as u64))
@@ -84,19 +92,19 @@ proptest! {
             w.record_frame(SimTime::from_micros(us), f);
         }
         let records = read_pcap(&w.to_bytes()).unwrap();
-        prop_assert_eq!(records.len(), n);
+        assert_eq!(records.len(), n);
         for ((rec, f), &us) in records.iter().zip(&frames).zip(&sorted_stamps) {
-            prop_assert_eq!(rec.at, SimTime::from_micros(us));
-            prop_assert_eq!(rec.src, f.src);
-            prop_assert_eq!(rec.dst, f.dst);
+            assert_eq!(rec.at, SimTime::from_micros(us));
+            assert_eq!(rec.src, f.src);
+            assert_eq!(rec.dst, f.dst);
             match f.packet() {
                 Some(p) => {
                     let decoded = rec.packet().expect("ip record decodes");
-                    prop_assert_eq!(decoded.l4, p.l4);
-                    prop_assert_eq!(decoded.src, p.src);
-                    prop_assert_eq!(decoded.payload_len, p.payload_len);
+                    assert_eq!(decoded.l4, p.l4);
+                    assert_eq!(decoded.src, p.src);
+                    assert_eq!(decoded.payload_len, p.payload_len);
                 }
-                None => prop_assert!(rec.packet().is_none()),
+                None => assert!(rec.packet().is_none()),
             }
         }
     }
