@@ -6,92 +6,11 @@
 //! of the `testbed` crate; these benches measure how fast the harness
 //! itself is and act as performance regression guards for the simulator.
 //!
-//! The workspace builds offline, so instead of an external bench
-//! framework the timing loop is [`Harness`]: adaptive iteration counts,
-//! per-iteration samples recorded into an `obs` histogram, and a
-//! min/p50/mean summary per benchmark. Run with `cargo bench`.
+//! The timing loop itself lives in [`am_stats::bench`] so the `repro`
+//! binary can reuse it (as `repro bench-snapshot`) without depending on
+//! this crate; everything is re-exported here so the bench suites keep
+//! their historical imports. Run with `cargo bench`.
 
 #![warn(missing_docs)]
 
-use std::time::{Duration, Instant};
-
-pub use std::hint::black_box;
-
-/// Probe budget used per bench iteration — small enough to take many
-/// samples, large enough to exercise every code path.
-pub const BENCH_K: u32 = 10;
-
-/// Seed used by all benches (determinism makes timings comparable).
-pub const BENCH_SEED: u64 = 2016;
-
-/// A minimal wall-clock benchmark harness.
-///
-/// Each benchmark warms up once, then runs iterations until `budget`
-/// wall time is spent (at least `min_iters`, at most `max_iters`),
-/// recording per-iteration latency into an `obs` histogram so the
-/// summary quantiles come from the same machinery the telemetry layer
-/// uses.
-pub struct Harness {
-    suite: String,
-    budget: Duration,
-    min_iters: u32,
-    max_iters: u32,
-    rows: Vec<String>,
-}
-
-impl Harness {
-    /// A harness for the named suite with default settings
-    /// (~300 ms, 5–200 iterations per benchmark).
-    pub fn new(suite: &str) -> Harness {
-        Harness {
-            suite: suite.to_string(),
-            budget: Duration::from_millis(300),
-            min_iters: 5,
-            max_iters: 200,
-            rows: Vec::new(),
-        }
-    }
-
-    /// Override the per-benchmark time budget.
-    pub fn with_budget(mut self, budget: Duration) -> Harness {
-        self.budget = budget;
-        self
-    }
-
-    /// Time `f`, printing one summary line when the suite finishes.
-    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
-        black_box(f()); // warm-up (also faults in lazy state)
-        let reg = obs::Registry::new();
-        let hist = reg.histogram(
-            name,
-            &[1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6],
-        );
-        let started = Instant::now();
-        let mut iters = 0u32;
-        while iters < self.min_iters || (started.elapsed() < self.budget && iters < self.max_iters)
-        {
-            let t = Instant::now();
-            black_box(f());
-            hist.observe(t.elapsed().as_secs_f64() * 1e3);
-            iters += 1;
-        }
-        let snap = reg.snapshot();
-        let h = snap.histogram(name).expect("bench histogram");
-        self.rows.push(format!(
-            "{:<36} {:>5} iters  min {:>12.3} µs  p50 {:>12.3} µs  mean {:>12.3} µs",
-            name,
-            h.count,
-            h.min * 1e3,
-            h.p50() * 1e3,
-            h.mean() * 1e3
-        ));
-    }
-
-    /// Print the suite summary table.
-    pub fn finish(self) {
-        println!("\n== {} ==", self.suite);
-        for r in &self.rows {
-            println!("{r}");
-        }
-    }
-}
+pub use am_stats::bench::{black_box, BenchResult, Harness, BENCH_K, BENCH_SEED};

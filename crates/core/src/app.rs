@@ -159,6 +159,9 @@ impl AcuteMonApp {
             ProbeKind::TcpConnect => 0,
         };
         let id = ctx.send(self.cfg.target, 64, l4, payload, PacketTag::Probe(n));
+        if let Some(tc) = ctx.tracer().packet_ctx(id) {
+            ctx.tracer().attr(tc.root, "tool", "acutemon");
+        }
         self.metrics.probes.on_send();
         self.records.push(RttRecord {
             probe: n,

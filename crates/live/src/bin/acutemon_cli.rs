@@ -5,7 +5,8 @@
 //! acutemon-cli HOST:PORT [--k N] [--dpre MS] [--db MS] [--ttl N]
 //!              [--probe tcp|udp] [--timeout MS] [--no-background]
 //!              [--warmup-dst HOST:PORT] [--json]
-//!              [--metrics-json] [--metrics-text] [-v] [--quiet]
+//!              [--metrics-json] [--metrics-text]
+//!              [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]
 //! ```
 //!
 //! Defaults mirror the paper: K=100, dpre=db=20 ms, warm-up TTL 1 (the
@@ -13,19 +14,26 @@
 //!
 //! `--metrics-json` / `--metrics-text` append the session's telemetry
 //! snapshot (`live.*` counters and the per-probe RTT histogram) to
-//! stdout as JSON lines or Prometheus-style text.
+//! stdout as JSON lines or Prometheus-style text. `--trace-out` writes
+//! per-probe spans as Chrome `trace_event` JSON (loadable in
+//! `chrome://tracing` / Perfetto); `--trace-spans` writes the same spans
+//! as JSON-lines. Tracing is off — and costs nothing on the probe hot
+//! path — unless one of the two flags is given.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::Duration;
 
-use acutemon_live::{run_with_registry, LiveConfig, LiveProbe};
-use obs::{error, info, Registry};
+use acutemon_live::{run_traced, LiveConfig, LiveProbe};
+use obs::{error, info, Registry, Tracer};
 
 struct Cli {
     cfg: LiveConfig,
     json: bool,
     metrics_json: bool,
     metrics_text: bool,
+    trace_out: Option<PathBuf>,
+    trace_spans: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -33,7 +41,12 @@ fn usage() -> ! {
         "usage: acutemon-cli HOST:PORT [--k N] [--dpre MS] [--db MS] [--ttl N]\n\
          \x20                [--probe tcp|udp] [--timeout MS] [--no-background]\n\
          \x20                [--warmup-dst HOST:PORT] [--json]\n\
-         \x20                [--metrics-json] [--metrics-text] [-v] [--quiet]"
+         \x20                [--metrics-json] [--metrics-text]\n\
+         \x20                [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]\n\
+         \n\
+         \x20 --trace-out FILE    write per-probe spans as Chrome trace_event\n\
+         \x20                     JSON (open in chrome://tracing or Perfetto)\n\
+         \x20 --trace-spans FILE  write the same spans as JSON-lines"
     );
     std::process::exit(2);
 }
@@ -52,6 +65,8 @@ fn parse() -> Cli {
     let mut json = false;
     let mut metrics_json = false;
     let mut metrics_text = false;
+    let mut trace_out = None;
+    let mut trace_spans = None;
     let mut quiet = false;
     let mut verbosity = 0u8;
     let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
@@ -84,6 +99,12 @@ fn parse() -> Cli {
             "--json" => json = true,
             "--metrics-json" => metrics_json = true,
             "--metrics-text" => metrics_text = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--trace-spans" => {
+                trace_spans = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
             "--quiet" | "-q" => quiet = true,
             "-v" | "--verbose" => verbosity += 1,
             _ => usage(),
@@ -95,6 +116,8 @@ fn parse() -> Cli {
         json,
         metrics_json,
         metrics_text,
+        trace_out,
+        trace_spans,
     }
 }
 
@@ -105,7 +128,12 @@ fn main() {
     } else {
         Registry::disabled()
     };
-    let report = match run_with_registry(cli.cfg, &registry) {
+    let tracer = if cli.trace_out.is_some() || cli.trace_spans.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let report = match run_traced(cli.cfg, &registry, &tracer) {
         Ok(r) => r,
         Err(e) => {
             error!("acutemon-cli: {e}");
@@ -149,5 +177,23 @@ fn main() {
     }
     if cli.metrics_text {
         print!("{}", obs::export::prometheus(&registry.snapshot()));
+    }
+    if cli.trace_out.is_some() || cli.trace_spans.is_some() {
+        let spans = tracer.spans();
+        if let Some(p) = &cli.trace_out {
+            let doc = obs::export::chrome_trace(&spans).to_string_pretty();
+            if let Err(e) = std::fs::write(p, doc) {
+                error!("acutemon-cli: write {}: {e}", p.display());
+                std::process::exit(1);
+            }
+            info!("trace:       {} ({} spans)", p.display(), spans.len());
+        }
+        if let Some(p) = &cli.trace_spans {
+            if let Err(e) = std::fs::write(p, obs::export::span_json_lines(&spans)) {
+                error!("acutemon-cli: write {}: {e}", p.display());
+                std::process::exit(1);
+            }
+            info!("spans:       {} ({} records)", p.display(), spans.len());
+        }
     }
 }

@@ -30,4 +30,4 @@ mod config;
 mod session;
 
 pub use config::{LiveConfig, LiveProbe};
-pub use session::{run, run_with_registry, LiveBtStats, LiveReport, LiveSample};
+pub use session::{run, run_traced, run_with_registry, LiveBtStats, LiveReport, LiveSample};

@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use obs::Registry;
+use obs::{Registry, Tracer};
 
 use crate::config::{LiveConfig, LiveProbe};
 
@@ -173,6 +173,42 @@ fn probe_once(cfg: &LiveConfig, probe: u32) -> Option<f64> {
     }
 }
 
+/// Wall-clock ns since the session epoch. Live spans use this as their
+/// timebase so a trace starts at t=0 like the simulated ones.
+fn since_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Emit the per-probe span pair for a live probe: a `probe` root and one
+/// `tcp_connect` / `udp_echo` leaf covering the socket operation. Unlike
+/// the simulated pipeline we cannot see inside the kernel from userland,
+/// so the leaf is the whole du — the waterfall still shows which probes
+/// stalled and by how much.
+fn trace_probe(tracer: &Tracer, epoch: Instant, cfg: &LiveConfig, probe: u32) -> Option<f64> {
+    if !tracer.is_enabled() {
+        return probe_once(cfg, probe);
+    }
+    let trace = tracer.begin_trace();
+    let start = since_ns(epoch);
+    let root = tracer.start_span(trace, None, "probe", "live", start);
+    tracer.attr(root, "probe", probe);
+    tracer.attr(root, "tool", "acutemon-cli");
+    let leaf_name = match cfg.probe {
+        LiveProbe::TcpConnect => "tcp_connect",
+        LiveProbe::UdpEcho => "udp_echo",
+    };
+    let io_start = since_ns(epoch);
+    let rtt_ms = probe_once(cfg, probe);
+    let io_end = since_ns(epoch);
+    let leaf = tracer.span(trace, Some(root), leaf_name, "net", io_start, io_end);
+    match rtt_ms {
+        Some(ms) => tracer.attr(leaf, "rtt_ms", ms),
+        None => tracer.attr(leaf, "lost", true),
+    }
+    tracer.end_span(root, since_ns(epoch));
+    rtt_ms
+}
+
 /// Run a complete AcuteMon session over real sockets: start the BT, wait
 /// `dpre`, fire `K` sequential probes, stop the BT.
 pub fn run(cfg: LiveConfig) -> io::Result<LiveReport> {
@@ -181,6 +217,13 @@ pub fn run(cfg: LiveConfig) -> io::Result<LiveReport> {
 
 /// Like [`run`], recording per-probe telemetry (`live.*`) into `reg`.
 pub fn run_with_registry(cfg: LiveConfig, reg: &Registry) -> io::Result<LiveReport> {
+    run_traced(cfg, reg, &Tracer::disabled())
+}
+
+/// Like [`run_with_registry`], additionally emitting per-probe spans into
+/// `tracer` (wall-clock ns since the measurement phase began). Pass
+/// [`Tracer::disabled`] for a zero-cost no-op.
+pub fn run_traced(cfg: LiveConfig, reg: &Registry, tracer: &Tracer) -> io::Result<LiveReport> {
     let metrics = Arc::new(LiveMetrics::from_registry(reg));
     let stats = Arc::new(Mutex::new(LiveBtStats::default()));
     let (stop_tx, stop_rx): (SyncSender<()>, Receiver<()>) = sync_channel(1);
@@ -196,7 +239,7 @@ pub fn run_with_registry(cfg: LiveConfig, reg: &Registry) -> io::Result<LiveRepo
     let mut samples = Vec::with_capacity(cfg.k as usize);
     for probe in 0..cfg.k {
         metrics.probes_sent.inc();
-        let rtt_ms = probe_once(&cfg, probe);
+        let rtt_ms = trace_probe(tracer, t_start, &cfg, probe);
         if let Some(ms) = rtt_ms {
             metrics.probes_received.inc();
             metrics.rtt_ms.observe(ms);
@@ -306,6 +349,38 @@ mod tests {
             "completion {}",
             report.completion()
         );
+    }
+
+    #[test]
+    fn traced_run_emits_one_span_tree_per_probe() {
+        let (addr, stop) = tcp_server();
+        let cfg = LiveConfig::new(addr, 5)
+            .with_timing(Duration::from_millis(2), Duration::from_millis(5))
+            .with_warmup_ttl(8);
+        let tracer = Tracer::new();
+        let report = run_traced(cfg, &Registry::disabled(), &tracer).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        let spans = tracer.spans();
+        let traces = tracer.trace_ids();
+        assert_eq!(traces.len(), 5, "one trace per probe");
+        for (i, trace) in traces.iter().enumerate() {
+            let root = obs::build_trace_tree(&spans, *trace).expect("tree");
+            assert_eq!(root.span.name, "probe");
+            assert_eq!(
+                root.span.attr("probe"),
+                Some(&obs::AttrValue::Int(i as i64))
+            );
+            assert_eq!(root.children.len(), 1);
+            let leaf = &root.children[0];
+            assert_eq!(leaf.span.name, "tcp_connect");
+            // The leaf IO interval nests inside the root probe span.
+            assert!(leaf.span.start_ns >= root.span.start_ns);
+            assert!(leaf.span.end_ns.unwrap() <= root.span.end_ns.unwrap());
+            // A completed probe carries its RTT as a span attribute.
+            if report.samples[i].rtt_ms.is_some() {
+                assert!(leaf.span.attr("rtt_ms").is_some());
+            }
+        }
     }
 
     #[test]

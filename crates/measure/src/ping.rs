@@ -92,6 +92,9 @@ impl PingApp {
             self.cfg.payload,
             PacketTag::Probe(self.sent),
         );
+        if let Some(tc) = ctx.tracer().packet_ctx(id) {
+            ctx.tracer().attr(tc.root, "tool", "ping");
+        }
         self.metrics.on_send();
         self.records.push(RttRecord {
             probe: self.sent,

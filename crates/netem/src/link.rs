@@ -174,6 +174,18 @@ impl Node<Msg> for LinkNode {
                 .set((backlog.as_nanos() / 1_000) as i64);
             d += backlog;
         }
+        let tracer = ctx.tracer();
+        if let Some(tc) = tracer.packet_ctx(packet.id) {
+            let now = ctx.now();
+            tracer.span(
+                tc.trace,
+                Some(tc.root),
+                "link",
+                "net",
+                now.as_nanos(),
+                (now + d).as_nanos(),
+            );
+        }
         ctx.send(out, d, Msg::Wire(packet));
     }
 }

@@ -123,6 +123,23 @@ impl ServerNode {
         let reply = req.reply(self.ids.next_id(), l4, len, Self::reply_tag(req));
         let d = self.cfg.processing.sample(ctx.rng());
         self.metrics.responses.inc();
+        // Carry the probe's trace over to the reply packet id and account
+        // the turnaround time as a `server` span.
+        let tracer = ctx.tracer();
+        if tracer.packet_ctx(req.id).is_some() {
+            tracer.rebind_packet(req.id, reply.id);
+            if let Some(tc) = tracer.packet_ctx(reply.id) {
+                let now = ctx.now();
+                tracer.span(
+                    tc.trace,
+                    Some(tc.root),
+                    "server",
+                    "net",
+                    now.as_nanos(),
+                    (now + d).as_nanos(),
+                );
+            }
+        }
         ctx.send(to, d, Msg::Wire(reply));
     }
 }

@@ -130,4 +130,58 @@ mod tests {
         assert_eq!(s.dropped(), 2);
         assert_eq!(s.len(), 3);
     }
+
+    #[test]
+    fn cap_one_keeps_only_the_newest() {
+        let mut s: EventStream<u32> = EventStream::capture_all().with_cap(1);
+        s.record("c", 1);
+        assert_eq!(s.dropped(), 0);
+        s.record("c", 2);
+        s.record("c", 3);
+        assert_eq!(s.events(), &[3]);
+        assert_eq!(s.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_cap_clamps_to_one() {
+        let mut s: EventStream<u32> = EventStream::capture_all().with_cap(0);
+        s.record("c", 7);
+        assert_eq!(s.events(), &[7], "with_cap(0) must still retain one event");
+        s.record("c", 8);
+        assert_eq!(s.events(), &[8]);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn filtered_events_do_not_count_as_drops() {
+        let mut s: EventStream<u32> = EventStream::capture_categories(vec!["keep"]).with_cap(2);
+        // Rejected by the filter: not recorded, not "dropped" (dropped
+        // counts capacity evictions only).
+        for i in 0..10 {
+            s.record("skip", i);
+        }
+        assert_eq!(s.dropped(), 0);
+        assert!(s.is_empty());
+        // Interleave accepted and rejected events; only accepted ones
+        // participate in eviction accounting.
+        for i in 0..4 {
+            s.record("keep", i);
+            s.record("skip", 100 + i);
+        }
+        assert_eq!(s.events(), &[2, 3]);
+        assert_eq!(s.dropped(), 2);
+    }
+
+    #[test]
+    fn eviction_is_strictly_oldest_first() {
+        let mut s: EventStream<u32> = EventStream::capture_all().with_cap(4);
+        for i in 0..100 {
+            s.record("c", i);
+            // Invariant: the retained window is always the most recent
+            // `min(i+1, cap)` events in arrival order.
+            let expect: Vec<u32> = (i.saturating_sub(3)..=i).collect();
+            assert_eq!(s.events(), &expect[..]);
+        }
+        assert_eq!(s.dropped(), 96);
+    }
 }

@@ -1,9 +1,11 @@
-//! Snapshot exporters: JSON-lines and Prometheus-style text.
+//! Snapshot exporters: JSON-lines and Prometheus-style text for metric
+//! snapshots; Chrome `trace_event` JSON and JSON-lines for span traces.
 
 use std::fmt::Write as _;
 
 use crate::json::{Json, ToJson};
 use crate::metrics::Snapshot;
+use crate::trace::SpanRecord;
 
 /// One JSON object per line per metric — suitable for appending to a
 /// log file and joining across runs.
@@ -69,6 +71,50 @@ pub fn prometheus(snap: &Snapshot) -> String {
     out
 }
 
+/// Chrome `trace_event` JSON (the format `chrome://tracing` and Perfetto
+/// load). Every finished span becomes a complete (`"ph":"X"`) event;
+/// timestamps are microseconds, one `tid` lane per trace so probes stack
+/// as parallel rows. Unfinished spans are skipped.
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let mut events = Json::array();
+    for s in spans {
+        let Some(end) = s.end_ns else { continue };
+        let mut ev = Json::object();
+        ev.set("name", s.name);
+        ev.set("cat", s.cat);
+        ev.set("ph", "X");
+        ev.set("ts", s.start_ns as f64 / 1e3);
+        ev.set("dur", end.saturating_sub(s.start_ns) as f64 / 1e3);
+        ev.set("pid", 1u32);
+        ev.set("tid", s.trace.0);
+        let mut args = Json::object();
+        args.set("span_id", s.id.0);
+        if let Some(p) = s.parent {
+            args.set("parent", p.0);
+        }
+        for (k, v) in &s.attrs {
+            args.set(k, v.to_json());
+        }
+        ev.set("args", args);
+        events.push(ev);
+    }
+    let mut doc = Json::object();
+    doc.set("traceEvents", events);
+    doc.set("displayTimeUnit", "ms");
+    doc
+}
+
+/// One JSON object per span per line — the compact log-friendly form of
+/// a trace (see [`SpanRecord`]'s `ToJson` for the schema).
+pub fn span_json_lines(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&s.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
 fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| {
@@ -118,5 +164,103 @@ mod tests {
         assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"100\"} 3"));
         assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("phone_sdio_wake_latency_ms_count 3"));
+        // Each cumulative bucket count is monotone and the +Inf bucket
+        // equals the total count.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("phone_sdio_wake_latency_ms_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn prometheus_escapes_metric_names() {
+        let r = Registry::new();
+        r.counter("netem.link-a.b/c forwarded").inc();
+        let text = prometheus(&r.snapshot());
+        assert!(
+            text.contains("netem_link_a_b_c_forwarded 1"),
+            "every non-alphanumeric character folds to '_': {text}"
+        );
+    }
+
+    #[test]
+    fn json_lines_escapes_names() {
+        let r = Registry::new();
+        r.counter("weird\"name\n").inc();
+        let text = json_lines(&r.snapshot());
+        assert!(text.contains(r#""name":"weird\"name\n""#), "{text}");
+        // Still exactly one line per metric despite the embedded newline
+        // escape.
+        assert_eq!(text.lines().count(), 1);
+        // And each line parses back.
+        assert!(crate::Json::parse(text.lines().next().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_output() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(json_lines(&snap), "");
+        assert_eq!(prometheus(&snap), "");
+        // A disabled registry's snapshot is also empty.
+        let snap = Registry::disabled().snapshot();
+        assert_eq!(json_lines(&snap), "");
+        assert_eq!(prometheus(&snap), "");
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_with_required_fields() {
+        let t = crate::Tracer::new();
+        let tr = t.begin_trace();
+        let root = t.start_span(tr, None, "probe", "app", 1_000_000);
+        t.attr(root, "probe", 0u32);
+        t.span(tr, Some(root), "sdio_wake", "driver", 1_500_000, 9_000_000);
+        t.end_span(root, 40_000_000);
+        t.start_span(tr, Some(root), "open", "app", 2_000_000); // never ends
+        let doc = chrome_trace(&t.spans());
+        let text = doc.to_string();
+        let parsed = crate::Json::parse(&text).expect("chrome trace parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2, "unfinished spans are skipped");
+        for ev in events {
+            assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+            assert!(ev.get("ts").unwrap().as_f64().is_some());
+            assert!(ev.get("dur").unwrap().as_f64().is_some());
+            assert!(ev.get("pid").unwrap().as_f64().is_some());
+            assert!(ev.get("tid").unwrap().as_f64().is_some());
+        }
+        // Microsecond timestamps.
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(39_000.0));
+        assert_eq!(
+            events[1]
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .unwrap()
+                .as_f64(),
+            Some(root.0 as f64)
+        );
+    }
+
+    #[test]
+    fn span_json_lines_parse_back() {
+        let t = crate::Tracer::new();
+        let tr = t.begin_trace();
+        let root = t.start_span(tr, None, "probe", "app", 0);
+        t.attr(root, "tool", "ping");
+        t.end_span(root, 5);
+        let text = span_json_lines(&t.spans());
+        assert_eq!(text.lines().count(), 1);
+        let obj = crate::Json::parse(text.trim()).unwrap();
+        assert_eq!(obj.get("name").unwrap().as_str(), Some("probe"));
+        assert_eq!(obj.get("end_ns").unwrap().as_f64(), Some(5.0));
+        assert_eq!(
+            obj.get("attrs").unwrap().get("tool").unwrap().as_str(),
+            Some("ping")
+        );
     }
 }

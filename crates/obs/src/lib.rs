@@ -13,6 +13,9 @@
 //! - [`events::EventStream`] — the bounded, category-filtered event
 //!   buffer that backs `simcore::Trace` (categories, filtering, and the
 //!   drop counter live here).
+//! - [`trace::Tracer`] — per-probe causal spans with parent/child
+//!   links and typed attributes; finished traces render as waterfalls
+//!   and export as Chrome `trace_event` JSON.
 //! - [`export`] — JSON-lines and Prometheus-style text exporters over a
 //!   [`metrics::Snapshot`].
 //! - [`log`] — a tiny leveled stderr logger (`obs::info!`, `obs::warn!`,
@@ -35,11 +38,16 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use events::EventStream;
-pub use json::{Json, ToJson};
+pub use json::{Json, JsonParseError, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 pub use span::SpanTimer;
+pub use trace::{
+    build_trace_tree, render_waterfall, AttrValue, SpanId, SpanNode, SpanRecord, TraceCtx, TraceId,
+    Tracer,
+};
 
 /// Derive `ToJson` for a struct with named fields or a unit-variant enum.
 pub use obs_macros::ToJson;

@@ -1,0 +1,80 @@
+//! Disabled-handle guard: a disabled [`obs::Tracer`] (and disabled
+//! metric handles) must cost zero heap allocations on the probe hot
+//! path, so instrumentation can stay unconditionally compiled in.
+//!
+//! A counting global allocator makes the check direct: run the hot-path
+//! operations and assert the allocation counter did not move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_tracer_allocates_nothing() {
+    let tracer = obs::Tracer::disabled();
+    let cloned = tracer.clone(); // handles clone freely too
+    let before = alloc_count();
+    for pkt in 0..1000u64 {
+        let trace = tracer.begin_trace();
+        let root = tracer.start_span(trace, None, "probe", "app", 0);
+        // &str attr: the String conversion must happen after the
+        // disabled check, never on the disabled path.
+        tracer.attr(root, "tool", "ping");
+        tracer.attr(root, "probe", 42u32);
+        tracer.bind_packet(pkt, obs::TraceCtx { trace, root });
+        let _ = tracer.packet_ctx(pkt);
+        cloned.span(trace, Some(root), "sdio_wake", "driver", 0, 10);
+        tracer.rebind_packet(pkt, pkt + 1);
+        tracer.end_span(root, 100);
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "disabled tracer must not allocate on the hot path"
+    );
+}
+
+#[test]
+fn disabled_metric_handles_allocate_nothing() {
+    let reg = obs::Registry::disabled();
+    let counter = reg.counter("x");
+    let gauge = reg.gauge("y");
+    let hist = reg.histogram_ms("z");
+    let before = alloc_count();
+    for i in 0..1000 {
+        counter.inc();
+        gauge.set(i);
+        hist.observe(i as f64);
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "disabled metric handles must not allocate"
+    );
+}

@@ -110,6 +110,27 @@ impl<'a, 'b> AppCtx<'a, 'b> {
             .profile
             .runtime_xing(self.runtime)
             .sample(self.sim.rng());
+        // Probe sends open a causal trace: a root span covering the whole
+        // user-level RTT (ended when the reply reaches the app) plus the
+        // first leaf, the TX runtime crossing. All no-ops when untraced.
+        let tracer = self.sim.tracer();
+        if tracer.is_enabled() {
+            if let PacketTag::Probe(n) = tag {
+                let trace = tracer.begin_trace();
+                let root = tracer.start_span(trace, None, "probe", "app", now.as_nanos());
+                tracer.attr(root, "probe", n);
+                tracer.attr(root, "pkt", id);
+                tracer.bind_packet(id, obs::TraceCtx { trace, root });
+                tracer.span(
+                    trace,
+                    Some(root),
+                    "runtime_tx",
+                    "app",
+                    now.as_nanos(),
+                    (now + xing).as_nanos(),
+                );
+            }
+        }
         let token = self.core.alloc_token();
         self.core
             .pending_insert(token, crate::node::Pending::KernelTx(packet));
@@ -127,6 +148,13 @@ impl<'a, 'b> AppCtx<'a, 'b> {
     /// Trace hook (category `"app"`).
     pub fn trace(&mut self, detail: String) {
         self.sim.trace("app", detail);
+    }
+
+    /// The causal span tracer (disabled unless the sim was given one).
+    /// Tools use it to decorate their probes' root spans — e.g. a
+    /// `tool` attribute — via [`obs::Tracer::packet_ctx`].
+    pub fn tracer(&self) -> &obs::Tracer {
+        self.sim.tracer()
     }
 }
 

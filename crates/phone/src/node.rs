@@ -41,6 +41,29 @@ pub(crate) enum Pending {
     AppRx(Packet, usize),
 }
 
+/// Record a complete pipeline-stage span for `pkt_id` if the packet is
+/// part of a causal trace. Free when tracing is off or the packet is
+/// untraced.
+fn trace_stage(
+    ctx: &Ctx<'_, Msg>,
+    pkt_id: u64,
+    name: &'static str,
+    cat: &'static str,
+    start: simcore::SimTime,
+    end: simcore::SimTime,
+) -> Option<obs::SpanId> {
+    let tracer = ctx.tracer();
+    let tc = tracer.packet_ctx(pkt_id)?;
+    Some(tracer.span(
+        tc.trace,
+        Some(tc.root),
+        name,
+        cat,
+        start.as_nanos(),
+        end.as_nanos(),
+    ))
+}
+
 impl PhoneCore {
     pub(crate) fn alloc_token(&mut self) -> u64 {
         let t = self.next_token;
@@ -170,8 +193,10 @@ impl PhoneNode {
 
     /// TX stage 2: the kernel saw the packet.
     fn kernel_tx(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet) {
-        self.core.ledger.set_tok(packet.id, ctx.now());
+        let now = ctx.now();
+        self.core.ledger.set_tok(packet.id, now);
         let d = self.core.profile.kernel_tx.sample(ctx.rng());
+        trace_stage(ctx, packet.id, "kernel_tx", "kernel", now, now + d);
         self.schedule(ctx, d, Pending::DriverTx(packet));
     }
 
@@ -191,14 +216,27 @@ impl PhoneNode {
         if asleep && ctx.trace_enabled("sdio") {
             ctx.trace("sdio", format!("tx wake {} for pkt {}", wake, packet.id));
         }
+        // The sdio_wake span covers the whole driver op when it found the
+        // bus asleep — the same `ready_at − now` interval the
+        // `phone.sdio.wake_latency_ms` histogram observes in
+        // `SdioBus::touch`, so span totals reconcile with metric sums.
+        let name = if asleep { "sdio_wake" } else { "driver_tx" };
+        if let Some(span) = trace_stage(ctx, packet.id, name, "driver", now, now + total) {
+            if asleep {
+                ctx.tracer().attr(span, "dir", "tx");
+                ctx.tracer().attr(span, "wake_ms", wake.as_ms_f64());
+            }
+        }
         self.schedule(ctx, total, Pending::BusTx(packet));
     }
 
     /// TX stage 4: data on the bus; hand to the NIC after the transfer.
     fn bus_tx(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet) {
-        self.core.ledger.set_tbus(packet.id, ctx.now());
+        let now = ctx.now();
+        self.core.ledger.set_tbus(packet.id, now);
         self.core.stats.tx_pkts += 1;
         let xfer = self.core.profile.bus.xfer.sample(ctx.rng());
+        trace_stage(ctx, packet.id, "bus_tx", "driver", now, now + xfer);
         let sta = self.core.sta;
         ctx.send(sta, xfer, Msg::Wire(packet));
     }
@@ -220,13 +258,24 @@ impl PhoneNode {
         if asleep && ctx.trace_enabled("sdio") {
             ctx.trace("sdio", format!("rx wake {} for pkt {}", wake, packet.id));
         }
+        // As in `driver_tx`: the asleep case is one `sdio_wake` span with
+        // exactly the histogram-observed duration.
+        let name = if asleep { "sdio_wake" } else { "driver_rx" };
+        if let Some(span) = trace_stage(ctx, packet.id, name, "driver", now, now + total) {
+            if asleep {
+                ctx.tracer().attr(span, "dir", "rx");
+                ctx.tracer().attr(span, "wake_ms", wake.as_ms_f64());
+            }
+        }
         self.schedule(ctx, total, Pending::RxEnqueue(packet));
     }
 
     /// RX stage 2: frames read off the bus and queued for the rx thread.
     fn rx_enqueue(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet) {
-        self.core.ledger.set_trxf(packet.id, ctx.now());
+        let now = ctx.now();
+        self.core.ledger.set_trxf(packet.id, now);
         let d = self.core.profile.kernel_rx.sample(ctx.rng());
+        trace_stage(ctx, packet.id, "kernel_rx", "kernel", now, now + d);
         self.schedule(ctx, d, Pending::KernelRx(packet));
     }
 
@@ -253,7 +302,11 @@ impl PhoneNode {
                     wire::PacketTag::Other,
                 );
                 let d = self.core.profile.kernel_tx.sample(ctx.rng());
-                self.core.ledger.set_tok(reply.id, ctx.now());
+                let now = ctx.now();
+                self.core.ledger.set_tok(reply.id, now);
+                // The echo turn-around continues the request's trace.
+                ctx.tracer().rebind_packet(packet.id, reply.id);
+                trace_stage(ctx, reply.id, "kernel_echo", "kernel", now, now + d);
                 self.schedule(ctx, d, Pending::DriverTx(reply));
                 return;
             }
@@ -266,6 +319,8 @@ impl PhoneNode {
             Some(idx) => {
                 let runtime = self.apps[idx].runtime;
                 let xing = self.core.profile.runtime_xing(runtime).sample(ctx.rng());
+                let now = ctx.now();
+                trace_stage(ctx, packet.id, "runtime_rx", "app", now, now + xing);
                 self.schedule(ctx, xing, Pending::AppRx(packet, idx));
             }
             None => {
@@ -276,7 +331,13 @@ impl PhoneNode {
 
     /// RX stage 4: packet reaches user space.
     fn app_rx(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet, idx: usize) {
-        self.core.ledger.set_tiu(packet.id, ctx.now());
+        let now = ctx.now();
+        self.core.ledger.set_tiu(packet.id, now);
+        // The probe's user-level RTT ends here: close the root span.
+        let tracer = ctx.tracer();
+        if let Some(tc) = tracer.packet_ctx(packet.id) {
+            tracer.end_span(tc.root, now.as_nanos());
+        }
         self.with_app(ctx, idx, |app, actx| app.on_packet(actx, packet));
     }
 }

@@ -255,6 +255,20 @@ impl ApNode {
         for (enqueued, packet) in drained {
             let waited_ms = now.saturating_since(enqueued).as_nanos() as f64 / 1e6;
             self.metrics.ps_buffer_wait_ms.observe(waited_ms);
+            // The span covers exactly the interval the histogram observes,
+            // so per-trace `ap_buffer` totals reconcile with the metric.
+            let tracer = ctx.tracer();
+            if let Some(tc) = tracer.packet_ctx(packet.id) {
+                let span = tracer.span(
+                    tc.trace,
+                    Some(tc.root),
+                    "ap_buffer",
+                    "mac",
+                    enqueued.as_nanos(),
+                    now.as_nanos(),
+                );
+                tracer.attr(span, "waited_ms", waited_ms);
+            }
             self.stats.forwarded_down += 1;
             self.metrics.forwarded_down.inc();
             self.tx_data(ctx, mac, packet);

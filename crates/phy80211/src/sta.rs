@@ -96,8 +96,9 @@ pub struct StaMacNode {
     psm_timer: Option<TimerId>,
     /// Beacons seen since entering doze (for the listen interval).
     doze_beacons: u32,
-    /// Packets waiting for the radio to finish its doze→CAM turn-on.
-    wake_queue: Vec<Packet>,
+    /// Packets waiting for the radio to finish its doze→CAM turn-on,
+    /// with their enqueue times (for `psm_wake` span attribution).
+    wake_queue: Vec<(SimTime, Packet)>,
     waking: bool,
     ids: PacketIdGen,
     /// Public counters.
@@ -277,7 +278,7 @@ impl Node<Msg> for StaMacNode {
                     PowerState::Doze => {
                         // Radio must turn on first (Tprom of the PSM side,
                         // distinct from the SDIO promotion in the phone).
-                        self.wake_queue.push(packet);
+                        self.wake_queue.push((ctx.now(), packet));
                         if !self.waking {
                             self.waking = true;
                             let cost = self.cfg.wake_tx.sample(ctx.rng());
@@ -330,7 +331,19 @@ impl Node<Msg> for StaMacNode {
                 self.set_state(ctx, PowerState::Cam);
                 // Radio on: announce wake implicitly via the data frame's
                 // PM=0 bit and flush everything queued during turn-on.
-                for packet in std::mem::take(&mut self.wake_queue) {
+                let now = ctx.now();
+                for (enqueued, packet) in std::mem::take(&mut self.wake_queue) {
+                    let tracer = ctx.tracer();
+                    if let Some(tc) = tracer.packet_ctx(packet.id) {
+                        tracer.span(
+                            tc.trace,
+                            Some(tc.root),
+                            "psm_wake",
+                            "mac",
+                            enqueued.as_nanos(),
+                            now.as_nanos(),
+                        );
+                    }
                     self.transmit_data(ctx, packet);
                 }
             }

@@ -140,6 +140,7 @@ struct Inner<M> {
     cancelled: HashSet<u64>,
     rng: DetRng,
     trace: Trace,
+    tracer: obs::Tracer,
     stop: bool,
     events_processed: u64,
     metrics: SimMetrics,
@@ -241,6 +242,12 @@ impl<'a, M> Ctx<'a, M> {
         self.inner.trace.record(now, me, category, detail);
     }
 
+    /// The causal span tracer (disabled unless [`Sim::set_tracer`] was
+    /// called — every operation on a disabled tracer is a free no-op).
+    pub fn tracer(&self) -> &obs::Tracer {
+        &self.inner.tracer
+    }
+
     /// Request that the run loop stop after this event.
     pub fn stop(&mut self) {
         self.inner.stop = true;
@@ -267,6 +274,7 @@ impl<M: 'static> Sim<M> {
                 cancelled: HashSet::new(),
                 rng: DetRng::new(seed),
                 trace: Trace::disabled(),
+                tracer: obs::Tracer::disabled(),
                 stop: false,
                 events_processed: 0,
                 metrics: SimMetrics::default(),
@@ -290,6 +298,18 @@ impl<M: 'static> Sim<M> {
     /// The trace sink.
     pub fn trace(&self) -> &Trace {
         &self.inner.trace
+    }
+
+    /// Install a causal span tracer (replacing the default disabled
+    /// one). Nodes reach it through [`Ctx::tracer`]; a clone of the
+    /// handle shares the same span store.
+    pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
+        self.inner.tracer = tracer.clone();
+    }
+
+    /// The causal span tracer.
+    pub fn tracer(&self) -> &obs::Tracer {
+        &self.inner.tracer
     }
 
     /// Add a node; returns its id. Ids are assigned sequentially.
@@ -744,6 +764,30 @@ mod tests {
         }
         sim.run_until_idle(100);
         assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn tracer_reaches_nodes_through_ctx() {
+        struct Spanner;
+        impl Node<u32> for Spanner {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, _: u32) {
+                let tracer = ctx.tracer().clone();
+                let tr = tracer.begin_trace();
+                tracer.span(tr, None, "probe", "app", 0, ctx.now().as_nanos());
+            }
+        }
+        let tracer = obs::Tracer::new();
+        let mut sim = Sim::new(0);
+        sim.set_tracer(&tracer);
+        let n = sim.add_node(Box::new(Spanner));
+        sim.inject(n, n, SimTime::from_millis(3), 0);
+        sim.run_until_idle(10);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].end_ns, Some(3_000_000));
+        assert!(sim.tracer().is_enabled());
+        // An untraced sim hands nodes a disabled tracer.
+        assert!(!Sim::<u32>::new(0).tracer().is_enabled());
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! * [`Ecdf`]: empirical CDFs (Figures 8 and 9);
 //! * [`quantile`]/[`median`]: R type-7 percentiles;
 //! * [`render`]: ASCII tables, box-plot strips, and CDF plots for the
-//!   terminal-based experiment runners.
+//!   terminal-based experiment runners;
+//! * [`bench`]: the offline wall-clock benchmark harness shared by
+//!   `cargo bench` and `repro bench-snapshot`.
 
 #![warn(missing_docs)]
 
+pub mod bench;
 mod boxplot;
 mod ecdf;
 mod hist;

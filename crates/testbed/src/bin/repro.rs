@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! repro [--k N] [--seed S] [--out DIR] [--metrics-json] [--metrics-text]
-//!       [-v] [--quiet]
+//!       [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]
 //!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
-//!        seeds|ablations|telemetry|all]...
+//!        seeds|ablations|telemetry|waterfall|bench-snapshot|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
@@ -13,13 +13,19 @@
 //! experiment runs instrumented sessions and emits the workspace metrics
 //! snapshot (SDIO wake-latency, PSM beacon-buffering, per-layer
 //! counters); `--metrics-json` / `--metrics-text` choose the format
-//! (default: Prometheus-style text).
+//! (default: Prometheus-style text). The `waterfall` experiment runs a
+//! traced session and renders per-probe span waterfalls; `--trace-out`
+//! additionally writes the spans as Chrome `trace_event` JSON (loadable
+//! in `chrome://tracing` / Perfetto) and `--trace-spans` as JSON-lines.
+//! `bench-snapshot` (not part of `all`) runs the am-bench harness at a
+//! reduced budget and writes `BENCH_2.json` with median ns per scenario.
 
 use std::path::{Path, PathBuf};
 
-use obs::{error, info, Registry, ToJson};
+use obs::{error, info, Registry, ToJson, Tracer};
 use testbed::experiments::{
     ablations, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5, telemetry,
+    waterfall,
 };
 
 struct Options {
@@ -28,6 +34,8 @@ struct Options {
     out: PathBuf,
     metrics_json: bool,
     metrics_text: bool,
+    trace_out: Option<PathBuf>,
+    trace_spans: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -38,6 +46,8 @@ fn parse_args() -> Options {
         out: PathBuf::from("results"),
         metrics_json: false,
         metrics_text: false,
+        trace_out: None,
+        trace_spans: None,
         experiments: Vec::new(),
     };
     let mut quiet = false;
@@ -65,14 +75,36 @@ fn parse_args() -> Options {
             }
             "--metrics-json" => opts.metrics_json = true,
             "--metrics-text" => opts.metrics_text = true,
+            "--trace-out" => {
+                opts.trace_out = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                )
+            }
+            "--trace-spans" => {
+                opts.trace_spans = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| die("--trace-spans needs a path")),
+                )
+            }
             "--quiet" | "-q" => quiet = true,
             "-v" | "--verbose" => verbosity += 1,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--k N] [--seed S] [--out DIR] \
-                     [--metrics-json] [--metrics-text] [-v] [--quiet] \
+                     [--metrics-json] [--metrics-text] \
+                     [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
-                     seeds|ablations|telemetry|all]..."
+                     seeds|ablations|telemetry|waterfall|bench-snapshot|all]...\n\
+                     \n\
+                     --trace-out FILE    write the waterfall session's spans as\n\
+                     \u{20}                    Chrome trace_event JSON (chrome://tracing)\n\
+                     --trace-spans FILE  write the same spans as JSON-lines\n\
+                     \n\
+                     bench-snapshot runs only when named explicitly (not under\n\
+                     'all') and writes BENCH_2.json (median ns per scenario)."
                 );
                 std::process::exit(0);
             }
@@ -83,7 +115,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 15] = [
         "table1",
         "table2",
         "table3",
@@ -96,6 +128,8 @@ fn parse_args() -> Options {
         "seeds",
         "ablations",
         "telemetry",
+        "waterfall",
+        "bench-snapshot",
         "all",
     ];
     for e in &opts.experiments {
@@ -274,6 +308,65 @@ fn main() {
                 obs::export::json_lines(&snap),
             );
         }
+    }
+    if wants("waterfall") {
+        let k = opts.k.min(20);
+        info!("running traced slow-ping session, k={k}, 300 ms path ...");
+        let reg = Registry::new();
+        let tracer = Tracer::new();
+        let r = waterfall::run(k, opts.seed, 300, &reg, &tracer);
+        let report = r.render(60);
+        // Show the first few probes; the full report goes to a file.
+        let shown: Vec<&str> = report.split("\n\n").take(3).collect();
+        println!(
+            "\nPer-probe waterfalls (slow ping, Nexus 5, 300 ms path; \
+             first {} of {} probes):\n",
+            shown.len(),
+            r.waterfalls.len()
+        );
+        println!("{}", shown.join("\n\n"));
+        write_raw(&opts.out, "waterfall.txt", report);
+        let chrome = obs::export::chrome_trace(&r.spans).to_string_pretty();
+        let lines = obs::export::span_json_lines(&r.spans);
+        write_raw(&opts.out, "waterfall_trace.json", chrome.clone());
+        write_raw(&opts.out, "waterfall_spans.jsonl", lines.clone());
+        if let Some(p) = &opts.trace_out {
+            std::fs::write(p, chrome).expect("write --trace-out");
+            info!("[saved {}]", p.display());
+        }
+        if let Some(p) = &opts.trace_spans {
+            std::fs::write(p, lines).expect("write --trace-spans");
+            info!("[saved {}]", p.display());
+        }
+    }
+    // Explicit-only: a timing smoke run is too machine-dependent for the
+    // default `all` bundle, but CI runs it to catch harness bit-rot.
+    if opts.experiments.iter().any(|e| e == "bench-snapshot") {
+        use am_stats::bench::{Harness, BENCH_K, BENCH_SEED};
+        info!("running bench snapshot (reduced budget) ...");
+        let mut h =
+            Harness::new("repro bench-snapshot").with_budget(std::time::Duration::from_millis(150));
+        h.bench("ping_matrix", || ping_matrix::run(BENCH_K, BENCH_SEED));
+        h.bench("table3", || table3::run(BENCH_K, BENCH_SEED));
+        h.bench("table5", || table5::run(BENCH_K, BENCH_SEED));
+        h.bench("telemetry_slow_ping", || {
+            let reg = Registry::new();
+            telemetry::run(
+                telemetry::TelemetryTool::SlowPing,
+                BENCH_K,
+                BENCH_SEED,
+                300,
+                &reg,
+            )
+        });
+        h.bench("waterfall", || {
+            let reg = Registry::new();
+            let tracer = Tracer::new();
+            waterfall::run(BENCH_K, BENCH_SEED, 300, &reg, &tracer)
+        });
+        let results = h.results().to_vec();
+        write_json(&opts.out, "BENCH_2", &results);
+        h.finish();
     }
     info!("done.");
 }

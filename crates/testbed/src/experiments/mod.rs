@@ -11,6 +11,7 @@
 //! | [`fig9`] | Fig. 9 (background-traffic effect CDFs) |
 //! | [`ablations`] | The DESIGN.md §5 ablation/extension experiments |
 //! | [`telemetry`] | An instrumented session cross-checking the obs counters |
+//! | [`waterfall`] | Per-probe causal span waterfalls reconciled against `du` |
 //!
 //! Every runner takes a seed and a probe budget, returns a serializable
 //! result struct with a `render()` method, and is deterministic.
@@ -26,6 +27,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod telemetry;
+pub mod waterfall;
 
 use am_stats::Summary;
 use obs::ToJson;

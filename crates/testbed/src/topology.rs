@@ -337,6 +337,14 @@ impl Testbed {
             .attach_metrics(reg);
     }
 
+    /// Attach a causal span tracer to the simulator so every layer of the
+    /// delay pipeline records per-probe spans (phone runtime/kernel/SDIO,
+    /// STA doze wake, AP buffering, netem link and server). With no call
+    /// the pipeline's trace hooks are zero-cost no-ops.
+    pub fn attach_tracer(&mut self, tracer: &obs::Tracer) {
+        self.sim.set_tracer(tracer);
+    }
+
     /// Mutable typed app view (e.g. to attach an app's telemetry).
     pub fn app_mut<T: 'static>(&mut self, idx: usize) -> &mut T {
         self.sim.node_mut::<PhoneNode>(self.phone).app_mut::<T>(idx)
