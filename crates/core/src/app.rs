@@ -19,12 +19,15 @@ use simcore::SimTime;
 use wire::{IcmpKind, Packet, PacketTag, TcpFlags, L4};
 
 use crate::config::{AcuteMonConfig, ProbeKind};
-use measure::{ProbeMetrics, RttRecord};
+use measure::{ProbeError, ProbeMetrics, RttRecord};
 use obs::{Counter, Registry};
 
 const TAG_MT_START: u32 = 1;
 const TAG_BG: u32 = 2;
 const TAG_TIMEOUT_BASE: u32 = 1000;
+/// Timer tags `TAG_RETRY_BASE + n` fire the scheduled resend of probe `n`
+/// after its backoff (disjoint from the timeout tag space).
+const TAG_RETRY_BASE: u32 = 0x4000_0000;
 
 /// Background-traffic accounting (battery-cost proxy, §4.1).
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,6 +36,8 @@ pub struct BtStats {
     pub warmup_sent: u64,
     /// Background keep-awake packets sent.
     pub background_sent: u64,
+    /// Fresh warm-ups sent to re-warm the path before a probe retry.
+    pub rewarms_sent: u64,
 }
 
 /// Telemetry handles for one AcuteMon session (`acutemon.*`).
@@ -125,8 +130,26 @@ impl AcuteMonApp {
         }
     }
 
-    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
-        let n = self.sent;
+    /// Send one warm-up packet ahead of a retry so the resent probe rides
+    /// an awake radio path (same TTL-limited shape as the BT's traffic).
+    fn send_rewarm(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        ctx.send(
+            self.cfg.warmup_dst,
+            self.cfg.warmup_ttl,
+            L4::Udp {
+                src_port: self.cfg.session,
+                dst_port: 33434,
+            },
+            8,
+            PacketTag::WarmUp,
+        );
+        self.bt.rewarms_sent += 1;
+        self.metrics.probes.on_rewarm();
+    }
+
+    /// Wire shape of probe `n` (identical across retries, so replies to
+    /// any attempt match the same record).
+    fn probe_l4(&self, n: u32) -> (L4, usize) {
         let l4 = match self.cfg.probe {
             ProbeKind::TcpConnect => L4::Tcp {
                 src_port: self.src_port(n),
@@ -158,21 +181,98 @@ impl AcuteMonApp {
             ProbeKind::Udp => 32,
             ProbeKind::TcpConnect => 0,
         };
+        (l4, payload)
+    }
+
+    /// Put probe `n` on the wire and arm its timeout. Returns the packet id.
+    fn fire_probe(&mut self, ctx: &mut AppCtx<'_, '_>, n: u32) -> u64 {
+        let (l4, payload) = self.probe_l4(n);
         let id = ctx.send(self.cfg.target, 64, l4, payload, PacketTag::Probe(n));
         if let Some(tc) = ctx.tracer().packet_ctx(id) {
             ctx.tracer().attr(tc.root, "tool", "acutemon");
         }
         self.metrics.probes.on_send();
-        self.records.push(RttRecord {
-            probe: n,
-            req_id: id,
-            resp_id: None,
-            tou: ctx.now(),
-            tiu: None,
-            reported_ms: None,
-        });
-        self.sent += 1;
         ctx.set_timer(self.cfg.probe_timeout, TAG_TIMEOUT_BASE + n);
+        id
+    }
+
+    fn send_probe(&mut self, ctx: &mut AppCtx<'_, '_>) {
+        let n = self.sent;
+        // `sent` must advance before the send: the RX demux (`probe_for`)
+        // only claims replies for idx < sent, and a zero-RTT path could
+        // answer within this same event.
+        self.sent += 1;
+        self.records.push(RttRecord::sent(n, 0, ctx.now()));
+        let now = ctx.now();
+        let id = self.fire_probe(ctx, n);
+        let rec = &mut self.records[n as usize];
+        rec.req_id = id;
+        rec.tou = now;
+    }
+
+    /// A probe timed out with retry budget left: schedule the resend
+    /// after an exponential backoff (+ deterministic jitter), re-warming
+    /// the path first so the retry doesn't pay the wake cost again.
+    fn schedule_retry(&mut self, ctx: &mut AppCtx<'_, '_>, probe: u32) {
+        let rec = self.records[probe as usize];
+        let attempt = rec.attempts; // 1-based: first retry backs off 1×
+        let base_ms = self.cfg.retry_backoff.as_ms_f64();
+        let backoff_ms = base_ms * f64::from(1u32 << (attempt - 1).min(16));
+        let jitter_ms = ctx.rng().uniform(0.0, backoff_ms * 0.5);
+        let mut delay = simcore::SimDuration::from_ms_f64(backoff_ms + jitter_ms);
+        if self.cfg.rewarm_on_retry {
+            // The fresh warm-up needs `dpre` to take effect before the
+            // resend, exactly like the initial warm-up choreography.
+            delay = delay.max(self.cfg.dpre);
+            self.send_rewarm(ctx);
+        }
+        self.metrics.probes.on_retry();
+        let now = ctx.now();
+        let tracer = ctx.tracer();
+        if let Some(tc) = tracer.packet_ctx(rec.req_id) {
+            // Make the recovery visible in the waterfall: a `retry` span
+            // covering the backoff window (and a `rewarm` marker) under
+            // the lost attempt's trace.
+            let span = tracer.span(
+                tc.trace,
+                Some(tc.root),
+                "retry",
+                "fault",
+                now.as_nanos(),
+                (now + delay).as_nanos(),
+            );
+            tracer.attr(span, "attempt", attempt + 1);
+            if self.cfg.rewarm_on_retry {
+                let rw = tracer.span(
+                    tc.trace,
+                    Some(tc.root),
+                    "rewarm",
+                    "fault",
+                    now.as_nanos(),
+                    (now + self.cfg.dpre).as_nanos(),
+                );
+                tracer.attr(rw, "probe", probe);
+            }
+        }
+        ctx.set_timer(delay, TAG_RETRY_BASE + probe);
+    }
+
+    /// The backoff elapsed: resend probe `n` (unless a late reply already
+    /// closed it).
+    fn resend_probe(&mut self, ctx: &mut AppCtx<'_, '_>, probe: u32) {
+        if self
+            .records
+            .get(probe as usize)
+            .is_none_or(|r| r.tiu.is_some())
+        {
+            return;
+        }
+        let now = ctx.now();
+        let id = self.fire_probe(ctx, probe);
+        let rec = &mut self.records[probe as usize];
+        rec.req_id = id;
+        rec.tou = now;
+        rec.attempts += 1;
     }
 
     fn advance_mt(&mut self, ctx: &mut AppCtx<'_, '_>) {
@@ -269,14 +369,29 @@ impl App for AcuteMonApp {
                 self.send_background(ctx, warmup);
                 ctx.set_timer(self.cfg.db, TAG_BG);
             }
+            t if t >= TAG_RETRY_BASE => self.resend_probe(ctx, t - TAG_RETRY_BASE),
             t if t >= TAG_TIMEOUT_BASE => {
-                let probe = (t - TAG_TIMEOUT_BASE) as usize;
-                if let Some(rec) = self.records.get(probe) {
-                    if rec.tiu.is_none() && probe as u32 + 1 == self.sent {
-                        // Lost probe: move on.
-                        self.advance_mt(ctx);
-                    }
+                let probe = t - TAG_TIMEOUT_BASE;
+                let Some(rec) = self.records.get(probe as usize) else {
+                    return;
+                };
+                if rec.tiu.is_some() || probe + 1 != self.sent {
+                    return; // answered in time (or a stale timer)
                 }
+                self.metrics.probes.on_timeout();
+                if rec.attempts <= self.cfg.max_retries {
+                    self.schedule_retry(ctx, probe);
+                    return;
+                }
+                // Budget exhausted (or retries disabled): record why and
+                // move on — the sample stays in the set as censored.
+                let attempts = rec.attempts;
+                self.records[probe as usize].error = Some(if attempts > 1 {
+                    ProbeError::Exhausted { attempts }
+                } else {
+                    ProbeError::Timeout
+                });
+                self.advance_mt(ctx);
             }
             _ => {}
         }
@@ -296,6 +411,15 @@ mod tests {
     /// phone pipeline. (The full-testbed behaviour is verified in the
     /// `testbed` crate.)
     fn world(rtt_ms: u64, cfg: AcuteMonConfig) -> (Sim<Msg>, simcore::NodeId, usize) {
+        world_with_fault(rtt_ms, cfg, None)
+    }
+
+    /// Same, with an optional fault plan installed on the single link.
+    fn world_with_fault(
+        rtt_ms: u64,
+        cfg: AcuteMonConfig,
+        fault: Option<&netem::FaultPlan>,
+    ) -> (Sim<Msg>, simcore::NodeId, usize) {
         let mut sim = Sim::new(31);
         let server = sim.add_node(Box::new(ServerNode::new(
             50,
@@ -305,7 +429,11 @@ mod tests {
         let mut ph = PhoneNode::new(1, phone::nexus5(), phone::wlan_ip(100), link);
         let app = ph.install_app(Box::new(AcuteMonApp::new(cfg)), RuntimeKind::Native);
         let phone_id = sim.add_node(Box::new(ph));
-        sim.node_mut::<LinkNode>(link).connect(phone_id, server);
+        let ln = sim.node_mut::<LinkNode>(link);
+        ln.connect(phone_id, server);
+        if let Some(plan) = fault {
+            ln.set_fault_plan(plan);
+        }
         (sim, phone_id, app)
     }
 
@@ -410,6 +538,104 @@ mod tests {
                 am.records.completion()
             );
         }
+    }
+
+    #[test]
+    fn retries_recover_all_probes_under_bursty_loss() {
+        // 20% bursty (Gilbert–Elliott) loss on the only link, hitting
+        // probes, replies, and keep-awake traffic alike. With a retry
+        // budget the run must still complete every probe — no panic, no
+        // silently dropped samples.
+        let plan = netem::FaultPlan::gilbert_elliott(0.20, 4.0).with_seed(7);
+        let mut cfg = AcuteMonConfig::new(phone::wired_ip(1), 20)
+            .with_retries(8)
+            .with_retry_backoff(SimDuration::from_millis(20));
+        cfg.probe_timeout = SimDuration::from_millis(200);
+        let (mut sim, phone_id, app) = world_with_fault(30, cfg, Some(&plan));
+        sim.run_until(SimTime::from_secs(120));
+        let am = sim.node::<PhoneNode>(phone_id).app::<AcuteMonApp>(app);
+        assert_eq!(am.records.len(), 20);
+        assert!(
+            (am.records.completion() - 1.0).abs() < 1e-12,
+            "completion {} with {} retries",
+            am.records.completion(),
+            am.records.total_retries()
+        );
+        assert!(am.finished_at().is_some());
+        // The loss actually bit: some probes needed more than one try,
+        // and each retry re-warmed the path first.
+        assert!(am.records.total_retries() > 0);
+        assert!(am.records.iter().any(|r| r.recovered()));
+        assert_eq!(am.bt.rewarms_sent, am.records.total_retries());
+        // No record carries an error — every loss was recovered.
+        assert!(am.records.iter().all(|r| r.error.is_none()));
+    }
+
+    #[test]
+    fn retry_emits_spans_under_original_trace() {
+        // A flap window eats the first attempt of probe 0; the retry
+        // lands after the window. The recovery must be visible as
+        // `retry`/`rewarm` spans in the same trace as the lost attempt,
+        // and the link drop as a `lost` span.
+        let plan = netem::FaultPlan::none()
+            .with_flap(SimTime::from_millis(10), SimTime::from_millis(150))
+            .with_seed(3);
+        let mut cfg = AcuteMonConfig::new(phone::wired_ip(1), 1)
+            .with_retries(3)
+            .with_retry_backoff(SimDuration::from_millis(50));
+        cfg.probe_timeout = SimDuration::from_millis(100);
+        let (mut sim, phone_id, app) = world_with_fault(30, cfg, Some(&plan));
+        let tracer = obs::Tracer::new();
+        sim.set_tracer(&tracer);
+        sim.run_until(SimTime::from_secs(5));
+        let am = sim.node::<PhoneNode>(phone_id).app::<AcuteMonApp>(app);
+        assert_eq!(am.records.len(), 1);
+        let rec = &am.records[0];
+        assert!(rec.completed());
+        assert!(rec.recovered(), "attempts={}", rec.attempts);
+        assert!(am.bt.rewarms_sent >= 1);
+
+        let spans = tracer.spans();
+        let retry = spans
+            .iter()
+            .find(|s| s.name == "retry" && s.cat == "fault")
+            .expect("retry span");
+        assert!(spans.iter().any(|s| s.name == "rewarm" && s.cat == "fault"));
+        let lost = spans
+            .iter()
+            .find(|s| s.name == "lost" && s.cat == "fault")
+            .expect("lost span from the link drop");
+        // The retry span hangs off the trace of the dropped attempt.
+        assert_eq!(retry.trace, lost.trace);
+    }
+
+    #[test]
+    fn exhausted_budget_records_probe_error() {
+        // Link down for the whole run: with a budget of 2 retries the
+        // probe is tried 3 times then given up as Exhausted; with no
+        // budget it is a plain Timeout.
+        let plan = netem::FaultPlan::none()
+            .with_flap(SimTime::ZERO, SimTime::from_secs(3600))
+            .with_seed(1);
+        let mut cfg = AcuteMonConfig::new(phone::wired_ip(1), 1)
+            .with_retries(2)
+            .with_retry_backoff(SimDuration::from_millis(10));
+        cfg.probe_timeout = SimDuration::from_millis(50);
+        let (mut sim, phone_id, app) = world_with_fault(30, cfg.clone(), Some(&plan));
+        sim.run_until(SimTime::from_secs(30));
+        let am = sim.node::<PhoneNode>(phone_id).app::<AcuteMonApp>(app);
+        let rec = &am.records[0];
+        assert!(!rec.completed());
+        assert_eq!(rec.attempts, 3);
+        assert_eq!(rec.error, Some(ProbeError::Exhausted { attempts: 3 }));
+        assert!(am.finished_at().is_some(), "run must still terminate");
+
+        cfg.max_retries = 0;
+        let (mut sim, phone_id, app) = world_with_fault(30, cfg, Some(&plan));
+        sim.run_until(SimTime::from_secs(30));
+        let am = sim.node::<PhoneNode>(phone_id).app::<AcuteMonApp>(app);
+        assert_eq!(am.records[0].attempts, 1);
+        assert_eq!(am.records[0].error, Some(ProbeError::Timeout));
     }
 
     #[test]

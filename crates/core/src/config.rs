@@ -51,6 +51,16 @@ pub struct AcuteMonConfig {
     /// Fig. 9 disables this (with bus sleep also disabled) to show the
     /// background traffic itself is harmless.
     pub background_enabled: bool,
+    /// Bounded retries per probe after a timeout (0 = the paper's
+    /// behaviour: record the loss and move on).
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `i` waits `retry_backoff × 2^(i−1)`
+    /// plus deterministic jitter before resending.
+    pub retry_backoff: SimDuration,
+    /// Send a fresh warm-up packet before each retry and hold the resend
+    /// at least `dpre`, so the retried probe rides a re-warmed radio path
+    /// instead of paying the wake cost again.
+    pub rewarm_on_retry: bool,
 }
 
 impl AcuteMonConfig {
@@ -70,7 +80,31 @@ impl AcuteMonConfig {
             start: SimTime::ZERO,
             session: 0x7A00,
             background_enabled: true,
+            max_retries: 0,
+            retry_backoff: SimDuration::from_millis(50),
+            rewarm_on_retry: true,
         }
+    }
+
+    /// Builder: allow up to `n` retries per probe (with exponential
+    /// backoff and re-warm, unless disabled via
+    /// [`AcuteMonConfig::without_rewarm`]).
+    pub fn with_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Builder: set the base retry backoff.
+    pub fn with_retry_backoff(mut self, backoff: SimDuration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Builder: retry without sending a fresh warm-up first (isolates the
+    /// value of re-warming in ablations).
+    pub fn without_rewarm(mut self) -> Self {
+        self.rewarm_on_retry = false;
+        self
     }
 
     /// Builder: disable the background keep-awake traffic (warm-up packet
@@ -131,5 +165,19 @@ mod tests {
         assert_eq!(c.db, SimDuration::from_millis(40));
         assert_eq!(c.warmup_ttl, 64);
         assert_eq!(c.start, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn retries_default_off() {
+        let c = AcuteMonConfig::new(Ip::new(10, 0, 0, 1), 5);
+        assert_eq!(c.max_retries, 0);
+        assert!(c.rewarm_on_retry);
+        let c = c
+            .with_retries(3)
+            .with_retry_backoff(SimDuration::from_millis(25))
+            .without_rewarm();
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.retry_backoff, SimDuration::from_millis(25));
+        assert!(!c.rewarm_on_retry);
     }
 }

@@ -144,14 +144,7 @@ impl MultiAcuteMonApp {
             0,
             PacketTag::Probe(linear),
         );
-        self.records[t].push(RttRecord {
-            probe: p,
-            req_id: id,
-            resp_id: None,
-            tou: ctx.now(),
-            tiu: None,
-            reported_ms: None,
-        });
+        self.records[t].push(RttRecord::sent(p, id, ctx.now()));
         self.sent += 1;
         ctx.set_timer(self.cfg.base.probe_timeout, TAG_TIMEOUT_BASE + linear);
     }

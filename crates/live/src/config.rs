@@ -38,6 +38,20 @@ pub struct LiveConfig {
     pub probe_timeout: Duration,
     /// Whether background traffic is sent at all (the Fig. 9 arm).
     pub background_enabled: bool,
+    /// Bounded retries per probe after a retryable failure (0 = record
+    /// the loss and move on, the paper's behaviour).
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `i` waits `retry_backoff × 2^(i−1)`
+    /// plus deterministic jitter before resending.
+    pub retry_backoff: Duration,
+    /// Send a fresh warm-up datagram before each retry and hold the
+    /// resend at least `dpre`, so the retried probe rides a re-warmed
+    /// radio path instead of paying the wake cost again.
+    pub rewarm_on_retry: bool,
+    /// After this many *consecutive* background send errors the BT
+    /// reports itself degraded to the measurement loop (which then
+    /// re-warms on its own before every probe).
+    pub bt_error_threshold: u32,
 }
 
 impl LiveConfig {
@@ -54,7 +68,35 @@ impl LiveConfig {
             warmup_ttl: 1,
             probe_timeout: Duration::from_secs(2),
             background_enabled: true,
+            max_retries: 0,
+            retry_backoff: Duration::from_millis(50),
+            rewarm_on_retry: true,
+            bt_error_threshold: 5,
         }
+    }
+
+    /// Builder: allow up to `n` retries per probe.
+    pub fn with_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Builder: set the base retry backoff.
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Builder: retry without the fresh warm-up first.
+    pub fn without_rewarm(mut self) -> Self {
+        self.rewarm_on_retry = false;
+        self
+    }
+
+    /// Builder: set the BT consecutive-error degradation threshold.
+    pub fn with_bt_error_threshold(mut self, n: u32) -> Self {
+        self.bt_error_threshold = n;
+        self
     }
 
     /// Builder: switch the probe kind.
@@ -97,6 +139,23 @@ mod tests {
         assert_eq!(c.probe, LiveProbe::TcpConnect);
         assert!(c.background_enabled);
         assert_eq!(c.warmup_dst.port(), 33434);
+        assert_eq!(c.max_retries, 0, "retries are opt-in");
+        assert!(c.rewarm_on_retry);
+        assert_eq!(c.bt_error_threshold, 5);
+    }
+
+    #[test]
+    fn resilience_builders() {
+        let t: SocketAddr = "127.0.0.1:7".parse().unwrap();
+        let c = LiveConfig::new(t, 5)
+            .with_retries(3)
+            .with_retry_backoff(Duration::from_millis(25))
+            .with_bt_error_threshold(2)
+            .without_rewarm();
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.retry_backoff, Duration::from_millis(25));
+        assert_eq!(c.bt_error_threshold, 2);
+        assert!(!c.rewarm_on_retry);
     }
 
     #[test]

@@ -4,14 +4,23 @@
 
 use std::io;
 use std::net::{TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use measure::ProbeError;
 use obs::{Registry, Tracer};
 
 use crate::config::{LiveConfig, LiveProbe};
+
+/// Lock a mutex, recovering from poisoning: a panicked BT must not take
+/// the measurement report down with it — counters are plain integers and
+/// stay consistent under any interleaving.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Telemetry handles for a live session (`live.*`). Defaults to
 /// disabled no-op handles.
@@ -19,8 +28,13 @@ use crate::config::{LiveConfig, LiveProbe};
 struct LiveMetrics {
     probes_sent: obs::Counter,
     probes_received: obs::Counter,
+    probe_errors: obs::Counter,
+    retries: obs::Counter,
+    rewarms: obs::Counter,
     warmup_sent: obs::Counter,
     background_sent: obs::Counter,
+    bt_rewarms: obs::Counter,
+    bt_degraded: obs::Counter,
     rtt_ms: obs::Histogram,
 }
 
@@ -29,8 +43,13 @@ impl LiveMetrics {
         LiveMetrics {
             probes_sent: reg.counter("live.probes_sent"),
             probes_received: reg.counter("live.probes_received"),
+            probe_errors: reg.counter("live.probe_errors"),
+            retries: reg.counter("live.retries"),
+            rewarms: reg.counter("live.rewarms"),
             warmup_sent: reg.counter("live.warmup_sent"),
             background_sent: reg.counter("live.background_sent"),
+            bt_rewarms: reg.counter("live.bt_rewarms"),
+            bt_degraded: reg.counter("live.bt_degraded"),
             rtt_ms: reg.histogram_ms("live.rtt_ms"),
         }
     }
@@ -43,6 +62,10 @@ pub struct LiveSample {
     pub probe: u32,
     /// RTT in ms, if the probe completed in time.
     pub rtt_ms: Option<f64>,
+    /// Send attempts spent on this probe (1 = first try succeeded).
+    pub attempts: u32,
+    /// Why the probe ultimately failed, if it did.
+    pub error: Option<ProbeError>,
 }
 
 /// Counters from the background thread.
@@ -56,6 +79,14 @@ pub struct LiveBtStats {
     /// are expected with TTL=1 and are ignored, like the paper ignores
     /// the responses.
     pub send_errors: u64,
+    /// Keep-awake ticks the BT noticed it had missed (descheduled thread
+    /// or an error streak left the radio uncovered for > 3×`db`).
+    pub missed_ticks: u64,
+    /// Fresh warm-ups sent to recover from a missed-tick gap.
+    pub rewarms_sent: u64,
+    /// Whether the BT was degraded (≥ `bt_error_threshold` consecutive
+    /// send errors) when the run ended.
+    pub degraded: bool,
 }
 
 /// The result of a live run.
@@ -88,25 +119,52 @@ impl LiveReport {
     pub fn summary(&self) -> Option<am_stats::Summary> {
         am_stats::Summary::of(&self.rtts_ms())
     }
+
+    /// The RTTs as a right-censored sample: lost probes stay in the
+    /// denominator instead of silently vanishing from the quantiles.
+    pub fn censored(&self) -> am_stats::CensoredSample {
+        am_stats::CensoredSample::from_outcomes(self.samples.iter().map(|s| s.rtt_ms))
+    }
+
+    /// Total retry attempts beyond the first try, across all probes.
+    pub fn total_retries(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| u64::from(s.attempts.saturating_sub(1)))
+            .sum()
+    }
 }
 
 /// The background thread body: one warm-up datagram, then keep-awake
 /// datagrams every `db` until `stop` fires.
+///
+/// Self-healing: if the cadence slips by more than 3×`db` (the thread was
+/// descheduled, or sends kept erroring), the radio may have dozed — the
+/// next successful send is a fresh warm-up rather than a plain keep-awake
+/// tick, and it is counted as such. After `bt_error_threshold`
+/// consecutive send errors the shared `degraded` flag is raised so the
+/// measurement loop knows the keep-awake cover is gone; the first
+/// successful send clears it again.
 fn bt_loop(
     cfg: LiveConfig,
     stats: Arc<Mutex<LiveBtStats>>,
     metrics: Arc<LiveMetrics>,
+    degraded: Arc<AtomicBool>,
     stop: Receiver<()>,
 ) -> io::Result<()> {
     let socket = UdpSocket::bind("0.0.0.0:0")?;
     socket.set_ttl(cfg.warmup_ttl)?;
+    let mut consecutive_errors: u32 = 0;
     // Warm-up packet.
     match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
         Ok(_) => {
-            stats.lock().unwrap().warmup_sent += 1;
+            lock(&stats).warmup_sent += 1;
             metrics.warmup_sent.inc();
         }
-        Err(_) => stats.lock().unwrap().send_errors += 1,
+        Err(_) => {
+            lock(&stats).send_errors += 1;
+            consecutive_errors += 1;
+        }
     }
     if !cfg.background_enabled {
         // Warm-up only: wait for the stop signal so the session still
@@ -114,28 +172,52 @@ fn bt_loop(
         let _ = stop.recv();
         return Ok(());
     }
+    let mut last_sent = Instant::now();
     loop {
         // `recv_timeout` doubles as the db pacing clock.
         match stop.recv_timeout(cfg.db) {
-            Ok(()) => return Ok(()),
-            Err(RecvTimeoutError::Timeout) => {
-                match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
-                    Ok(_) => {
-                        stats.lock().unwrap().background_sent += 1;
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        let missed = last_sent.elapsed() > cfg.db * 3;
+        if missed {
+            lock(&stats).missed_ticks += 1;
+        }
+        match socket.send_to(&[0u8; 8], cfg.warmup_dst) {
+            Ok(_) => {
+                {
+                    let mut s = lock(&stats);
+                    if missed {
+                        // The gap exceeded the keep-awake guarantee: this
+                        // send is a re-warm, not a routine tick.
+                        s.rewarms_sent += 1;
+                        metrics.bt_rewarms.inc();
+                    } else {
+                        s.background_sent += 1;
                         metrics.background_sent.inc();
                     }
-                    // With TTL=1 the kernel may surface the gateway's ICMP
-                    // Time Exceeded as an error on the next send; that is
-                    // exactly the by-design behaviour — count and go on.
-                    Err(_) => stats.lock().unwrap().send_errors += 1,
+                }
+                last_sent = Instant::now();
+                consecutive_errors = 0;
+                degraded.store(false, Ordering::Relaxed);
+            }
+            // With TTL=1 the kernel may surface the gateway's ICMP
+            // Time Exceeded as an error on the next send; that is
+            // exactly the by-design behaviour — count and go on.
+            Err(_) => {
+                lock(&stats).send_errors += 1;
+                consecutive_errors += 1;
+                if consecutive_errors >= cfg.bt_error_threshold
+                    && !degraded.swap(true, Ordering::Relaxed)
+                {
+                    metrics.bt_degraded.inc();
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return Ok(()),
         }
     }
 }
 
-fn probe_once(cfg: &LiveConfig, probe: u32) -> Option<f64> {
+fn probe_once(cfg: &LiveConfig, probe: u32) -> Result<f64, ProbeError> {
     match cfg.probe {
         LiveProbe::TcpConnect => {
             let t0 = Instant::now();
@@ -143,30 +225,43 @@ fn probe_once(cfg: &LiveConfig, probe: u32) -> Option<f64> {
                 Ok(stream) => {
                     let rtt = t0.elapsed();
                     drop(stream);
-                    Some(rtt.as_secs_f64() * 1e3)
+                    Ok(rtt.as_secs_f64() * 1e3)
                 }
-                Err(_) => None,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => Err(ProbeError::Timeout),
+                Err(e) => Err(ProbeError::Connect(e.kind())),
             }
         }
         LiveProbe::UdpEcho => {
-            let socket = UdpSocket::bind("0.0.0.0:0").ok()?;
-            socket.set_read_timeout(Some(cfg.probe_timeout)).ok()?;
+            let socket = UdpSocket::bind("0.0.0.0:0").map_err(|e| ProbeError::Bind(e.kind()))?;
+            socket
+                .set_read_timeout(Some(cfg.probe_timeout))
+                .map_err(|e| ProbeError::Bind(e.kind()))?;
             let payload = probe.to_be_bytes();
             let t0 = Instant::now();
-            socket.send_to(&payload, cfg.target).ok()?;
+            socket
+                .send_to(&payload, cfg.target)
+                .map_err(|e| ProbeError::Send(e.kind()))?;
             let mut buf = [0u8; 64];
             loop {
                 match socket.recv_from(&mut buf) {
                     Ok((n, from)) => {
                         if from == cfg.target && n >= 4 && buf[..4] == payload {
-                            return Some(t0.elapsed().as_secs_f64() * 1e3);
+                            return Ok(t0.elapsed().as_secs_f64() * 1e3);
                         }
                         if t0.elapsed() >= cfg.probe_timeout {
-                            return None;
+                            return Err(ProbeError::Timeout);
                         }
                         // A stray datagram; keep waiting.
                     }
-                    Err(_) => return None,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Err(ProbeError::Timeout)
+                    }
+                    Err(e) => return Err(ProbeError::Recv(e.kind())),
                 }
             }
         }
@@ -179,34 +274,142 @@ fn since_ns(epoch: Instant) -> u64 {
     epoch.elapsed().as_nanos() as u64
 }
 
-/// Emit the per-probe span pair for a live probe: a `probe` root and one
-/// `tcp_connect` / `udp_echo` leaf covering the socket operation. Unlike
-/// the simulated pipeline we cannot see inside the kernel from userland,
-/// so the leaf is the whole du — the waterfall still shows which probes
-/// stalled and by how much.
-fn trace_probe(tracer: &Tracer, epoch: Instant, cfg: &LiveConfig, probe: u32) -> Option<f64> {
-    if !tracer.is_enabled() {
-        return probe_once(cfg, probe);
-    }
-    let trace = tracer.begin_trace();
-    let start = since_ns(epoch);
-    let root = tracer.start_span(trace, None, "probe", "live", start);
-    tracer.attr(root, "probe", probe);
-    tracer.attr(root, "tool", "acutemon-cli");
+/// Deterministic retry jitter in [0, 0.5): a hash of (probe, attempt) so
+/// replays of the same run shape are identical without an RNG dependency.
+fn retry_jitter(probe: u32, attempt: u32) -> f64 {
+    let h = u64::from(probe)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    (h % 512) as f64 / 1024.0
+}
+
+/// One probe end-to-end: fire it, and on a retryable failure back off
+/// (exponentially, with deterministic jitter), re-warm the path, and try
+/// again up to `max_retries` times.
+///
+/// The whole recovery is one span tree: a `probe` root with one
+/// `tcp_connect`/`udp_echo` leaf per attempt, plus `rewarm`/`retry`
+/// spans (category `fault`) covering each backoff window. Unlike the
+/// simulated pipeline we cannot see inside the kernel from userland, so
+/// each leaf is that attempt's whole du — the waterfall still shows
+/// which probes stalled, by how much, and what it cost to recover them.
+fn run_probe(
+    cfg: &LiveConfig,
+    tracer: &Tracer,
+    epoch: Instant,
+    probe: u32,
+    metrics: &LiveMetrics,
+    rewarm: Option<&UdpSocket>,
+    bt_degraded: &AtomicBool,
+) -> LiveSample {
+    let tctx = tracer.is_enabled().then(|| {
+        let trace = tracer.begin_trace();
+        let root = tracer.start_span(trace, None, "probe", "live", since_ns(epoch));
+        tracer.attr(root, "probe", probe);
+        tracer.attr(root, "tool", "acutemon-cli");
+        (trace, root)
+    });
     let leaf_name = match cfg.probe {
         LiveProbe::TcpConnect => "tcp_connect",
         LiveProbe::UdpEcho => "udp_echo",
     };
-    let io_start = since_ns(epoch);
-    let rtt_ms = probe_once(cfg, probe);
-    let io_end = since_ns(epoch);
-    let leaf = tracer.span(trace, Some(root), leaf_name, "net", io_start, io_end);
-    match rtt_ms {
-        Some(ms) => tracer.attr(leaf, "rtt_ms", ms),
-        None => tracer.attr(leaf, "lost", true),
+    // The BT lost its keep-awake cover: lead with our own warm-up so this
+    // probe doesn't pay the wake cost the BT was supposed to absorb.
+    if bt_degraded.load(Ordering::Relaxed) {
+        if let Some(sock) = rewarm {
+            if sock.send_to(&[0u8; 8], cfg.warmup_dst).is_ok() {
+                metrics.rewarms.inc();
+            }
+        }
     }
-    tracer.end_span(root, since_ns(epoch));
-    rtt_ms
+    let mut attempts: u32 = 0;
+    let sample = loop {
+        attempts += 1;
+        metrics.probes_sent.inc();
+        let io_start = since_ns(epoch);
+        let res = probe_once(cfg, probe);
+        let io_end = since_ns(epoch);
+        if let Some((trace, root)) = tctx {
+            let leaf = tracer.span(trace, Some(root), leaf_name, "net", io_start, io_end);
+            tracer.attr(leaf, "attempt", attempts);
+            match &res {
+                Ok(ms) => tracer.attr(leaf, "rtt_ms", *ms),
+                Err(e) => {
+                    tracer.attr(leaf, "lost", true);
+                    tracer.attr(leaf, "error", e.label());
+                }
+            }
+        }
+        match res {
+            Ok(ms) => {
+                metrics.probes_received.inc();
+                metrics.rtt_ms.observe(ms);
+                break LiveSample {
+                    probe,
+                    rtt_ms: Some(ms),
+                    attempts,
+                    error: None,
+                };
+            }
+            Err(e) => {
+                metrics.probe_errors.inc();
+                if attempts > cfg.max_retries || !e.is_retryable() {
+                    break LiveSample {
+                        probe,
+                        rtt_ms: None,
+                        attempts,
+                        error: Some(if attempts > 1 {
+                            ProbeError::Exhausted { attempts }
+                        } else {
+                            e
+                        }),
+                    };
+                }
+                metrics.retries.inc();
+                let shift = (attempts - 1).min(10);
+                let mut delay = cfg.retry_backoff * (1u32 << shift);
+                delay += delay.mul_f64(retry_jitter(probe, attempts));
+                let retry_start = since_ns(epoch);
+                if cfg.rewarm_on_retry {
+                    if let Some(sock) = rewarm {
+                        if sock.send_to(&[0u8; 8], cfg.warmup_dst).is_ok() {
+                            metrics.rewarms.inc();
+                            if let Some((trace, root)) = tctx {
+                                let rw = tracer.span(
+                                    trace,
+                                    Some(root),
+                                    "rewarm",
+                                    "fault",
+                                    retry_start,
+                                    retry_start + cfg.dpre.as_nanos() as u64,
+                                );
+                                tracer.attr(rw, "probe", probe);
+                            }
+                        }
+                    }
+                    // The fresh warm-up needs `dpre` to take effect
+                    // before the resend, like the initial choreography.
+                    delay = delay.max(cfg.dpre);
+                }
+                thread::sleep(delay);
+                if let Some((trace, root)) = tctx {
+                    let sp = tracer.span(
+                        trace,
+                        Some(root),
+                        "retry",
+                        "fault",
+                        retry_start,
+                        since_ns(epoch),
+                    );
+                    tracer.attr(sp, "attempt", attempts + 1);
+                }
+            }
+        }
+    };
+    if let Some((_, root)) = tctx {
+        tracer.end_span(root, since_ns(epoch));
+    }
+    sample
 }
 
 /// Run a complete AcuteMon session over real sockets: start the BT, wait
@@ -226,31 +429,44 @@ pub fn run_with_registry(cfg: LiveConfig, reg: &Registry) -> io::Result<LiveRepo
 pub fn run_traced(cfg: LiveConfig, reg: &Registry, tracer: &Tracer) -> io::Result<LiveReport> {
     let metrics = Arc::new(LiveMetrics::from_registry(reg));
     let stats = Arc::new(Mutex::new(LiveBtStats::default()));
+    let degraded = Arc::new(AtomicBool::new(false));
     let (stop_tx, stop_rx): (SyncSender<()>, Receiver<()>) = sync_channel(1);
     let bt_cfg = cfg.clone();
     let bt_stats = Arc::clone(&stats);
     let bt_metrics = Arc::clone(&metrics);
+    let bt_degraded = Arc::clone(&degraded);
     let bt = thread::Builder::new()
         .name("acutemon-bt".into())
-        .spawn(move || bt_loop(bt_cfg, bt_stats, bt_metrics, stop_rx))?;
+        .spawn(move || bt_loop(bt_cfg, bt_stats, bt_metrics, bt_degraded, stop_rx))?;
+
+    // The MT's own warm-up socket, for re-warming ahead of retries (and
+    // for covering probes while the BT is degraded). Best-effort: if it
+    // can't be set up, retries simply go out un-warmed.
+    let rewarm_socket = UdpSocket::bind("0.0.0.0:0")
+        .and_then(|s| s.set_ttl(cfg.warmup_ttl).map(|()| s))
+        .ok();
 
     thread::sleep(cfg.dpre);
     let t_start = Instant::now();
     let mut samples = Vec::with_capacity(cfg.k as usize);
     for probe in 0..cfg.k {
-        metrics.probes_sent.inc();
-        let rtt_ms = trace_probe(tracer, t_start, &cfg, probe);
-        if let Some(ms) = rtt_ms {
-            metrics.probes_received.inc();
-            metrics.rtt_ms.observe(ms);
-        }
-        samples.push(LiveSample { probe, rtt_ms });
+        samples.push(run_probe(
+            &cfg,
+            tracer,
+            t_start,
+            probe,
+            &metrics,
+            rewarm_socket.as_ref(),
+            &degraded,
+        ));
     }
     let elapsed = t_start.elapsed();
 
     let _ = stop_tx.send(());
-    let _ = bt.join().expect("bt thread panicked");
-    let bt_stats = *stats.lock().unwrap();
+    bt.join()
+        .map_err(|_| io::Error::new(io::ErrorKind::Other, "background thread panicked"))??;
+    let mut bt_stats = *lock(&stats);
+    bt_stats.degraded = degraded.load(Ordering::Relaxed);
     Ok(LiveReport {
         samples,
         bt: bt_stats,
@@ -395,6 +611,145 @@ mod tests {
         assert_eq!(report.bt.warmup_sent, 1);
         assert_eq!(report.bt.background_sent, 0);
         assert_eq!(report.samples.len(), 3);
+    }
+
+    /// A UDP echo server that drops every other datagram (the first,
+    /// third, … are eaten): each probe's first attempt times out and its
+    /// retry is answered.
+    fn flaky_udp_echo_server() -> (SocketAddr, Arc<AtomicBool>) {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let addr = socket.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let s2 = Arc::clone(&stop);
+        socket
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("timeout");
+        thread::spawn(move || {
+            let mut buf = [0u8; 256];
+            let mut n_seen = 0u64;
+            while !s2.load(Ordering::Relaxed) {
+                if let Ok((n, from)) = socket.recv_from(&mut buf) {
+                    if n_seen % 2 == 1 {
+                        let _ = socket.send_to(&buf[..n], from);
+                    }
+                    n_seen += 1;
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    /// A loopback UDP echo server that answers after `delay` — pins the
+    /// per-probe RTT so tests can stretch a session deterministically.
+    fn slow_udp_echo_server(delay: Duration) -> (SocketAddr, Arc<AtomicBool>) {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        let addr = socket.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let s2 = Arc::clone(&stop);
+        socket
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("timeout");
+        thread::spawn(move || {
+            let mut buf = [0u8; 256];
+            while !s2.load(Ordering::Relaxed) {
+                if let Ok((n, from)) = socket.recv_from(&mut buf) {
+                    thread::sleep(delay);
+                    let _ = socket.send_to(&buf[..n], from);
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    #[test]
+    fn retries_recover_probes_through_a_flaky_path() {
+        let (addr, stop) = flaky_udp_echo_server();
+        let cfg = LiveConfig {
+            probe_timeout: Duration::from_millis(60),
+            ..LiveConfig::new(addr, 4)
+        }
+        .with_probe(LiveProbe::UdpEcho)
+        .with_timing(Duration::from_millis(2), Duration::from_millis(5))
+        .with_warmup_ttl(8)
+        .with_retries(2)
+        .with_retry_backoff(Duration::from_millis(5));
+        let tracer = Tracer::new();
+        let report = run_traced(cfg, &Registry::disabled(), &tracer).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(report.samples.len(), 4);
+        assert!(
+            (report.completion() - 1.0).abs() < 1e-12,
+            "completion {} (attempts {:?})",
+            report.completion(),
+            report.samples.iter().map(|s| s.attempts).collect::<Vec<_>>()
+        );
+        // Every probe needed exactly its one retry, and no error stuck.
+        assert!(report.samples.iter().all(|s| s.attempts == 2));
+        assert!(report.samples.iter().all(|s| s.error.is_none()));
+        assert_eq!(report.total_retries(), 4);
+        // The recovery is visible: retry + rewarm spans, and two attempt
+        // leaves under each probe root.
+        let spans = tracer.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "retry").count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.name == "rewarm").count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.name == "udp_echo").count(), 8);
+        // Censored view: nothing censored, quantiles come from all 4.
+        let cs = report.censored();
+        assert_eq!(cs.censored(), 0);
+        assert!(cs.median().is_some());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_probe_error() {
+        // Bind a port, then free it: connects are refused every time, so
+        // the budget runs out and the sample carries Exhausted.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let cfg = LiveConfig {
+            probe_timeout: Duration::from_millis(50),
+            ..LiveConfig::new(addr, 2)
+        }
+        .with_timing(Duration::from_millis(1), Duration::from_millis(5))
+        .with_warmup_ttl(8)
+        .with_retries(1)
+        .with_retry_backoff(Duration::from_millis(2));
+        let report = run(cfg).expect("run");
+        assert_eq!(report.completion(), 0.0);
+        for s in &report.samples {
+            assert_eq!(s.attempts, 2);
+            assert_eq!(s.error, Some(measure::ProbeError::Exhausted { attempts: 2 }));
+        }
+        // All four du values are censored: no quantile is identifiable.
+        let cs = report.censored();
+        assert_eq!(cs.censored(), 2);
+        assert_eq!(cs.quantile(0.1), None);
+    }
+
+    #[test]
+    fn bt_reports_degraded_after_consecutive_send_errors() {
+        // 255.255.255.255 without SO_BROADCAST: every send fails with
+        // EACCES, deterministically. The BT must notice the streak, flag
+        // itself degraded, and the run must still finish cleanly. A slow
+        // echo target stretches the session so the BT gets enough ticks
+        // regardless of scheduler load.
+        let (addr, stop) = slow_udp_echo_server(Duration::from_millis(20));
+        let cfg = LiveConfig {
+            warmup_dst: "255.255.255.255:9".parse().expect("addr"),
+            probe_timeout: Duration::from_millis(500),
+            ..LiveConfig::new(addr, 5)
+        }
+        .with_probe(LiveProbe::UdpEcho)
+        .with_timing(Duration::from_millis(2), Duration::from_millis(1))
+        .with_bt_error_threshold(3);
+        let report = run(cfg).expect("run");
+        stop.store(true, Ordering::Relaxed);
+        assert!(report.bt.send_errors >= 3, "errors {}", report.bt.send_errors);
+        assert!(report.bt.degraded);
+        assert_eq!(report.bt.background_sent, 0);
+        // Probing itself is unaffected by the broken keep-awake path.
+        assert!(report.completion() > 0.9);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The typed error a probe can fail with, shared by the simulated
+//! measurement apps (`acutemon`) and the live session (`am-live`).
+//!
+//! The variants are `Copy` (socket errors carry an [`io::ErrorKind`],
+//! not the full `io::Error`) so [`RttRecord`](crate::RttRecord) and the
+//! live sample types stay `Copy + PartialEq` and records can be compared
+//! in tests and serialized cheaply.
+
+use std::fmt;
+use std::io;
+
+/// Why one probe (or one attempt of a probe) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeError {
+    /// No response within the per-probe deadline.
+    Timeout,
+    /// Creating/binding the local socket failed.
+    Bind(io::ErrorKind),
+    /// The TCP connect failed outright (refused, unreachable, …).
+    Connect(io::ErrorKind),
+    /// Sending the probe failed.
+    Send(io::ErrorKind),
+    /// Receiving the response failed (not a timeout).
+    Recv(io::ErrorKind),
+    /// The background (keep-awake) thread declared itself degraded, so
+    /// the probe's precondition — a warm radio path — no longer holds.
+    Degraded,
+    /// All retry attempts were spent without a response.
+    Exhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+    },
+}
+
+impl ProbeError {
+    /// Whether retrying the probe could plausibly succeed. Socket *setup*
+    /// failures (bind) and a degraded background thread are not helped by
+    /// resending; timeouts and transient send/recv/connect errors are.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ProbeError::Timeout
+            | ProbeError::Connect(_)
+            | ProbeError::Send(_)
+            | ProbeError::Recv(_) => true,
+            ProbeError::Bind(_) | ProbeError::Degraded | ProbeError::Exhausted { .. } => false,
+        }
+    }
+
+    /// Short stable label for metrics/trace attributes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProbeError::Timeout => "timeout",
+            ProbeError::Bind(_) => "bind",
+            ProbeError::Connect(_) => "connect",
+            ProbeError::Send(_) => "send",
+            ProbeError::Recv(_) => "recv",
+            ProbeError::Degraded => "degraded",
+            ProbeError::Exhausted { .. } => "exhausted",
+        }
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::Timeout => write!(f, "probe timed out"),
+            ProbeError::Bind(k) => write!(f, "socket bind failed: {k}"),
+            ProbeError::Connect(k) => write!(f, "connect failed: {k}"),
+            ProbeError::Send(k) => write!(f, "send failed: {k}"),
+            ProbeError::Recv(k) => write!(f, "recv failed: {k}"),
+            ProbeError::Degraded => write!(f, "background thread degraded"),
+            ProbeError::Exhausted { attempts } => {
+                write!(f, "probe failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+impl From<io::Error> for ProbeError {
+    /// A bare `io::Error` from a send/recv path maps by its kind:
+    /// timeouts become [`ProbeError::Timeout`], everything else
+    /// [`ProbeError::Recv`] (callers with more context construct the
+    /// specific variant directly).
+    fn from(e: io::Error) -> ProbeError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ProbeError::Timeout,
+            k => ProbeError::Recv(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(ProbeError::Timeout.is_retryable());
+        assert!(ProbeError::Send(io::ErrorKind::ConnectionReset).is_retryable());
+        assert!(!ProbeError::Bind(io::ErrorKind::AddrInUse).is_retryable());
+        assert!(!ProbeError::Degraded.is_retryable());
+        assert!(!ProbeError::Exhausted { attempts: 3 }.is_retryable());
+    }
+
+    #[test]
+    fn io_timeout_maps_to_timeout() {
+        let e = io::Error::new(io::ErrorKind::WouldBlock, "t");
+        assert_eq!(ProbeError::from(e), ProbeError::Timeout);
+        let e = io::Error::new(io::ErrorKind::BrokenPipe, "p");
+        assert_eq!(ProbeError::from(e), ProbeError::Recv(io::ErrorKind::BrokenPipe));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ProbeError::Timeout.to_string(), "probe timed out");
+        assert_eq!(
+            ProbeError::Exhausted { attempts: 4 }.to_string(),
+            "probe failed after 4 attempts"
+        );
+        assert_eq!(ProbeError::Timeout.label(), "timeout");
+    }
+}

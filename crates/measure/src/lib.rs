@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+mod error;
 mod httping;
 mod javaping;
 mod metrics;
@@ -30,6 +31,7 @@ mod record;
 #[cfg(test)]
 mod testutil;
 
+pub use error::ProbeError;
 pub use httping::{HttpingApp, HttpingConfig};
 pub use javaping::{JavaPingApp, JavaPingConfig};
 pub use metrics::ProbeMetrics;

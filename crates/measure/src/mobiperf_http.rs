@@ -97,14 +97,7 @@ impl MobiperfHttpApp {
             PacketTag::Probe(self.sent),
         );
         self.metrics.on_send();
-        self.records.push(RttRecord {
-            probe: self.sent,
-            req_id: id,
-            resp_id: None,
-            tou: ctx.now(),
-            tiu: None,
-            reported_ms: None,
-        });
+        self.records.push(RttRecord::sent(self.sent, id, ctx.now()));
         self.sent += 1;
         if self.sent < self.cfg.count {
             ctx.set_timer(self.cfg.interval, TAG_SEND);

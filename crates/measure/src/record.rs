@@ -1,5 +1,6 @@
 //! Per-probe RTT records shared by every measurement tool.
 
+use crate::error::ProbeError;
 use simcore::SimTime;
 
 /// The outcome of one probe as the tool itself sees it (user level).
@@ -8,19 +9,41 @@ pub struct RttRecord {
     /// Probe index within the run.
     pub probe: u32,
     /// Packet id of the request (joins the phone ledger / sniffers).
+    /// When the probe was retried this is the id of the attempt that
+    /// produced the response (or the last attempt, if none did).
     pub req_id: u64,
     /// Packet id of the response, if one arrived.
     pub resp_id: Option<u64>,
-    /// User-level send time `tou`.
+    /// User-level send time `tou` (of the successful/last attempt).
     pub tou: SimTime,
     /// User-level receive time `tiu`.
     pub tiu: Option<SimTime>,
     /// The RTT the tool *reports*, after any tool-specific quirks (e.g.
     /// ping's integer rounding above 100 ms), in ms.
     pub reported_ms: Option<f64>,
+    /// Send attempts spent on this probe (1 = first try succeeded).
+    pub attempts: u32,
+    /// Why the probe ultimately failed, if it did.
+    pub error: Option<ProbeError>,
 }
 
 impl RttRecord {
+    /// A freshly-sent, not-yet-answered probe (first attempt, no error).
+    /// Tools fill in `resp_id`/`tiu`/`reported_ms` when the reply lands,
+    /// or `error` when the probe is given up.
+    pub fn sent(probe: u32, req_id: u64, tou: SimTime) -> RttRecord {
+        RttRecord {
+            probe,
+            req_id,
+            resp_id: None,
+            tou,
+            tiu: None,
+            reported_ms: None,
+            attempts: 1,
+            error: None,
+        }
+    }
+
     /// The true user-level RTT `du = tiu − tou` in ms (no quirks).
     pub fn du_ms(&self) -> Option<f64> {
         Some(self.tiu?.saturating_since(self.tou).as_ms_f64())
@@ -29,6 +52,12 @@ impl RttRecord {
     /// Whether the probe completed.
     pub fn completed(&self) -> bool {
         self.tiu.is_some()
+    }
+
+    /// Whether the probe completed but needed more than one attempt
+    /// (recovered via retry).
+    pub fn recovered(&self) -> bool {
+        self.completed() && self.attempts > 1
     }
 }
 
@@ -40,6 +69,12 @@ pub trait RecordSet {
     fn du(&self) -> Vec<f64>;
     /// Completed fraction.
     fn completion(&self) -> f64;
+    /// The `du` values as a right-censored sample: every lost probe is
+    /// kept in the denominator, so loss-aware quantiles don't silently
+    /// drop timeouts.
+    fn du_censored(&self) -> am_stats::CensoredSample;
+    /// Total retry attempts beyond the first try, across all probes.
+    fn total_retries(&self) -> u64;
 }
 
 impl RecordSet for [RttRecord] {
@@ -54,6 +89,14 @@ impl RecordSet for [RttRecord] {
             return 0.0;
         }
         self.iter().filter(|r| r.completed()).count() as f64 / self.len() as f64
+    }
+    fn du_censored(&self) -> am_stats::CensoredSample {
+        am_stats::CensoredSample::from_outcomes(self.iter().map(|r| r.du_ms()))
+    }
+    fn total_retries(&self) -> u64 {
+        self.iter()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum()
     }
 }
 
@@ -76,12 +119,11 @@ mod tests {
 
     fn rec(probe: u32, tou_ms: u64, tiu_ms: Option<u64>) -> RttRecord {
         RttRecord {
-            probe,
-            req_id: u64::from(probe),
             resp_id: tiu_ms.map(|_| 1000 + u64::from(probe)),
-            tou: SimTime::from_millis(tou_ms),
             tiu: tiu_ms.map(SimTime::from_millis),
             reported_ms: tiu_ms.map(|t| (t - tou_ms) as f64),
+            error: tiu_ms.is_none().then_some(ProbeError::Timeout),
+            ..RttRecord::sent(probe, u64::from(probe), SimTime::from_millis(tou_ms))
         }
     }
 
@@ -105,6 +147,37 @@ mod tests {
         let rs: [RttRecord; 0] = [];
         assert_eq!(rs.completion(), 0.0);
         assert!(rs.du().is_empty());
+        assert_eq!(rs.total_retries(), 0);
+        assert!(rs.du_censored().is_empty());
+    }
+
+    #[test]
+    fn censored_view_keeps_lost_probes() {
+        let rs = [
+            rec(0, 0, Some(30)),
+            rec(1, 100, None),
+            rec(2, 200, Some(233)),
+            rec(3, 300, None),
+        ];
+        let cs = rs.du_censored();
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs.censored(), 2);
+        // Median interpolates into the censored mass (n = 4, 2 lost):
+        // not identifiable; the 25th percentile is — h = 0.75 between
+        // the 30 ms and 33 ms order statistics.
+        assert_eq!(cs.median(), None);
+        assert_eq!(cs.quantile(0.25), Some(32.25));
+    }
+
+    #[test]
+    fn retries_and_recovery() {
+        let mut r = rec(0, 0, Some(30));
+        assert!(!r.recovered());
+        r.attempts = 3;
+        assert!(r.recovered());
+        let rs = [r, rec(1, 100, None)];
+        assert_eq!(rs.total_retries(), 2);
+        assert_eq!(rs[1].error, Some(ProbeError::Timeout));
     }
 
     #[test]

@@ -41,11 +41,15 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod link;
 mod load;
 mod server;
 mod switch;
 
+pub use fault::{
+    trace_drop, DropReason, FaultPlan, FaultState, FaultStats, FaultVerdict, LossModel, FAULT_DIRS,
+};
 pub use link::{LinkNode, LinkParams, LinkStats};
 pub use load::{LoadConfig, UdpBlasterNode};
 pub use server::{ServerConfig, ServerNode, ServerStats};

@@ -3,6 +3,7 @@
 //! nRTTs of 20–135 ms; experiments here do the same with a [`LinkNode`]
 //! in front of the measurement server.
 
+use crate::fault::{trace_drop, FaultPlan, FaultState, FaultVerdict};
 use obs::{Counter, Gauge, Registry};
 use simcore::{Ctx, LatencyDist, Node, NodeId, SimDuration};
 use wire::Msg;
@@ -90,6 +91,8 @@ pub struct LinkNode {
     b: Option<NodeId>,
     /// Per-direction wire occupancy (a→b, b→a) for the rate limiter.
     busy_until: [simcore::SimTime; 2],
+    /// Injected faults (loss/reorder/duplicate/jitter/flap), if any.
+    fault: Option<FaultState>,
     /// Counters.
     pub stats: LinkStats,
     metrics: LinkMetrics,
@@ -103,6 +106,7 @@ impl LinkNode {
             a: None,
             b: None,
             busy_until: [simcore::SimTime::ZERO; 2],
+            fault: None,
             stats: LinkStats::default(),
             metrics: LinkMetrics::default(),
         }
@@ -112,6 +116,26 @@ impl LinkNode {
     /// Without this call every metric handle is a disabled no-op.
     pub fn attach_metrics(&mut self, reg: &Registry, label: &str) {
         self.metrics = LinkMetrics::from_registry(reg, label);
+    }
+
+    /// Install a fault plan (replacing any previous one). The plan's own
+    /// seed drives its verdicts, so the link's behavior under faults is
+    /// independent of the engine's shared RNG stream.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault = plan.is_active().then(|| FaultState::new(plan));
+    }
+
+    /// Register the fault layer's counters as `fault.<label>.*` in `reg`.
+    /// Call after [`LinkNode::set_fault_plan`].
+    pub fn attach_fault_metrics(&mut self, reg: &Registry, label: &str) {
+        if let Some(fault) = &mut self.fault {
+            fault.attach_metrics(reg, label);
+        }
+    }
+
+    /// Fault-layer counters, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.fault.as_ref().map(|f| f.stats)
     }
 
     /// Connect the two endpoints.
@@ -151,19 +175,41 @@ impl Node<Msg> for LinkNode {
             None
         };
         let Some(out) = out else { return };
+        let dir = usize::from(Some(from) == self.b);
         let loss = self.params.loss;
         if loss > 0.0 && ctx.rng().chance(loss) {
             self.stats.lost += 1;
             self.metrics.lost.inc();
             return;
         }
+        // The injected fault layer sits behind the intrinsic loss model:
+        // its verdict either drops the packet (never delivered) or
+        // delivers `copies ≥ 1` with extra latency.
+        let verdict = match &mut self.fault {
+            Some(fault) => fault.decide(dir, ctx.now()),
+            None => FaultVerdict::Deliver {
+                copies: 1,
+                extra_delay: SimDuration::ZERO,
+            },
+        };
+        let (copies, extra_delay) = match verdict {
+            FaultVerdict::Drop(reason) => {
+                self.stats.lost += 1;
+                self.metrics.lost.inc();
+                trace_drop(ctx, packet.id, "link", reason);
+                return;
+            }
+            FaultVerdict::Deliver {
+                copies,
+                extra_delay,
+            } => (copies, extra_delay),
+        };
         self.stats.forwarded += 1;
         self.metrics.forwarded.inc();
-        let mut d = self.one_way(ctx);
+        let mut d = self.one_way(ctx) + extra_delay;
         if let Some(rate) = self.params.rate_mbps {
             // Serialization: the packet occupies the wire for size/rate
             // and queues FIFO behind whatever is already on it.
-            let dir = usize::from(Some(from) == self.b);
             let now = ctx.now();
             let xmit = SimDuration::from_us_f64(packet.wire_len() as f64 * 8.0 / rate);
             let start = self.busy_until[dir].max(now);
@@ -185,6 +231,9 @@ impl Node<Msg> for LinkNode {
                 now.as_nanos(),
                 (now + d).as_nanos(),
             );
+        }
+        for _ in 1..copies {
+            ctx.send(out, d, Msg::Wire(packet));
         }
         ctx.send(out, d, Msg::Wire(packet));
     }
@@ -286,6 +335,72 @@ mod tests {
         sim.run_until_idle(100);
         let back = sim.node::<Sink>(a).got.last().unwrap().0;
         assert_eq!(back - t0, SimDuration::from_micros(28));
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates_on_link() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(7);
+        let a = sim.add_node(Box::new(Sink { got: vec![] }));
+        let b = sim.add_node(Box::new(Sink { got: vec![] }));
+        let link = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(1))));
+        sim.node_mut::<LinkNode>(link).connect(a, b);
+        let plan = FaultPlan::bernoulli(0.4).with_duplication(0.2).with_seed(5);
+        sim.node_mut::<LinkNode>(link).set_fault_plan(&plan);
+        for i in 0..500 {
+            sim.inject(a, link, SimTime::ZERO, Msg::Wire(pkt(i)));
+        }
+        sim.run_until_idle(1000);
+        let st = sim.node::<LinkNode>(link).stats;
+        let fs = sim.node::<LinkNode>(link).fault_stats().unwrap();
+        assert_eq!(fs.offered, 500);
+        assert_eq!(st.forwarded + st.lost, 500);
+        assert_eq!(st.lost, fs.dropped());
+        // Every arrival is either a unique forwarded packet or a duplicate.
+        let arrivals = sim.node::<Sink>(b).got.len() as u64;
+        assert_eq!(arrivals, st.forwarded + fs.duplicated);
+        assert!((150..250).contains(&st.lost), "lost={}", st.lost);
+    }
+
+    #[test]
+    fn fault_plan_replays_identically_on_link() {
+        use crate::fault::FaultPlan;
+        let run = |engine_seed: u64| {
+            let mut sim = Sim::new(engine_seed);
+            let a = sim.add_node(Box::new(Sink { got: vec![] }));
+            let b = sim.add_node(Box::new(Sink { got: vec![] }));
+            let link = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(1))));
+            sim.node_mut::<LinkNode>(link).connect(a, b);
+            let plan = FaultPlan::gilbert_elliott(0.3, 4.0).with_seed(99);
+            sim.node_mut::<LinkNode>(link).set_fault_plan(&plan);
+            for i in 0..300 {
+                sim.inject(a, link, SimTime::ZERO, Msg::Wire(pkt(i)));
+            }
+            sim.run_until_idle(1000);
+            sim.node::<Sink>(b).got.iter().map(|g| g.1).collect::<Vec<_>>()
+        };
+        // Same plan seed ⇒ identical delivered-id stream, even under a
+        // different *engine* seed: the fault layer owns its randomness.
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn flap_window_silences_link_then_recovers() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(0);
+        let a = sim.add_node(Box::new(Sink { got: vec![] }));
+        let b = sim.add_node(Box::new(Sink { got: vec![] }));
+        let link = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(1))));
+        sim.node_mut::<LinkNode>(link).connect(a, b);
+        let plan = FaultPlan::none()
+            .with_flap(SimTime::from_millis(10), SimTime::from_millis(20));
+        sim.node_mut::<LinkNode>(link).set_fault_plan(&plan);
+        for (i, t) in [(1u64, 5u64), (2, 15), (3, 25)] {
+            sim.inject(a, link, SimTime::from_millis(t), Msg::Wire(pkt(i)));
+        }
+        sim.run_until_idle(100);
+        let ids: Vec<u64> = sim.node::<Sink>(b).got.iter().map(|g| g.1).collect();
+        assert_eq!(ids, vec![1, 3]);
     }
 
     #[test]

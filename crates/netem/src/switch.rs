@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use crate::fault::{trace_drop, FaultPlan, FaultState, FaultVerdict};
+use obs::Registry;
 use simcore::{Ctx, Node, NodeId, SimDuration};
 use wire::{Ip, Msg};
 
@@ -10,8 +12,12 @@ use wire::{Ip, Msg};
 pub struct SwitchNode {
     routes: HashMap<Ip, NodeId>,
     latency: SimDuration,
+    /// Injected faults applied to every forwarded packet, if any.
+    fault: Option<FaultState>,
     /// Packets dropped for lack of a route.
     pub dropped_no_route: u64,
+    /// Packets dropped by the injected fault layer.
+    pub dropped_fault: u64,
 }
 
 impl SwitchNode {
@@ -20,7 +26,9 @@ impl SwitchNode {
         SwitchNode {
             routes: HashMap::new(),
             latency,
+            fault: None,
             dropped_no_route: 0,
+            dropped_fault: 0,
         }
     }
 
@@ -30,6 +38,20 @@ impl SwitchNode {
     pub fn add_route(&mut self, ip: Ip, node: NodeId) {
         self.routes.insert(ip, node);
     }
+
+    /// Install a fault plan applied to every forwarded packet (replacing
+    /// any previous one). The plan's own seed drives its verdicts.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault = plan.is_active().then(|| FaultState::new(plan));
+    }
+
+    /// Register the fault layer's counters as `fault.<label>.*` in `reg`.
+    /// Call after [`SwitchNode::set_fault_plan`].
+    pub fn attach_fault_metrics(&mut self, reg: &Registry, label: &str) {
+        if let Some(fault) = &mut self.fault {
+            fault.attach_metrics(reg, label);
+        }
+    }
 }
 
 impl Node<Msg> for SwitchNode {
@@ -38,9 +60,26 @@ impl Node<Msg> for SwitchNode {
             debug_assert!(false, "switch got non-wire message");
             return;
         };
-        match self.routes.get(&packet.dst) {
-            Some(&out) => ctx.send(out, self.latency, Msg::Wire(packet)),
-            None => self.dropped_no_route += 1,
+        let Some(&out) = self.routes.get(&packet.dst) else {
+            self.dropped_no_route += 1;
+            return;
+        };
+        let (copies, extra_delay) = match &mut self.fault {
+            Some(fault) => match fault.decide(0, ctx.now()) {
+                FaultVerdict::Drop(reason) => {
+                    self.dropped_fault += 1;
+                    trace_drop(ctx, packet.id, "switch", reason);
+                    return;
+                }
+                FaultVerdict::Deliver {
+                    copies,
+                    extra_delay,
+                } => (copies, extra_delay),
+            },
+            None => (1, SimDuration::ZERO),
+        };
+        for _ in 0..copies {
+            ctx.send(out, self.latency + extra_delay, Msg::Wire(packet));
         }
     }
 }

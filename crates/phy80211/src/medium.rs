@@ -19,8 +19,10 @@
 
 use std::collections::VecDeque;
 
+use netem::{FaultPlan, FaultState, FaultVerdict};
+use obs::Registry;
 use simcore::{Ctx, Node, NodeId, SimDuration};
-use wire::{Frame, Msg};
+use wire::{Frame, FrameKind, Msg};
 
 use crate::config::MediumConfig;
 
@@ -57,6 +59,10 @@ pub struct MediumStats {
     pub dropped_retry: u64,
     /// Frames dropped because the sender's interface queue was full.
     pub dropped_queue_full: u64,
+    /// Frames silently eaten by the injected fault layer after the MAC
+    /// exchange completed (models retry exhaustion the transmitter never
+    /// sees, or drops on the AP's wired bridge).
+    pub dropped_fault: u64,
     /// Total airtime occupied, in ns.
     pub busy_ns: u64,
 }
@@ -75,6 +81,10 @@ pub struct MediumNode {
     /// The frame that won contention (set while Deferring/Busy).
     in_service: Option<PendingTx>,
     state: State,
+    /// Injected post-MAC faults, if any: applied to *data* frames after a
+    /// successful channel exchange, so the transmitter still gets TxDone
+    /// and recovery has to come from the application layer.
+    fault: Option<FaultState>,
     /// Public counters.
     pub stats: MediumStats,
 }
@@ -89,8 +99,31 @@ impl MediumNode {
             queues: Vec::new(),
             in_service: None,
             state: State::Idle,
+            fault: None,
             stats: MediumStats::default(),
         }
+    }
+
+    /// Install a fault plan applied to data frames after the MAC exchange
+    /// (replacing any previous one). Because the loss is post-MAC, the
+    /// transmitter still receives `TxDone` — the model of an exhausted
+    /// retry chain or an AP bridge drop — so only application-level
+    /// retry/re-warm can recover.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault = plan.is_active().then(|| FaultState::new(plan));
+    }
+
+    /// Register the fault layer's counters as `fault.<label>.*` in `reg`.
+    /// Call after [`MediumNode::set_fault_plan`].
+    pub fn attach_fault_metrics(&mut self, reg: &Registry, label: &str) {
+        if let Some(fault) = &mut self.fault {
+            fault.attach_metrics(reg, label);
+        }
+    }
+
+    /// Fault-layer counters, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<netem::FaultStats> {
+        self.fault.as_ref().map(|f| f.stats)
     }
 
     /// Attach a radio or sniffer; it will hear every frame it did not send.
@@ -227,9 +260,33 @@ impl MediumNode {
                 format!("delivered frame={} from n{}", tx.frame.id, tx.from.index()),
             );
         }
-        for &l in &self.listeners.clone() {
-            if l != tx.from {
-                ctx.send(l, SimDuration::ZERO, Msg::AirRx(tx.frame.clone()));
+        // Post-MAC injected faults: data frames may be eaten, duplicated,
+        // or delayed *after* the channel exchange succeeded, so the
+        // transmitter always sees TxDone below. Management frames
+        // (beacons, PS-Poll, null-data) are exempt — they model the PSM
+        // machinery itself, not the lossy payload path.
+        let is_data = matches!(tx.frame.kind, FrameKind::Data { .. });
+        let (copies, extra_delay) = match (&mut self.fault, is_data) {
+            (Some(fault), true) => match fault.decide(0, ctx.now()) {
+                FaultVerdict::Drop(reason) => {
+                    self.stats.dropped_fault += 1;
+                    if let FrameKind::Data { packet, .. } = &tx.frame.kind {
+                        netem::trace_drop(ctx, packet.id, "medium", reason);
+                    }
+                    (0, SimDuration::ZERO)
+                }
+                FaultVerdict::Deliver {
+                    copies,
+                    extra_delay,
+                } => (copies, extra_delay),
+            },
+            _ => (1, SimDuration::ZERO),
+        };
+        for _ in 0..copies {
+            for &l in &self.listeners.clone() {
+                if l != tx.from {
+                    ctx.send(l, extra_delay, Msg::AirRx(tx.frame.clone()));
+                }
             }
         }
         ctx.send(
@@ -501,6 +558,40 @@ mod tests {
         assert_eq!(st.collisions, 0);
         assert_eq!(st.delivered, 50);
         assert_eq!(sim.node::<Radio>(b).heard.len(), 50);
+    }
+
+    #[test]
+    fn post_mac_fault_eats_data_but_still_acks_transmitter() {
+        let (mut sim, medium, a, b) = setup(MediumConfig::default());
+        sim.node_mut::<MediumNode>(medium)
+            .set_fault_plan(&FaultPlan::bernoulli(1.0).with_seed(4));
+        let f = Frame::data(7, Mac::local(1), Mac::local(2), pkt(100), false);
+        sim.inject(a, medium, SimTime::ZERO, Msg::MediumTx(f));
+        sim.run_until_idle(1000);
+        // The transmitter believes the exchange succeeded (TxDone)…
+        assert_eq!(sim.node::<Radio>(a).done.len(), 1);
+        assert!(sim.node::<Radio>(a).failed.is_empty());
+        // …but nobody heard the frame: recovery must be app-level.
+        assert!(sim.node::<Radio>(b).heard.is_empty());
+        let st = &sim.node::<MediumNode>(medium).stats;
+        assert_eq!(st.dropped_fault, 1);
+        assert_eq!(
+            sim.node::<MediumNode>(medium).fault_stats().unwrap().offered,
+            1
+        );
+    }
+
+    #[test]
+    fn post_mac_fault_exempts_management_frames() {
+        let (mut sim, medium, a, b) = setup(MediumConfig::default());
+        sim.node_mut::<MediumNode>(medium)
+            .set_fault_plan(&FaultPlan::bernoulli(1.0).with_seed(4));
+        let f = Frame::beacon(9, Mac::local(0), vec![]);
+        sim.inject(a, medium, SimTime::ZERO, Msg::MediumTx(f));
+        sim.run_until_idle(1000);
+        // Beacons sail through even a 100%-loss plan.
+        assert_eq!(sim.node::<Radio>(b).heard.len(), 1);
+        assert_eq!(sim.node::<MediumNode>(medium).stats.dropped_fault, 0);
     }
 
     #[test]

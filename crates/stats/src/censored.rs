@@ -1,0 +1,223 @@
+//! Loss-aware statistics over right-censored samples.
+//!
+//! A probe that timed out is not a missing value — it is a sample known
+//! to be *at least* its deadline. Dropping censored probes before taking
+//! a quantile biases the result optimistic (the classic survivorship
+//! error): at 20% loss the "median of completed probes" is really the
+//! ~40th percentile of all probes. [`CensoredSample`] keeps the censored
+//! mass in the denominator: a quantile is reported only when it provably
+//! falls in the observed region, and `None` once it lands in the
+//! censored tail (treating censored values as +∞).
+
+use crate::quantile::quantile_sorted;
+
+/// A set of observations where some are right-censored (timed out at an
+/// unknown value ≥ the deadline).
+#[derive(Debug, Clone, Default)]
+pub struct CensoredSample {
+    /// Observed (completed) values, ms.
+    observed: Vec<f64>,
+    /// Number of censored (lost/timed-out) samples.
+    censored: usize,
+}
+
+impl CensoredSample {
+    /// Empty sample.
+    pub fn new() -> CensoredSample {
+        CensoredSample::default()
+    }
+
+    /// Build from completed values plus a count of censored probes.
+    pub fn from_parts(observed: Vec<f64>, censored: usize) -> CensoredSample {
+        CensoredSample { observed, censored }
+    }
+
+    /// Build from per-probe outcomes: `Some(v)` observed, `None` censored.
+    pub fn from_outcomes<I: IntoIterator<Item = Option<f64>>>(outcomes: I) -> CensoredSample {
+        let mut s = CensoredSample::new();
+        for o in outcomes {
+            s.push(o);
+        }
+        s
+    }
+
+    /// Record one probe outcome.
+    pub fn push(&mut self, outcome: Option<f64>) {
+        match outcome {
+            Some(v) => self.observed.push(v),
+            None => self.censored += 1,
+        }
+    }
+
+    /// Total probes, observed + censored.
+    pub fn len(&self) -> usize {
+        self.observed.len() + self.censored
+    }
+
+    /// Whether no probes were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of censored probes.
+    pub fn censored(&self) -> usize {
+        self.censored
+    }
+
+    /// The observed values.
+    pub fn observed(&self) -> &[f64] {
+        &self.observed
+    }
+
+    /// Fraction of probes that completed (0 for an empty sample).
+    pub fn completion(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.observed.len() as f64 / self.len() as f64
+    }
+
+    /// Loss-aware quantile: the R type-7 quantile of the full sample with
+    /// every censored probe treated as +∞. Returns `None` when `p` lands
+    /// in the censored mass — the quantile is not identifiable from the
+    /// data — and `Some` otherwise. `quantile(0.5)` is the loss-aware
+    /// median: defined iff completion > 50%.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.observed.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let n = self.len();
+        // Index interpolation over the *full* n samples (type 7). The
+        // result is observable only if both bracketing order statistics
+        // fall inside the observed region.
+        let h = (n as f64 - 1.0) * p;
+        let hi = h.ceil() as usize;
+        if hi >= self.observed.len() {
+            return None;
+        }
+        let mut sorted = self.observed.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        // Pad conceptually with `censored` copies of +∞; since hi is in
+        // the observed region the interpolation never touches them.
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Loss-aware median (`quantile(0.5)`).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The naive quantile over completed probes only — the biased
+    /// estimator, kept for comparison columns.
+    pub fn naive_quantile(&self, p: f64) -> Option<f64> {
+        if self.observed.is_empty() {
+            return None;
+        }
+        let mut sorted = self.observed.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Some(quantile_sorted(&sorted, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_censoring_matches_plain_quantile() {
+        let s = CensoredSample::from_parts(vec![1.0, 2.0, 3.0, 4.0], 0);
+        assert_eq!(s.completion(), 1.0);
+        assert!((s.quantile(0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((s.median().unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(s.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn hand_computed_censored_median() {
+        // 4 observed + 1 censored = n 5; h(0.5) = 2 → third order
+        // statistic = 3.0, still observed.
+        let s = CensoredSample::from_parts(vec![1.0, 2.0, 3.0, 4.0], 1);
+        assert_eq!(s.median(), Some(3.0));
+        // p = 0.75 → h = 3, the fourth statistic (4.0): observed.
+        assert_eq!(s.quantile(0.75), Some(4.0));
+        // p = 0.9 → h = 3.6, interpolates toward the censored fifth
+        // statistic: unidentifiable.
+        assert_eq!(s.quantile(0.9), None);
+        assert_eq!(s.quantile(1.0), None);
+    }
+
+    #[test]
+    fn majority_censored_median_is_undefined() {
+        let s = CensoredSample::from_parts(vec![1.0, 2.0], 3);
+        assert!((s.completion() - 0.4).abs() < 1e-12);
+        assert_eq!(s.median(), None);
+        // But the naive estimator happily (and wrongly) reports one.
+        assert_eq!(s.naive_quantile(0.5), Some(1.5));
+        // Low quantiles are still identifiable: h(0.25) = 1 → 2.0.
+        assert_eq!(s.quantile(0.25), Some(2.0));
+    }
+
+    #[test]
+    fn empty_and_all_censored() {
+        let s = CensoredSample::new();
+        assert!(s.is_empty());
+        assert_eq!(s.completion(), 0.0);
+        assert_eq!(s.median(), None);
+        let s = CensoredSample::from_parts(vec![], 10);
+        assert_eq!(s.completion(), 0.0);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.naive_quantile(0.5), None);
+    }
+
+    #[test]
+    fn from_outcomes_counts_both() {
+        let s = CensoredSample::from_outcomes([Some(5.0), None, Some(7.0), None, None]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.censored(), 3);
+        assert_eq!(s.observed(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn seeded_loop_matches_hand_computation() {
+        // Property-style check: for a deterministic synthetic stream,
+        // the loss-aware quantile equals the plain quantile of the full
+        // (uncensored) population whenever it is identifiable. Censor
+        // the top `c` of n known values and compare.
+        let n = 40usize;
+        let full: Vec<f64> = (0..n).map(|i| ((i * 17) % n) as f64).collect();
+        let mut sorted_full = full.clone();
+        sorted_full.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        for c in [0usize, 5, 13, 20] {
+            // Censor the c largest values (timeouts hit the slow tail).
+            let cut = sorted_full[n - 1 - c];
+            let outcomes = full
+                .iter()
+                .map(|&v| if v > cut { None } else { Some(v) });
+            let s = CensoredSample::from_outcomes(outcomes);
+            assert_eq!(s.censored(), c);
+            for i in 0..=20 {
+                let p = i as f64 / 20.0;
+                let truth = quantile_sorted(&sorted_full, p);
+                match s.quantile(p) {
+                    // Identifiable ⇒ must equal the uncensored truth.
+                    Some(q) => assert!(
+                        (q - truth).abs() < 1e-12,
+                        "p={p} c={c}: {q} != {truth}"
+                    ),
+                    // Unidentifiable only when p reaches the censored
+                    // region.
+                    None => {
+                        let h = (n as f64 - 1.0) * p;
+                        assert!(
+                            h.ceil() as usize >= n - c,
+                            "p={p} c={c}: quantile should be identifiable"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //!   outlier fencing (Figures 3 and 7);
 //! * [`Ecdf`]: empirical CDFs (Figures 8 and 9);
 //! * [`quantile`]/[`median`]: R type-7 percentiles;
+//! * [`CensoredSample`]: loss-aware quantiles over right-censored probes
+//!   (timeouts count toward the denominator instead of being dropped);
 //! * [`render`]: ASCII tables, box-plot strips, and CDF plots for the
 //!   terminal-based experiment runners;
 //! * [`bench`]: the offline wall-clock benchmark harness shared by
@@ -17,6 +19,7 @@
 
 pub mod bench;
 mod boxplot;
+mod censored;
 mod ecdf;
 mod hist;
 mod quantile;
@@ -24,6 +27,7 @@ pub mod render;
 mod summary;
 
 pub use boxplot::BoxStats;
+pub use censored::CensoredSample;
 pub use ecdf::Ecdf;
 pub use hist::{hist_percentiles, HistPercentiles};
 pub use quantile::{median, quantile, quantile_sorted};

@@ -5,7 +5,7 @@
 //! repro [--k N] [--seed S] [--out DIR] [--metrics-json] [--metrics-text]
 //!       [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]
 //!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
-//!        seeds|ablations|telemetry|waterfall|bench-snapshot|all]...
+//!        seeds|ablations|faults|telemetry|waterfall|bench-snapshot|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
@@ -24,8 +24,8 @@ use std::path::{Path, PathBuf};
 
 use obs::{error, info, Registry, ToJson, Tracer};
 use testbed::experiments::{
-    ablations, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5, telemetry,
-    waterfall,
+    ablations, faults, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5,
+    telemetry, waterfall,
 };
 
 struct Options {
@@ -97,7 +97,7 @@ fn parse_args() -> Options {
                      [--metrics-json] [--metrics-text] \
                      [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
-                     seeds|ablations|telemetry|waterfall|bench-snapshot|all]...\n\
+                     seeds|ablations|faults|telemetry|waterfall|bench-snapshot|all]...\n\
                      \n\
                      --trace-out FILE    write the waterfall session's spans as\n\
                      \u{20}                    Chrome trace_event JSON (chrome://tracing)\n\
@@ -115,7 +115,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "table1",
         "table2",
         "table3",
@@ -127,6 +127,7 @@ fn parse_args() -> Options {
         "fig9",
         "seeds",
         "ablations",
+        "faults",
         "telemetry",
         "waterfall",
         "bench-snapshot",
@@ -285,6 +286,12 @@ fn main() {
             ablations::render("Extension: cellular RRC (LTE/UMTS, 40 ms core path)", &cell)
         );
         write_json(&opts.out, "ablate_cellular", &cell);
+    }
+    if wants("faults") {
+        info!("running fault sweep (loss × burstiness), k={} ...", opts.k);
+        let f = faults::run(opts.k.min(40), opts.seed);
+        println!("\n{}", f.render());
+        write_json(&opts.out, "faults", &f);
     }
     if wants("telemetry") {
         for (label, tool) in [

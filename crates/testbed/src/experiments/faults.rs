@@ -1,0 +1,219 @@
+//! `repro faults` — the loss-tolerance sweep.
+//!
+//! Injects deterministic post-MAC loss (the [`netem::FaultPlan`]
+//! Gilbert–Elliott channel) on the 802.11 medium — the drops that MAC
+//! retries *cannot* recover, so they surface as application-visible
+//! probe/keep-awake loss — and measures how the retry/re-warm loop holds
+//! the measurement together across loss rate × burstiness:
+//!
+//! * **completion** must stay at 1.0 wherever the retry budget can cover
+//!   the loss — no silently dropped samples;
+//! * the **censored median overhead** (lost probes stay in the
+//!   denominator as +∞) must stay flat: recovered probes ride a
+//!   re-warmed path, so loss costs retries, not accuracy;
+//! * **retries/rewarms** price the recovery in packets.
+
+use acutemon::{AcuteMonApp, AcuteMonConfig};
+use measure::RecordSet;
+use netem::FaultPlan;
+use obs::ToJson;
+use phone::{PhoneNode, RuntimeKind};
+use simcore::{SimDuration, SimTime};
+
+use crate::{addr, Testbed, TestbedConfig};
+
+/// One (loss, burstiness) point of the sweep.
+#[derive(Debug, Clone, ToJson)]
+pub struct FaultPoint {
+    /// Mean post-MAC loss rate on the WiFi medium (both directions).
+    pub loss: f64,
+    /// Mean loss-burst length in packets (1 ≈ independent Bernoulli).
+    pub burst_len: f64,
+    /// Probe completion fraction after retries.
+    pub completion: f64,
+    /// Retry attempts spent beyond each probe's first try.
+    pub retries: u64,
+    /// Fresh warm-ups sent ahead of those retries.
+    pub rewarms: u64,
+    /// Probes lost even after the retry budget (censored samples).
+    pub lost_probes: u64,
+    /// Censored median overhead over the emulated RTT (ms); `None` when
+    /// more than half the probes were lost.
+    pub median_overhead_ms: Option<f64>,
+    /// Wall-clock duration of the run (ms) — retries stretch it.
+    pub duration_ms: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, ToJson)]
+pub struct FaultSweep {
+    /// Emulated path RTT (ms).
+    pub rtt_ms: u64,
+    /// Probes per point.
+    pub k: u32,
+    /// One row per (loss, burstiness) pair.
+    pub points: Vec<FaultPoint>,
+}
+
+impl FaultSweep {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fault sweep: post-MAC WiFi loss × burstiness \
+             (Nexus 5, {} ms path, K={})\n\
+             {:>6} {:>6} {:>11} {:>8} {:>8} {:>6} {:>13} {:>12}\n",
+            self.rtt_ms, self.k, "loss", "burst", "completion", "retries", "rewarms", "lost", "med ovhd (ms)", "dur (ms)"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>6.2} {:>6.1} {:>11.3} {:>8} {:>8} {:>6} {:>13} {:>12.0}\n",
+                p.loss,
+                p.burst_len,
+                p.completion,
+                p.retries,
+                p.rewarms,
+                p.lost_probes,
+                p.median_overhead_ms
+                    .map(|m| format!("{m:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                p.duration_ms,
+            ));
+        }
+        out
+    }
+}
+
+/// The sweep grid: a lossless baseline, then each loss rate as both
+/// independent (burst ≈ 1) and bursty (mean burst of 4 packets) loss.
+const GRID: [(f64, f64); 6] = [
+    (0.0, 1.0),
+    (0.10, 1.0),
+    (0.10, 4.0),
+    (0.20, 1.0),
+    (0.20, 4.0),
+    (0.30, 4.0),
+];
+
+/// Run the sweep: K probes per point on a Nexus 5 over a 50 ms path,
+/// with a retry budget of 8 and re-warm before every resend.
+pub fn run(k: u32, seed: u64) -> FaultSweep {
+    let rtt = 50u64;
+    let points = GRID
+        .iter()
+        .map(|&(loss, burst)| {
+            let mut cfg = TestbedConfig::new(
+                seed ^ (loss * 1000.0) as u64 ^ ((burst as u64) << 8),
+                phone::nexus5(),
+                rtt,
+            );
+            if loss > 0.0 {
+                cfg = cfg.with_wifi_faults(
+                    FaultPlan::gilbert_elliott(loss, burst).with_seed(seed ^ 0xFA),
+                );
+            }
+            let mut tb = Testbed::build(cfg);
+            let mut am_cfg = AcuteMonConfig::new(addr::SERVER, k)
+                .with_retries(8)
+                .with_retry_backoff(SimDuration::from_millis(30));
+            am_cfg.probe_timeout = SimDuration::from_millis(300);
+            let app = tb.install_app(Box::new(AcuteMonApp::new(am_cfg)), RuntimeKind::Native);
+            tb.run_until(SimTime::from_secs(240));
+            let am = tb.sim.node::<PhoneNode>(tb.phone).app::<AcuteMonApp>(app);
+            let cs = am.records.du_censored();
+            FaultPoint {
+                loss,
+                burst_len: burst,
+                completion: am.records.completion(),
+                retries: am.records.total_retries(),
+                rewarms: am.bt.rewarms_sent,
+                lost_probes: cs.censored() as u64,
+                median_overhead_ms: cs.median().map(|m| m - rtt as f64),
+                duration_ms: am
+                    .finished_at()
+                    .map(|t| t.as_ms_f64())
+                    .unwrap_or(240_000.0),
+            }
+        })
+        .collect();
+    FaultSweep {
+        rtt_ms: rtt,
+        k,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(sweep: &FaultSweep, loss: f64, burst: f64) -> &FaultPoint {
+        sweep
+            .points
+            .iter()
+            .find(|p| (p.loss - loss).abs() < 1e-9 && (p.burst_len - burst).abs() < 1e-9)
+            .expect("grid point")
+    }
+
+    #[test]
+    fn lossless_point_is_clean_and_bursty_loss_recovers() {
+        // The repro default seed — what `repro faults` ships.
+        let sweep = run(20, 2016);
+        // Lossless: sub-3ms median overhead, no retries needed.
+        let clean = at(&sweep, 0.0, 1.0);
+        assert!((clean.completion - 1.0).abs() < 1e-12);
+        assert_eq!(clean.retries, 0);
+        let ovhd = clean.median_overhead_ms.expect("median identifiable");
+        assert!(ovhd < 3.0, "lossless overhead {ovhd}");
+        // 20% bursty loss on the keep-awake + probe path: the retry/
+        // re-warm loop completes every probe — no silently dropped
+        // samples — and the recovered probes stay accurate.
+        let bursty = at(&sweep, 0.20, 4.0);
+        assert!(
+            (bursty.completion - 1.0).abs() < 1e-12,
+            "20% bursty completion {} ({} lost)",
+            bursty.completion,
+            bursty.lost_probes
+        );
+        assert!(bursty.retries > 0, "loss must have cost retries");
+        assert_eq!(bursty.rewarms, bursty.retries);
+        let ovhd = bursty.median_overhead_ms.expect("median identifiable");
+        assert!(ovhd < 5.0, "recovered-path overhead {ovhd}");
+    }
+
+    #[test]
+    fn same_seed_gives_identical_json() {
+        let a = run(10, 2016).to_json().to_string();
+        let b = run(10, 2016).to_json().to_string();
+        assert_eq!(a, b);
+        let c = run(10, 2017).to_json().to_string();
+        assert_ne!(a, c, "different seed must actually change the run");
+    }
+
+    #[test]
+    fn server_link_faults_also_recovered_by_retries() {
+        // Same machinery on the wired server link (past the AP): bursty
+        // loss there cannot touch the TTL-1 keep-awake stream, so only
+        // probes/replies need recovering.
+        let mut tb = Testbed::build(
+            TestbedConfig::new(13, phone::nexus5(), 50).with_server_link_faults(
+                FaultPlan::gilbert_elliott(0.20, 3.0).with_seed(99),
+            ),
+        );
+        let mut cfg = AcuteMonConfig::new(addr::SERVER, 20)
+            .with_retries(8)
+            .with_retry_backoff(SimDuration::from_millis(30));
+        cfg.probe_timeout = SimDuration::from_millis(300);
+        let app = tb.install_app(Box::new(AcuteMonApp::new(cfg)), RuntimeKind::Native);
+        tb.run_until(SimTime::from_secs(120));
+        let am = tb.sim.node::<PhoneNode>(tb.phone).app::<AcuteMonApp>(app);
+        assert!((am.records.completion() - 1.0).abs() < 1e-12);
+        assert!(am.records.total_retries() > 0);
+        // The link actually dropped packets — visible in its fault stats.
+        let stats = tb
+            .sim
+            .node::<netem::LinkNode>(tb.server_link)
+            .fault_stats()
+            .expect("fault plan installed");
+        assert!(stats.dropped() > 0);
+    }
+}

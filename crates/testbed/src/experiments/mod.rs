@@ -10,6 +10,7 @@
 //! | [`fig8`] | Fig. 8 (tool-comparison CDFs, with/without cross traffic) |
 //! | [`fig9`] | Fig. 9 (background-traffic effect CDFs) |
 //! | [`ablations`] | The DESIGN.md §5 ablation/extension experiments |
+//! | [`faults`] | Loss × burstiness fault sweep with the retry/re-warm loop |
 //! | [`telemetry`] | An instrumented session cross-checking the obs counters |
 //! | [`waterfall`] | Per-probe causal span waterfalls reconciled against `du` |
 //!
@@ -17,6 +18,7 @@
 //! result struct with a `render()` method, and is deterministic.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;

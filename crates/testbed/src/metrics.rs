@@ -132,14 +132,7 @@ mod tests {
     fn join_handles_lost_probes() {
         let ledger = Ledger::new();
         let index = CaptureIndex::new(vec![]);
-        let records = vec![RttRecord {
-            probe: 0,
-            req_id: 1,
-            resp_id: None,
-            tou: SimTime::ZERO,
-            tiu: None,
-            reported_ms: None,
-        }];
+        let records = vec![RttRecord::sent(0, 1, SimTime::ZERO)];
         let bds = breakdowns(&records, &ledger, &index);
         assert_eq!(bds.len(), 1);
         assert_eq!(bds[0].du, None);

@@ -11,7 +11,8 @@
 //! emulates the controlled path length (the paper's `tc` delays).
 
 use netem::{
-    LinkNode, LinkParams, LoadConfig, ServerConfig, ServerNode, SwitchNode, UdpBlasterNode,
+    FaultPlan, LinkNode, LinkParams, LoadConfig, ServerConfig, ServerNode, SwitchNode,
+    UdpBlasterNode,
 };
 use phone::{App, PhoneNode, PhoneProfile, RuntimeKind};
 use phy80211::{ApConfig, ApNode, MediumConfig, MediumNode, PsmPolicy, StaConfig, StaMacNode};
@@ -72,6 +73,13 @@ pub struct TestbedConfig {
     pub uapsd: bool,
     /// WiFi channel frame-error rate (MAC retransmissions recover it).
     pub wifi_fer: f64,
+    /// Fault plan for the server link (loss/reorder/duplicate/jitter/flap
+    /// beyond the plain `path_loss` Bernoulli knob). `None` = no faults.
+    pub server_link_faults: Option<FaultPlan>,
+    /// Post-MAC fault plan for the 802.11 medium: data frames can be eaten
+    /// *after* a successful MAC exchange (the transmitter still sees
+    /// TxDone), so only app-level retry/re-warm recovers. `None` = off.
+    pub wifi_faults: Option<FaultPlan>,
 }
 
 impl TestbedConfig {
@@ -91,7 +99,21 @@ impl TestbedConfig {
             path_loss: 0.0,
             uapsd: false,
             wifi_fer: 0.0,
+            server_link_faults: None,
+            wifi_faults: None,
         }
+    }
+
+    /// Builder: install a fault plan on the server link.
+    pub fn with_server_link_faults(mut self, plan: FaultPlan) -> Self {
+        self.server_link_faults = Some(plan);
+        self
+    }
+
+    /// Builder: install a post-MAC fault plan on the 802.11 medium.
+    pub fn with_wifi_faults(mut self, plan: FaultPlan) -> Self {
+        self.wifi_faults = Some(plan);
+        self
     }
 
     /// Builder: set the WiFi channel frame-error rate.
@@ -191,6 +213,9 @@ impl Testbed {
         })));
         sim.node_mut::<LinkNode>(server_link)
             .connect(switch, server);
+        if let Some(plan) = &cfg.server_link_faults {
+            sim.node_mut::<LinkNode>(server_link).set_fault_plan(plan);
+        }
 
         // Radio side.
         let medium_cfg = MediumConfig {
@@ -198,6 +223,9 @@ impl Testbed {
             ..MediumConfig::default()
         };
         let medium = sim.add_node(Box::new(MediumNode::new(medium_cfg)));
+        if let Some(plan) = &cfg.wifi_faults {
+            sim.node_mut::<MediumNode>(medium).set_fault_plan(plan);
+        }
         let ap = sim.add_node(Box::new(ApNode::new(
             110,
             ApConfig {
@@ -335,6 +363,13 @@ impl Testbed {
         self.sim
             .node_mut::<ServerNode>(self.server)
             .attach_metrics(reg);
+        // Fault layers (no-ops when no plan is installed).
+        self.sim
+            .node_mut::<LinkNode>(self.server_link)
+            .attach_fault_metrics(reg, "server_link");
+        self.sim
+            .node_mut::<MediumNode>(self.medium)
+            .attach_fault_metrics(reg, "wifi");
     }
 
     /// Attach a causal span tracer to the simulator so every layer of the
