@@ -68,6 +68,40 @@ fn main() {
         black_box(am_stats::Ecdf::of(&xs))
     });
 
+    // Tracing overhead budget: the enabled path (one probe = root +
+    // 3 children + packet bind/lookup/rebind) next to the sampled-out
+    // path, which must stay near the disabled-handle floor.
+    h.bench("obs/tracer_enabled_probe", || {
+        let t = obs::Tracer::new();
+        for pkt in 0..100u64 {
+            let tr = t.begin_trace();
+            let root = t.start_span(tr, None, "probe", "app", 0);
+            t.bind_packet(pkt, obs::TraceCtx { trace: tr, root });
+            t.span(tr, Some(root), "kernel_tx", "kernel", 0, 10_000);
+            t.span(tr, Some(root), "sdio_wake", "driver", 10_000, 200_000);
+            let ctx = t.packet_ctx(pkt).unwrap();
+            t.rebind_packet(pkt, pkt + 1_000_000);
+            t.span(ctx.trace, Some(ctx.root), "net", "net", 200_000, 900_000);
+            t.end_span(root, 1_000_000);
+        }
+        black_box(t.spans().len())
+    });
+    h.bench("obs/tracer_sampled_out_probe", || {
+        let t = obs::Tracer::with_policy(obs::SamplePolicy::one_in(u64::MAX));
+        let _ = t.begin_trace(); // probe 0 is sampled in; burn it
+        for pkt in 0..100u64 {
+            let tr = t.begin_trace();
+            let root = t.start_span(tr, None, "probe", "app", 0);
+            t.bind_packet(pkt, obs::TraceCtx { trace: tr, root });
+            t.span(tr, Some(root), "kernel_tx", "kernel", 0, 10_000);
+            t.span(tr, Some(root), "sdio_wake", "driver", 10_000, 200_000);
+            let _ = t.packet_ctx(pkt);
+            t.rebind_packet(pkt, pkt + 1_000_000);
+            t.end_span(root, 1_000_000);
+        }
+        black_box(t.sampling_stats().sampled_out)
+    });
+
     h.bench("medium_1000_frames_2_senders", || {
         use phy80211::{MediumConfig, MediumNode};
         use wire::{Frame, Mac, Msg};

@@ -7,7 +7,8 @@
 //! decrementing TTL so AcuteMon's TTL-1 keep-awake traffic dies at the
 //! eNodeB/P-GW instead of loading the path, exactly as on WiFi.
 
-use simcore::{Ctx, DetRng, LatencyDist, Node, NodeId};
+use netem::{trace_drop, FaultPlan, FaultState, FaultVerdict};
+use simcore::{Ctx, DetRng, LatencyDist, Node, NodeId, SimDuration};
 use wire::{IcmpKind, Ip, Msg, Packet, PacketIdGen, PacketTag, L4};
 
 use crate::rrc::{Rrc, RrcConfig};
@@ -60,6 +61,8 @@ pub struct CellStats {
     pub downlink: u64,
     /// Packets dropped at the gateway (TTL).
     pub dropped_ttl: u64,
+    /// Packets lost to the injected bearer fault process.
+    pub dropped_fault: u64,
     /// ICMP errors generated.
     pub icmp_generated: u64,
 }
@@ -73,6 +76,8 @@ pub struct CellNode {
     pub rrc: Rrc,
     rng: DetRng,
     ids: PacketIdGen,
+    /// Injected radio-bearer faults (fading, handover loss), if any.
+    fault: Option<FaultState>,
     /// Public counters.
     pub stats: CellStats,
 }
@@ -90,6 +95,7 @@ impl CellNode {
             rrc,
             rng,
             ids: PacketIdGen::new(source),
+            fault: None,
             stats: CellStats::default(),
         }
     }
@@ -97,6 +103,58 @@ impl CellNode {
     /// Re-point the host (wiring-order helper).
     pub fn set_host(&mut self, host: NodeId) {
         self.host = host;
+    }
+
+    /// Install a fault plan on the radio bearer (replacing any previous
+    /// one) — same contract as [`netem::LinkNode::set_fault_plan`]: the
+    /// plan's own seed drives verdicts, independent of the engine RNG.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault = plan.is_active().then(|| FaultState::new(plan));
+    }
+
+    /// Register the bearer fault counters as `fault.<label>.*` in `reg`.
+    /// Call after [`CellNode::set_fault_plan`].
+    pub fn attach_fault_metrics(&mut self, reg: &obs::Registry, label: &str) {
+        if let Some(fault) = &mut self.fault {
+            fault.attach_metrics(reg, label);
+        }
+    }
+
+    /// Bearer fault counters, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<netem::FaultStats> {
+        self.fault.as_ref().map(|f| f.stats)
+    }
+
+    /// Run a packet through the bearer fault process (direction 0 =
+    /// uplink, 1 = downlink). Returns `None` when the packet is lost.
+    /// The RRC accounting has already happened by the time this is
+    /// called: a lost uplink still promoted the radio (the RACH/grant
+    /// exchange is what wakes it, not the payload's safe arrival), which
+    /// is exactly why a retry after re-warming rides a connected bearer.
+    fn apply_fault(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        dir: usize,
+        packet_id: u64,
+    ) -> Option<(u8, SimDuration)> {
+        let verdict = match &mut self.fault {
+            Some(fault) => fault.decide(dir, ctx.now()),
+            None => FaultVerdict::Deliver {
+                copies: 1,
+                extra_delay: SimDuration::ZERO,
+            },
+        };
+        match verdict {
+            FaultVerdict::Drop(reason) => {
+                self.stats.dropped_fault += 1;
+                trace_drop(ctx, packet_id, "bearer", reason);
+                None
+            }
+            FaultVerdict::Deliver {
+                copies,
+                extra_delay,
+            } => Some((copies, extra_delay)),
+        }
     }
 
     fn uplink(&mut self, ctx: &mut Ctx<'_, Msg>, mut packet: Packet) {
@@ -107,6 +165,9 @@ impl CellNode {
         let now = ctx.now();
         let wake = self.rrc.uplink(now, &mut self.rng);
         let base = self.cfg.ul_base.sample(&mut self.rng);
+        let Some((copies, extra_delay)) = self.apply_fault(ctx, 0, packet.id) else {
+            return;
+        };
         self.stats.uplink += 1;
         packet.ttl = packet.ttl.saturating_sub(1);
         if packet.ttl == 0 {
@@ -129,19 +190,41 @@ impl CellNode {
                 // The error comes back down the bearer after the uplink
                 // has completed (the radio is awake by then).
                 let dl_base = self.cfg.dl_base.sample(&mut self.rng);
-                ctx.send(self.host, wake + base + dl_base, Msg::Wire(icmp));
+                ctx.send(
+                    self.host,
+                    wake + base + extra_delay + dl_base,
+                    Msg::Wire(icmp),
+                );
             }
             return;
         }
-        ctx.send(self.wired, wake + base, Msg::Wire(packet));
+        for i in 0..copies {
+            // Duplicates land a hair apart so ordering stays defined.
+            let spread = SimDuration::from_micros(u64::from(i));
+            ctx.send(
+                self.wired,
+                wake + base + extra_delay + spread,
+                Msg::Wire(packet),
+            );
+        }
     }
 
     fn downlink(&mut self, ctx: &mut Ctx<'_, Msg>, packet: Packet) {
         let now = ctx.now();
         let wake = self.rrc.downlink(now, &mut self.rng);
         let base = self.cfg.dl_base.sample(&mut self.rng);
+        let Some((copies, extra_delay)) = self.apply_fault(ctx, 1, packet.id) else {
+            return;
+        };
         self.stats.downlink += 1;
-        ctx.send(self.host, wake + base, Msg::Wire(packet));
+        for i in 0..copies {
+            let spread = SimDuration::from_micros(u64::from(i));
+            ctx.send(
+                self.host,
+                wake + base + extra_delay + spread,
+                Msg::Wire(packet),
+            );
+        }
     }
 }
 

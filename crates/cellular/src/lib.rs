@@ -22,4 +22,4 @@ mod cell;
 mod rrc;
 
 pub use cell::{CellConfig, CellNode, CellStats};
-pub use rrc::{Rrc, RrcConfig, RrcStats, RrcTier};
+pub use rrc::{acutemon_rewarm_dpre, Rrc, RrcConfig, RrcStats, RrcTier};

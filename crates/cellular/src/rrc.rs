@@ -98,6 +98,17 @@ impl RrcConfig {
         }
     }
 
+    /// Worst-case uplink promotion delay across every tier — the time a
+    /// transmission can stall behind an RRC promotion when the radio has
+    /// gone fully idle.
+    pub fn max_promotion_delay(&self) -> SimDuration {
+        self.tiers
+            .iter()
+            .map(|t| SimDuration::from_ms_f64(t.ul_wake.max_ms))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     fn validate(&self) {
         assert!(!self.tiers.is_empty(), "RRC needs at least one tier");
         assert_eq!(
@@ -109,6 +120,21 @@ impl RrcConfig {
             assert!(w[0].after < w[1].after, "tiers must be ordered by `after`");
         }
     }
+}
+
+/// The warm-up lead time (`dpre`) an AcuteMon session should use when
+/// re-warming this bearer after a retry.
+///
+/// On WiFi the paper's rule is `Tprom < dpre < min(Tis, Tip)` with
+/// `Tprom` a few ms. On cellular the analogous bound is the *RRC
+/// promotion delay*: by the time a probe has timed out and its backoff
+/// elapsed, the bearer may have demoted all the way to idle, so the
+/// fresh warm-up packet needs the full worst-case promotion (plus a
+/// small scheduling margin) before the resend leaves — otherwise the
+/// retried probe pays the promotion itself and measures bearer wake-up,
+/// not the network.
+pub fn acutemon_rewarm_dpre(cfg: &RrcConfig) -> SimDuration {
+    cfg.max_promotion_delay() + SimDuration::from_millis(10)
 }
 
 /// Counters for the RRC machine.
@@ -277,6 +303,30 @@ mod tests {
         let c_lte = lte.uplink(t(0), &mut rng1);
         let c_umts = umts.uplink(t(0), &mut rng2);
         assert!(c_umts > c_lte * 3, "umts {c_umts} vs lte {c_lte}");
+    }
+
+    #[test]
+    fn rewarm_dpre_clears_worst_case_promotion() {
+        // The derived re-warm lead must cover the deepest tier's
+        // worst-case uplink promotion on both presets.
+        for cfg in [RrcConfig::lte(), RrcConfig::umts()] {
+            let dpre = acutemon_rewarm_dpre(&cfg);
+            assert!(dpre > cfg.max_promotion_delay());
+            let mut rrc = Rrc::new(cfg);
+            let mut rng = DetRng::new(7);
+            // From cold idle, every sampled promotion fits inside dpre.
+            for salt in 0..20u64 {
+                let mut r = DetRng::new(salt);
+                let mut cold = rrc.clone();
+                let cost = cold.uplink(t(0), &mut r);
+                assert!(cost < dpre, "promotion {cost} vs dpre {dpre}");
+            }
+            let _ = rrc.uplink(t(0), &mut rng);
+        }
+        // LTE promotes in ≤200 ms; UMTS needs seconds — the leads differ.
+        assert!(
+            acutemon_rewarm_dpre(&RrcConfig::umts()) > acutemon_rewarm_dpre(&RrcConfig::lte()) * 4
+        );
     }
 
     #[test]

@@ -220,10 +220,13 @@ impl AcuteMonApp {
         let backoff_ms = base_ms * f64::from(1u32 << (attempt - 1).min(16));
         let jitter_ms = ctx.rng().uniform(0.0, backoff_ms * 0.5);
         let mut delay = simcore::SimDuration::from_ms_f64(backoff_ms + jitter_ms);
+        let rewarm_lead = self.cfg.effective_rewarm_dpre();
         if self.cfg.rewarm_on_retry {
-            // The fresh warm-up needs `dpre` to take effect before the
-            // resend, exactly like the initial warm-up choreography.
-            delay = delay.max(self.cfg.dpre);
+            // The fresh warm-up needs its lead time to take effect before
+            // the resend, exactly like the initial warm-up choreography.
+            // On cellular bearers the lead covers the RRC promotion
+            // delay, which dwarfs the WiFi-scale `dpre`.
+            delay = delay.max(rewarm_lead);
             self.send_rewarm(ctx);
         }
         self.metrics.probes.on_retry();
@@ -249,7 +252,7 @@ impl AcuteMonApp {
                     "rewarm",
                     "fault",
                     now.as_nanos(),
-                    (now + self.cfg.dpre).as_nanos(),
+                    (now + rewarm_lead).as_nanos(),
                 );
                 tracer.attr(rw, "probe", probe);
             }

@@ -61,6 +61,13 @@ pub struct AcuteMonConfig {
     /// at least `dpre`, so the retried probe rides a re-warmed radio path
     /// instead of paying the wake cost again.
     pub rewarm_on_retry: bool,
+    /// Re-warm lead time used for *retries* instead of `dpre`, when set.
+    /// On WiFi the two are the same (a few ms of `Tprom` either way), but
+    /// on cellular a timed-out probe plus its backoff can outlast the RRC
+    /// inactivity timers — the bearer demotes, and the re-warm must cover
+    /// the full *promotion delay* (`cellular::acutemon_rewarm_dpre`), not
+    /// the WiFi-scale `dpre`.
+    pub rewarm_dpre: Option<SimDuration>,
 }
 
 impl AcuteMonConfig {
@@ -83,7 +90,14 @@ impl AcuteMonConfig {
             max_retries: 0,
             retry_backoff: SimDuration::from_millis(50),
             rewarm_on_retry: true,
+            rewarm_dpre: None,
         }
+    }
+
+    /// The effective re-warm lead for a retry: `rewarm_dpre` when set
+    /// (cellular), `dpre` otherwise (WiFi).
+    pub fn effective_rewarm_dpre(&self) -> SimDuration {
+        self.rewarm_dpre.unwrap_or(self.dpre)
     }
 
     /// Builder: allow up to `n` retries per probe (with exponential
@@ -104,6 +118,13 @@ impl AcuteMonConfig {
     /// value of re-warming in ablations).
     pub fn without_rewarm(mut self) -> Self {
         self.rewarm_on_retry = false;
+        self
+    }
+
+    /// Builder: hold retried probes at least `lead` behind their fresh
+    /// warm-up (use `cellular::acutemon_rewarm_dpre` on RRC bearers).
+    pub fn with_rewarm_dpre(mut self, lead: SimDuration) -> Self {
+        self.rewarm_dpre = Some(lead);
         self
     }
 

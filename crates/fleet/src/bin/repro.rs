@@ -4,8 +4,10 @@
 //! ```text
 //! repro [--k N] [--seed S] [--out DIR] [--metrics-json] [--metrics-text]
 //!       [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]
+//!       [--fleet-devices N] [--fleet-workers W]
 //!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
-//!        seeds|ablations|faults|telemetry|waterfall|bench-snapshot|all]...
+//!        seeds|ablations|faults|telemetry|waterfall|fleet|
+//!        bench-snapshot|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
@@ -19,6 +21,10 @@
 //! in `chrome://tracing` / Perfetto) and `--trace-spans` as JSON-lines.
 //! `bench-snapshot` (not part of `all`) runs the am-bench harness at a
 //! reduced budget and writes `BENCH_2.json` with median ns per scenario.
+//! `fleet` (not part of `all` either — it is deliberately big) runs a
+//! sharded multi-device campaign (default 10 000 devices) plus a
+//! worker-scaling table, and writes the merged population report as
+//! `fleet.json`.
 
 use std::path::{Path, PathBuf};
 
@@ -36,6 +42,8 @@ struct Options {
     metrics_text: bool,
     trace_out: Option<PathBuf>,
     trace_spans: Option<PathBuf>,
+    fleet_devices: u64,
+    fleet_workers: Option<usize>,
     experiments: Vec<String>,
 }
 
@@ -48,6 +56,8 @@ fn parse_args() -> Options {
         metrics_text: false,
         trace_out: None,
         trace_spans: None,
+        fleet_devices: 10_000,
+        fleet_workers: None,
         experiments: Vec::new(),
     };
     let mut quiet = false;
@@ -73,6 +83,19 @@ fn parse_args() -> Options {
                     .map(PathBuf::from)
                     .unwrap_or_else(|| die("--out needs a path"))
             }
+            "--fleet-devices" => {
+                opts.fleet_devices = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--fleet-devices needs a number"))
+            }
+            "--fleet-workers" => {
+                opts.fleet_workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--fleet-workers needs a number")),
+                )
+            }
             "--metrics-json" => opts.metrics_json = true,
             "--metrics-text" => opts.metrics_text = true,
             "--trace-out" => {
@@ -96,15 +119,20 @@ fn parse_args() -> Options {
                     "usage: repro [--k N] [--seed S] [--out DIR] \
                      [--metrics-json] [--metrics-text] \
                      [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet] \
+                     [--fleet-devices N] [--fleet-workers W] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
-                     seeds|ablations|faults|telemetry|waterfall|bench-snapshot|all]...\n\
+                     seeds|ablations|faults|telemetry|waterfall|fleet|\
+                     bench-snapshot|all]...\n\
                      \n\
                      --trace-out FILE    write the waterfall session's spans as\n\
                      \u{20}                    Chrome trace_event JSON (chrome://tracing)\n\
                      --trace-spans FILE  write the same spans as JSON-lines\n\
+                     --fleet-devices N   fleet campaign population (default 10000)\n\
+                     --fleet-workers W   worker threads (default: CPU count)\n\
                      \n\
-                     bench-snapshot runs only when named explicitly (not under\n\
-                     'all') and writes BENCH_2.json (median ns per scenario)."
+                     fleet and bench-snapshot run only when named explicitly\n\
+                     (not under 'all'); fleet writes fleet.json, bench-snapshot\n\
+                     writes BENCH_2.json (median ns per scenario)."
                 );
                 std::process::exit(0);
             }
@@ -115,7 +143,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "table1",
         "table2",
         "table3",
@@ -130,6 +158,7 @@ fn parse_args() -> Options {
         "faults",
         "telemetry",
         "waterfall",
+        "fleet",
         "bench-snapshot",
         "all",
     ];
@@ -346,6 +375,46 @@ fn main() {
             info!("[saved {}]", p.display());
         }
     }
+    // Explicit-only: a 10k-device campaign is deliberately big for the
+    // default `all` bundle, but CI runs a scaled-down one.
+    if opts.experiments.iter().any(|e| e == "fleet") {
+        let workers = opts.fleet_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        let spec = fleet::CampaignSpec::heterogeneous(opts.seed, opts.fleet_devices);
+        info!(
+            "running fleet campaign: {} devices × {} probes on {workers} workers ...",
+            spec.devices, spec.probes_per_device
+        );
+        let (report, stats) = fleet::run_campaign(&spec, workers);
+        println!("\n{}", report.render());
+        println!(
+            "throughput: {:.1} devices/s, {:.1} probes/s on {} workers \
+             ({:.2} s wall, reorder peak {})",
+            stats.devices_per_sec(),
+            stats.probes_per_sec(),
+            stats.workers,
+            stats.wall.as_secs_f64(),
+            stats.reorder_peak
+        );
+        write_json(&opts.out, "fleet", &report);
+        // Worker scaling on a sub-campaign: same population law, fewer
+        // devices, so the table costs a fraction of the main run.
+        let sub = fleet::CampaignSpec::heterogeneous(opts.seed, (opts.fleet_devices / 12).max(48));
+        info!(
+            "running worker-scaling table ({} devices per row) ...",
+            sub.devices
+        );
+        let rows = fleet::scaling_table(&sub, &[1, 2, 4, 8]);
+        println!("\nWorker scaling ({} devices per row):", sub.devices);
+        println!("{}", fleet::render_scaling(&rows));
+        if rows.iter().any(|r| !r.json_identical) {
+            error!("fleet: merged JSON diverged across worker counts");
+            std::process::exit(1);
+        }
+    }
     // Explicit-only: a timing smoke run is too machine-dependent for the
     // default `all` bundle, but CI runs it to catch harness bit-rot.
     if opts.experiments.iter().any(|e| e == "bench-snapshot") {
@@ -370,6 +439,30 @@ fn main() {
             let reg = Registry::new();
             let tracer = Tracer::new();
             waterfall::run(BENCH_K, BENCH_SEED, 300, &reg, &tracer)
+        });
+        h.bench("fleet_campaign_8dev", || {
+            let spec = fleet::CampaignSpec::heterogeneous(BENCH_SEED, 8).with_probes(2);
+            fleet::run_campaign(&spec, 2)
+        });
+        // The tracer's enabled-path cost, next to the no-op guard in
+        // crates/obs/tests/noop_alloc.rs: a 3-span probe workload with
+        // sampling on (kept) and off (sampled out).
+        h.bench("obs_tracer_enabled_probe", || {
+            let t = Tracer::new();
+            let trace = t.begin_trace();
+            let root = t.start_span(trace, None, "probe", "app", 0);
+            t.span(trace, Some(root), "kernel_tx", "kernel", 0, 10_000);
+            t.span(trace, Some(root), "sdio_wake", "driver", 10_000, 200_000);
+            t.end_span(root, 1_000_000);
+            t.spans().len()
+        });
+        h.bench("obs_tracer_sampled_out_probe", || {
+            let t = Tracer::with_policy(obs::SamplePolicy::one_in(u64::MAX));
+            let _ = t.begin_trace(); // probe 0 is always sampled in; burn it
+            let trace = t.begin_trace();
+            let root = t.start_span(trace, None, "probe", "app", 0);
+            t.end_span(root, 1_000_000);
+            t.sampling_stats().sampled_out
         });
         let results = h.results().to_vec();
         write_json(&opts.out, "BENCH_2", &results);

@@ -1,0 +1,207 @@
+//! The campaign engine: a fixed pool of OS worker threads pulling
+//! device indices off a shared atomic counter, streaming
+//! [`DevicePartial`]s over a *bounded* channel into an in-order
+//! collector.
+//!
+//! Memory is bounded end to end: a worker blocks on the channel when
+//! the collector lags (backpressure, never unbounded buffering), and
+//! the collector's reorder buffer can hold at most
+//! `workers + channel capacity` partials, because a partial for index
+//! `i` can only be in flight while every smaller index is either
+//! absorbed, queued, or being computed by one of the other workers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use obs::ToJson;
+
+use crate::report::{CampaignReport, Collector};
+use crate::shard::{run_device, DevicePartial};
+use crate::spec::CampaignSpec;
+
+/// Wall-clock throughput of one engine run. Kept out of the campaign
+/// JSON: the report is deterministic, the clock is not.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole campaign.
+    pub wall: std::time::Duration,
+    /// Devices simulated.
+    pub devices: u64,
+    /// Probes sent across the population.
+    pub probes: u64,
+    /// High-water mark of the collector's reorder buffer.
+    pub reorder_peak: usize,
+}
+
+impl RunStats {
+    /// Devices per wall-clock second.
+    pub fn devices_per_sec(&self) -> f64 {
+        self.devices as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Probes per wall-clock second.
+    pub fn probes_per_sec(&self) -> f64 {
+        self.probes as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `spec` across `workers` OS threads. Returns the merged report
+/// (byte-identical for any `workers`) and the wall-clock stats.
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> (CampaignReport, RunStats) {
+    let workers = workers.max(1);
+    let next = AtomicU64::new(0);
+    // Small bound: enough to decouple workers from the collector's
+    // merge cost, small enough that memory stays O(workers).
+    let (tx, rx) = mpsc::sync_channel::<DevicePartial>(workers * 2);
+    let start = Instant::now();
+    let mut collector = Collector::new(spec);
+    let mut reorder_peak = 0usize;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= spec.devices {
+                    break;
+                }
+                let partial = run_device(spec, i);
+                if tx.send(partial).is_err() {
+                    break;
+                }
+            });
+        }
+        // The workers hold the only remaining senders: the iterator
+        // below terminates when the last one exits.
+        drop(tx);
+
+        // In-order absorption through a reorder buffer, so the merged
+        // registry (floating-point sums) is independent of completion
+        // order.
+        let mut pending: BTreeMap<u64, DevicePartial> = BTreeMap::new();
+        let mut expect = 0u64;
+        for p in rx {
+            pending.insert(p.index, p);
+            reorder_peak = reorder_peak.max(pending.len());
+            while let Some(p) = pending.remove(&expect) {
+                collector.absorb(&p);
+                expect += 1;
+            }
+        }
+        assert!(
+            pending.is_empty(),
+            "lost device partials: {:?}",
+            pending.keys().collect::<Vec<_>>()
+        );
+    });
+
+    let wall = start.elapsed();
+    let report = collector.finish();
+    let probes = report.strata.iter().map(|s| s.probes_sent).sum();
+    let stats = RunStats {
+        workers,
+        wall,
+        devices: report.devices,
+        probes,
+        reorder_peak,
+    };
+    (report, stats)
+}
+
+/// One row of the worker-scaling table.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Worker threads.
+    pub workers: usize,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Devices per second.
+    pub devices_per_sec: f64,
+    /// Probes per second.
+    pub probes_per_sec: f64,
+    /// Speedup over the first (slowest-parallelism) row.
+    pub speedup: f64,
+    /// Whether this run's JSON matched the first row's byte for byte.
+    pub json_identical: bool,
+}
+
+/// Run `spec` once per entry of `worker_counts` and tabulate scaling.
+/// Also verifies the merged JSON is byte-identical across runs.
+pub fn scaling_table(spec: &CampaignSpec, worker_counts: &[usize]) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    let mut baseline: Option<(f64, String)> = None;
+    for &w in worker_counts {
+        let (report, stats) = run_campaign(spec, w);
+        let json = report.to_json().to_string_pretty();
+        let (base_wall, base_json) =
+            baseline.get_or_insert((stats.wall.as_secs_f64(), json.clone()));
+        rows.push(ScalingRow {
+            workers: w,
+            wall_secs: stats.wall.as_secs_f64(),
+            devices_per_sec: stats.devices_per_sec(),
+            probes_per_sec: stats.probes_per_sec(),
+            speedup: *base_wall / stats.wall.as_secs_f64().max(1e-9),
+            json_identical: json == *base_json,
+        });
+    }
+    rows
+}
+
+/// Render the scaling table.
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>7} {:>9} {:>12} {:>12} {:>8} {:>10}\n",
+        "workers", "wall s", "devices/s", "probes/s", "speedup", "json"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7} {:>9.2} {:>12.1} {:>12.1} {:>7.2}x {:>10}\n",
+            r.workers,
+            r.wall_secs,
+            r.devices_per_sec,
+            r.probes_per_sec,
+            r.speedup,
+            if r.json_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_merges_every_device() {
+        let spec = CampaignSpec::heterogeneous(11, 24).with_probes(2);
+        let (report, stats) = run_campaign(&spec, 4);
+        assert_eq!(report.devices, 24);
+        assert_eq!(stats.devices, 24);
+        assert_eq!(report.strata.iter().map(|s| s.devices).sum::<u64>(), 24);
+        assert!(!report.du_all.is_empty());
+        assert!(stats.probes > 0);
+        // The reorder buffer stayed bounded by in-flight work.
+        assert!(stats.reorder_peak <= 4 + 8, "peak {}", stats.reorder_peak);
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_worker_counts() {
+        let spec = CampaignSpec::heterogeneous(5, 20).with_probes(2);
+        let (a, _) = run_campaign(&spec, 1);
+        let (b, _) = run_campaign(&spec, 4);
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+    }
+}

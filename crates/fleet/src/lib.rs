@@ -1,0 +1,41 @@
+//! # fleet — sharded multi-device measurement campaigns
+//!
+//! The paper measures one phone at a time; this crate asks the
+//! population question: across *N* heterogeneous devices — different
+//! SDIO `idletime`s, PSM `Tip`s, listen intervals, beacon intervals,
+//! lossy paths, RRC bearers, AcuteMon vs. legacy sparse ping — what do
+//! the user-level (`du`), network-level (`dn`) and overhead (`du − dn`)
+//! distributions look like?
+//!
+//! A [`CampaignSpec`] declares the population (weighted
+//! [`DeviceClass`] strata). The [`engine`](crate::engine) fans device
+//! indices across a fixed pool of OS worker threads; each runs a
+//! deterministically-seeded simulation shard ([`run_device`]) and
+//! streams a [`DevicePartial`] — mergeable sketches and an [`obs`]
+//! snapshot, never raw samples — over a bounded channel into a
+//! [`Collector`]. Device seeds derive from
+//! `(campaign_seed, device_index)`, and the collector absorbs partials
+//! in device-index order, so the merged [`CampaignReport`] JSON is
+//! byte-identical regardless of worker count or completion order.
+//!
+//! ```
+//! use fleet::{run_campaign, CampaignSpec};
+//! use obs::ToJson;
+//!
+//! let spec = CampaignSpec::heterogeneous(2016, 12).with_probes(2);
+//! let (a, _) = run_campaign(&spec, 1);
+//! let (b, _) = run_campaign(&spec, 4);
+//! assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod shard;
+pub mod spec;
+
+pub use engine::{render_scaling, run_campaign, scaling_table, RunStats, ScalingRow};
+pub use report::{CampaignReport, Collector, StratumReport};
+pub use shard::{run_device, DevicePartial};
+pub use spec::{splitmix64, CampaignSpec, DeviceClass, Radio, Tool};

@@ -1,0 +1,189 @@
+//! Campaign reports: per-stratum population statistics, merged from
+//! device partials in device-index order so the JSON is byte-identical
+//! for any worker count.
+
+use am_stats::QuantileSketch;
+use obs::{Registry, ToJson};
+
+use crate::shard::DevicePartial;
+use crate::spec::CampaignSpec;
+
+/// Population statistics for one stratum.
+#[derive(Debug, Clone, ToJson)]
+pub struct StratumReport {
+    /// Stratum name.
+    pub name: String,
+    /// Sampling weight.
+    pub weight: u32,
+    /// Devices that landed in this stratum.
+    pub devices: u64,
+    /// Probes sent across the stratum.
+    pub probes_sent: u64,
+    /// Probes that completed.
+    pub probes_completed: u64,
+    /// App-level retries spent.
+    pub retries: u64,
+    /// User-level RTT sketch.
+    pub du: QuantileSketch,
+    /// Network-level RTT sketch (WiFi strata only).
+    pub dn: QuantileSketch,
+    /// Overhead `du − dn` sketch (WiFi strata only).
+    pub overhead: QuantileSketch,
+}
+
+/// The merged result of a whole campaign.
+#[derive(Debug, Clone, ToJson)]
+pub struct CampaignReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Devices simulated.
+    pub devices: u64,
+    /// Probes per device (`K`).
+    pub probes_per_device: u32,
+    /// Per-stratum population statistics.
+    pub strata: Vec<StratumReport>,
+    /// Population-wide `du` sketch (all strata merged).
+    pub du_all: QuantileSketch,
+    /// Population-wide overhead sketch (WiFi strata).
+    pub overhead_all: QuantileSketch,
+    /// The campaign telemetry registry: every per-device registry
+    /// merged, in device-index order.
+    pub obs: obs::Snapshot,
+}
+
+/// Streaming collector: absorbs [`DevicePartial`]s **in device-index
+/// order** and maintains only mergeable state (sketches, counters, one
+/// registry) — memory is O(strata + metric names), independent of
+/// device and probe counts.
+pub struct Collector {
+    strata: Vec<StratumReport>,
+    du_all: QuantileSketch,
+    overhead_all: QuantileSketch,
+    registry: Registry,
+    seed: u64,
+    devices_seen: u64,
+    probes_per_device: u32,
+}
+
+impl Collector {
+    /// An empty collector for `spec`.
+    pub fn new(spec: &CampaignSpec) -> Collector {
+        Collector {
+            strata: spec
+                .classes
+                .iter()
+                .map(|c| StratumReport {
+                    name: c.name.to_string(),
+                    weight: c.weight,
+                    devices: 0,
+                    probes_sent: 0,
+                    probes_completed: 0,
+                    retries: 0,
+                    du: QuantileSketch::new(),
+                    dn: QuantileSketch::new(),
+                    overhead: QuantileSketch::new(),
+                })
+                .collect(),
+            du_all: QuantileSketch::new(),
+            overhead_all: QuantileSketch::new(),
+            registry: Registry::new(),
+            seed: spec.seed,
+            devices_seen: 0,
+            probes_per_device: spec.probes_per_device,
+        }
+    }
+
+    /// Absorb one device partial. Callers must feed partials in
+    /// device-index order (the engine's reorder buffer guarantees it):
+    /// the sketch merges are order-independent, but the registry's
+    /// floating-point histogram sums are not.
+    pub fn absorb(&mut self, p: &DevicePartial) {
+        let s = &mut self.strata[p.class];
+        s.devices += 1;
+        s.probes_sent += p.probes_sent;
+        s.probes_completed += p.probes_completed;
+        s.retries += p.retries;
+        s.du.merge(&p.du);
+        s.dn.merge(&p.dn);
+        s.overhead.merge(&p.overhead);
+        self.du_all.merge(&p.du);
+        self.overhead_all.merge(&p.overhead);
+        self.registry.merge_snapshot(&p.obs);
+        self.devices_seen += 1;
+    }
+
+    /// Devices absorbed so far.
+    pub fn devices_seen(&self) -> u64 {
+        self.devices_seen
+    }
+
+    /// Finish the campaign and emit the report.
+    pub fn finish(self) -> CampaignReport {
+        CampaignReport {
+            seed: self.seed,
+            devices: self.devices_seen,
+            probes_per_device: self.probes_per_device,
+            strata: self.strata,
+            du_all: self.du_all,
+            overhead_all: self.overhead_all,
+            obs: self.registry.snapshot(),
+        }
+    }
+}
+
+fn fmt_q(s: &QuantileSketch, p: f64) -> String {
+    match s.quantile(p) {
+        Some(v) => format!("{v:8.2}"),
+        None => format!("{:>8}", "—"),
+    }
+}
+
+impl CampaignReport {
+    /// Render the per-stratum population table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fleet campaign: {} devices × {} probes (seed {})\n",
+            self.devices, self.probes_per_device, self.seed
+        ));
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>7} {:>6}  {:>8} {:>8} {:>8}  {:>8} {:>8}  {:>8}\n",
+            "stratum",
+            "devices",
+            "probes",
+            "compl%",
+            "du p50",
+            "du p90",
+            "du p99",
+            "dn p50",
+            "dn p90",
+            "ovh p50"
+        ));
+        for s in &self.strata {
+            out.push_str(&format!(
+                "{:<18} {:>7} {:>7} {:>5.1}%  {} {} {}  {} {}  {}\n",
+                s.name,
+                s.devices,
+                s.probes_sent,
+                100.0 * s.du.completion(),
+                fmt_q(&s.du, 0.5),
+                fmt_q(&s.du, 0.9),
+                fmt_q(&s.du, 0.99),
+                fmt_q(&s.dn, 0.5),
+                fmt_q(&s.dn, 0.9),
+                fmt_q(&s.overhead, 0.5),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>7} {:>5.1}%  {} {} {}\n",
+            "population",
+            self.devices,
+            self.strata.iter().map(|s| s.probes_sent).sum::<u64>(),
+            100.0 * self.du_all.completion(),
+            fmt_q(&self.du_all, 0.5),
+            fmt_q(&self.du_all, 0.9),
+            fmt_q(&self.du_all, 0.99),
+        ));
+        out
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-device simulation shards.
+//!
+//! [`run_device`] builds the full testbed for one device of a
+//! [`CampaignSpec`], runs its measurement session, and boils the result
+//! down to a [`DevicePartial`]: three mergeable [`QuantileSketch`]es
+//! (`du`, `dn`, overhead) plus an [`obs`] snapshot. No raw sample
+//! vectors leave the shard — campaign memory is independent of the
+//! probe count.
+
+use am_stats::QuantileSketch;
+use measure::{PingApp, PingConfig, RecordSet, RttRecord};
+use obs::Registry;
+use phone::RuntimeKind;
+use simcore::{LatencyDist, SimDuration};
+use testbed::{addr, breakdowns, CellTestbed, CellTestbedConfig, Testbed, TestbedConfig};
+
+use crate::spec::{CampaignSpec, Radio, Tool};
+
+/// The streamed result of one device (or a merge of many): counts and
+/// sketches only, never raw samples.
+#[derive(Debug, Clone)]
+pub struct DevicePartial {
+    /// Device index within the campaign.
+    pub index: u64,
+    /// Stratum index within the spec.
+    pub class: usize,
+    /// Probes sent.
+    pub probes_sent: u64,
+    /// Probes that completed (a `du` was measured).
+    pub probes_completed: u64,
+    /// App-level retries spent.
+    pub retries: u64,
+    /// User-level RTT sketch (timed-out probes recorded as censored).
+    pub du: QuantileSketch,
+    /// Network-level RTT sketch (sniffer vantage; WiFi strata only).
+    pub dn: QuantileSketch,
+    /// Per-probe overhead `du − dn` sketch (WiFi strata only).
+    pub overhead: QuantileSketch,
+    /// The device's telemetry registry, snapshotted.
+    pub obs: obs::Snapshot,
+}
+
+fn harvest(
+    partial: &mut DevicePartial,
+    records: &[RttRecord],
+    breakdown: Option<&[testbed::ProbeBreakdown]>,
+) {
+    partial.probes_sent += records.len() as u64;
+    partial.retries += records.total_retries();
+    for r in records {
+        match r.du_ms() {
+            Some(du) => {
+                partial.probes_completed += 1;
+                partial.du.observe(du);
+            }
+            None => partial.du.observe_censored(),
+        }
+    }
+    if let Some(bds) = breakdown {
+        for b in bds {
+            if let Some(dn) = b.dn {
+                partial.dn.observe(dn);
+                if let Some(du) = b.du {
+                    partial.overhead.observe(du - dn);
+                }
+            } else if b.du.is_some() {
+                // The sniffer missed this probe: the overhead is
+                // unidentifiable, not zero.
+                partial.dn.observe_censored();
+                partial.overhead.observe_censored();
+            }
+        }
+    }
+}
+
+/// Drop metrics that measure the *host* rather than the simulation
+/// (`sim.wall_ns` is wall-clock time spent inside the event loop):
+/// everything left in the snapshot is a pure function of the device
+/// seed, which is what makes the merged campaign JSON reproducible.
+fn strip_wall_clock(snap: &mut obs::Snapshot) {
+    snap.counters.retain(|(name, _)| name != "sim.wall_ns");
+}
+
+fn empty_partial(index: u64, class: usize) -> DevicePartial {
+    DevicePartial {
+        index,
+        class,
+        probes_sent: 0,
+        probes_completed: 0,
+        retries: 0,
+        du: QuantileSketch::new(),
+        dn: QuantileSketch::new(),
+        overhead: QuantileSketch::new(),
+        obs: obs::Snapshot::default(),
+    }
+}
+
+/// Run device `index` of `spec` to completion and return its partial.
+/// Pure in `(spec, index)`: the same pair always produces the same
+/// partial, on any worker thread.
+pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
+    let class_idx = spec.class_of(index);
+    let class = &spec.classes[class_idx];
+    let mut partial = empty_partial(index, class_idx);
+    let seed = spec.device_seed(index);
+    let k = spec.probes_per_device;
+
+    let mut profile = class.profile.clone();
+    if let Some(ticks) = class.sdio_idletime {
+        profile.bus.idletime = ticks;
+    }
+    if let Some(tip) = class.tip_ms {
+        profile.psm_timeout = LatencyDist::fixed(tip);
+    }
+
+    match class.radio {
+        Radio::Wifi => {
+            let mut cfg = TestbedConfig::new(seed, profile, class.path_rtt_ms);
+            // One lossless sniffer: full dn coverage at minimum cost.
+            cfg.sniffers = 1;
+            cfg.sniffer_loss = 0.0;
+            cfg.listen_interval_override = class.listen_interval;
+            if let Some(ms) = class.beacon_interval_ms {
+                cfg = cfg.with_beacon_interval(SimDuration::from_ms_f64(ms));
+            }
+            if let Some(plan) = class.faults.clone() {
+                cfg = cfg.with_wifi_faults(plan.with_seed(spec.fault_seed(index)));
+            }
+            let mut tb = Testbed::build(cfg);
+            let reg = Registry::new();
+            tb.attach_metrics(&reg);
+            let app = match class.tool {
+                Tool::AcuteMon => {
+                    let mut am = acutemon::AcuteMonConfig::new(addr::SERVER, k);
+                    if class.faults.is_some() {
+                        // Lossy stratum: bounded retries with a short
+                        // timeout, as the fault sweep does.
+                        am = am
+                            .with_retries(3)
+                            .with_retry_backoff(SimDuration::from_millis(30));
+                        am.probe_timeout = SimDuration::from_millis(300);
+                    }
+                    let idx = tb.install_app(
+                        Box::new(acutemon::AcuteMonApp::new(am)),
+                        RuntimeKind::Native,
+                    );
+                    tb.app_mut::<acutemon::AcuteMonApp>(idx)
+                        .attach_metrics(&reg);
+                    idx
+                }
+                Tool::SparsePing => {
+                    let cfg = PingConfig::new(addr::SERVER, k, SimDuration::from_secs(1));
+                    let idx = tb.install_app(Box::new(PingApp::new(cfg)), RuntimeKind::Native);
+                    tb.app_mut::<PingApp>(idx).attach_metrics(&reg);
+                    idx
+                }
+            };
+            tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+            let index = tb.capture_index();
+            let records: Vec<RttRecord> = match class.tool {
+                Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(app).records.clone(),
+                Tool::SparsePing => tb.app::<PingApp>(app).records.clone(),
+            };
+            let bds = breakdowns(&records, tb.phone_node().ledger(), &index);
+            harvest(&mut partial, &records, Some(&bds));
+            partial.obs = reg.snapshot();
+            strip_wall_clock(&mut partial.obs);
+        }
+        Radio::Lte | Radio::Umts => {
+            let mut cfg = match class.radio {
+                Radio::Lte => CellTestbedConfig::lte(seed, profile, class.path_rtt_ms),
+                _ => CellTestbedConfig::umts(seed, profile, class.path_rtt_ms),
+            };
+            if let Some(plan) = class.faults.clone() {
+                cfg = cfg.with_bearer_faults(plan.with_seed(spec.fault_seed(index)));
+            }
+            let am_cfg = cfg.acutemon_profile(k);
+            let mut tb = CellTestbed::build(cfg);
+            let reg = Registry::new();
+            tb.sim.set_metrics(&reg);
+            let app = match class.tool {
+                Tool::AcuteMon => {
+                    let idx = tb.install_app(
+                        Box::new(acutemon::AcuteMonApp::new(am_cfg)),
+                        RuntimeKind::Native,
+                    );
+                    tb.sim
+                        .node_mut::<phone::PhoneNode>(tb.phone)
+                        .app_mut::<acutemon::AcuteMonApp>(idx)
+                        .attach_metrics(&reg);
+                    idx
+                }
+                Tool::SparsePing => {
+                    let ping = PingConfig::new(tb.server_ip(), k, SimDuration::from_secs(1));
+                    let idx = tb.install_app(Box::new(PingApp::new(ping)), RuntimeKind::Native);
+                    tb.sim
+                        .node_mut::<phone::PhoneNode>(tb.phone)
+                        .app_mut::<PingApp>(idx)
+                        .attach_metrics(&reg);
+                    idx
+                }
+            };
+            tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+            let records: Vec<RttRecord> = match class.tool {
+                Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(app).records.clone(),
+                Tool::SparsePing => tb.app::<PingApp>(app).records.clone(),
+            };
+            // No sniffers on the bearer: dn/overhead stay empty.
+            harvest(&mut partial, &records, None);
+            partial.obs = reg.snapshot();
+            strip_wall_clock(&mut partial.obs);
+        }
+    }
+    partial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::ToJson;
+
+    #[test]
+    fn shard_is_deterministic() {
+        let spec = CampaignSpec::heterogeneous(42, 16).with_probes(3);
+        let a = run_device(&spec, 3);
+        let b = run_device(&spec, 3);
+        assert_eq!(a.probes_sent, b.probes_sent);
+        assert_eq!(a.du.quantile(0.5), b.du.quantile(0.5));
+        assert_eq!(a.du.count(), b.du.count());
+        assert_eq!(
+            a.obs.to_json().to_string_pretty(),
+            b.obs.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn wifi_shard_measures_du_and_dn() {
+        let spec = CampaignSpec::heterogeneous(2016, 64).with_probes(4);
+        // Find an AcuteMon WiFi device.
+        let idx = (0..64)
+            .find(|&i| {
+                let c = &spec.classes[spec.class_of(i)];
+                c.radio == Radio::Wifi && c.tool == Tool::AcuteMon && c.faults.is_none()
+            })
+            .expect("population has AcuteMon WiFi devices");
+        let p = run_device(&spec, idx);
+        assert_eq!(p.probes_sent, 4);
+        assert_eq!(p.probes_completed, 4);
+        assert!(p.dn.count() > 0, "sniffer saw nothing");
+        assert!(p.overhead.count() > 0);
+        // AcuteMon on a 50 ms path: du stays close to dn.
+        let med = p.overhead.median().expect("identifiable overhead");
+        assert!(med < 20.0, "overhead median {med}");
+        assert!(!p.obs.is_empty(), "telemetry snapshot empty");
+    }
+
+    #[test]
+    fn cellular_shard_has_no_dn() {
+        let spec = CampaignSpec::heterogeneous(2016, 64).with_probes(3);
+        let idx = (0..64)
+            .find(|&i| spec.classes[spec.class_of(i)].radio != Radio::Wifi)
+            .expect("population has cellular devices");
+        let p = run_device(&spec, idx);
+        assert!(p.probes_sent > 0);
+        assert_eq!(p.dn.len(), 0);
+        assert_eq!(p.overhead.len(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Declarative campaign specs.
+//!
+//! A [`CampaignSpec`] describes a *population*: `devices` simulated
+//! phones drawn from weighted [`DeviceClass`] strata. Everything about
+//! device `i` — its stratum, its RNG seed, its fault-plan seed — is a
+//! pure function of `(campaign_seed, i)`, so a campaign shards across
+//! any number of workers and still merges to byte-identical results.
+
+use netem::FaultPlan;
+use phone::PhoneProfile;
+use simcore::SimDuration;
+
+/// Radio access technology of a device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Radio {
+    /// 802.11 PSM testbed (the paper's Fig. 2).
+    Wifi,
+    /// LTE RRC bearer (connected → short DRX → long DRX → idle).
+    Lte,
+    /// UMTS RRC bearer (DCH → FACH → IDLE).
+    Umts,
+}
+
+/// The measurement tool a class runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// AcuteMon: warm-up + background traffic puncture the sleep delays.
+    AcuteMon,
+    /// A legacy sparse `ping` (1 s cadence) — the inflated baseline.
+    SparsePing,
+}
+
+/// One population stratum: a phone model plus the knobs the paper shows
+/// matter (SDIO `idletime`, PSM `Tip`, listen interval `L`, beacon
+/// interval), the tool it runs, and optional fault / cellular profiles.
+#[derive(Debug, Clone)]
+pub struct DeviceClass {
+    /// Stratum name (report key).
+    pub name: &'static str,
+    /// Sampling weight (relative share of the population).
+    pub weight: u32,
+    /// Base phone model.
+    pub profile: PhoneProfile,
+    /// WiFi PSM or an RRC bearer.
+    pub radio: Radio,
+    /// Emulated path RTT (WiFi) or core RTT (cellular), ms.
+    pub path_rtt_ms: u64,
+    /// Override the SDIO `idletime` (watchdog ticks before bus sleep).
+    pub sdio_idletime: Option<u32>,
+    /// Override the adaptive-PSM timeout `Tip` with a fixed value, ms.
+    pub tip_ms: Option<f64>,
+    /// Override the listen interval `L`.
+    pub listen_interval: Option<u32>,
+    /// Override the AP beacon interval, ms (WiFi only).
+    pub beacon_interval_ms: Option<f64>,
+    /// The measurement tool this stratum runs.
+    pub tool: Tool,
+    /// Fault plan for the path (WiFi medium / cellular bearer). The
+    /// plan's seed is re-derived per device.
+    pub faults: Option<FaultPlan>,
+}
+
+impl DeviceClass {
+    /// A WiFi stratum running AcuteMon on `profile` over `rtt_ms`.
+    pub fn wifi(name: &'static str, weight: u32, profile: PhoneProfile, rtt_ms: u64) -> Self {
+        DeviceClass {
+            name,
+            weight,
+            profile,
+            radio: Radio::Wifi,
+            path_rtt_ms: rtt_ms,
+            sdio_idletime: None,
+            tip_ms: None,
+            listen_interval: None,
+            beacon_interval_ms: None,
+            tool: Tool::AcuteMon,
+            faults: None,
+        }
+    }
+
+    /// Builder: switch to the sparse-ping baseline tool.
+    pub fn sparse_ping(mut self) -> Self {
+        self.tool = Tool::SparsePing;
+        self
+    }
+
+    /// Builder: set the radio access technology.
+    pub fn with_radio(mut self, radio: Radio) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Builder: override the SDIO `idletime`.
+    pub fn with_sdio_idletime(mut self, ticks: u32) -> Self {
+        self.sdio_idletime = Some(ticks);
+        self
+    }
+
+    /// Builder: pin the PSM timeout `Tip` to a fixed value.
+    pub fn with_tip_ms(mut self, tip_ms: f64) -> Self {
+        self.tip_ms = Some(tip_ms);
+        self
+    }
+
+    /// Builder: override the listen interval `L`.
+    pub fn with_listen_interval(mut self, l: u32) -> Self {
+        self.listen_interval = Some(l);
+        self
+    }
+
+    /// Builder: override the beacon interval (ms).
+    pub fn with_beacon_interval_ms(mut self, ms: f64) -> Self {
+        self.beacon_interval_ms = Some(ms);
+        self
+    }
+
+    /// Builder: inject faults on the path (seed re-derived per device).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// A full campaign: N devices drawn from weighted strata.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign seed; every device seed derives from it.
+    pub seed: u64,
+    /// Population size.
+    pub devices: u64,
+    /// Probes per device (`K`).
+    pub probes_per_device: u32,
+    /// Per-device simulated horizon.
+    pub horizon: SimDuration,
+    /// The strata (must be non-empty, total weight > 0).
+    pub classes: Vec<DeviceClass>,
+}
+
+/// SplitMix64 — the seed/stratum derivation mixer.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl CampaignSpec {
+    /// A campaign of `devices` devices over `classes`.
+    pub fn new(seed: u64, devices: u64, classes: Vec<DeviceClass>) -> CampaignSpec {
+        assert!(!classes.is_empty(), "campaign needs at least one class");
+        assert!(
+            classes.iter().map(|c| u64::from(c.weight)).sum::<u64>() > 0,
+            "campaign needs a positive total weight"
+        );
+        CampaignSpec {
+            seed,
+            devices,
+            probes_per_device: 6,
+            horizon: SimDuration::from_secs(12),
+            classes,
+        }
+    }
+
+    /// Builder: probes per device.
+    pub fn with_probes(mut self, k: u32) -> Self {
+        self.probes_per_device = k.max(1);
+        self
+    }
+
+    /// Builder: per-device simulated horizon.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// The heterogeneous reference population used by `repro fleet`:
+    /// AcuteMon and sparse-ping WiFi strata across phone models and PSM
+    /// knobs, a lossy-WiFi stratum, and LTE/UMTS cellular strata.
+    pub fn heterogeneous(seed: u64, devices: u64) -> CampaignSpec {
+        let classes = vec![
+            DeviceClass::wifi("n5-acutemon-50ms", 4, phone::nexus5(), 50),
+            DeviceClass::wifi("n5-ping-50ms", 2, phone::nexus5(), 50).sparse_ping(),
+            DeviceClass::wifi("n4-fast-doze", 2, phone::nexus4(), 50)
+                .sparse_ping()
+                .with_sdio_idletime(1)
+                .with_tip_ms(120.0)
+                .with_listen_interval(3),
+            DeviceClass::wifi("n5-slow-beacons", 1, phone::nexus5(), 50)
+                .sparse_ping()
+                .with_beacon_interval_ms(204.8),
+            DeviceClass::wifi("n5-lossy-wifi", 1, phone::nexus5(), 50)
+                .with_faults(FaultPlan::gilbert_elliott(0.08, 3.0)),
+            DeviceClass::wifi("lte-acutemon-40ms", 1, phone::nexus5(), 40).with_radio(Radio::Lte),
+            DeviceClass::wifi("umts-ping-40ms", 1, phone::nexus5(), 40)
+                .sparse_ping()
+                .with_radio(Radio::Umts),
+        ];
+        CampaignSpec::new(seed, devices, classes)
+    }
+
+    /// Total stratum weight.
+    pub fn total_weight(&self) -> u64 {
+        self.classes.iter().map(|c| u64::from(c.weight)).sum()
+    }
+
+    /// The stratum of device `index` — a pure function of
+    /// `(seed, index)`, independent of worker count or completion order.
+    pub fn class_of(&self, index: u64) -> usize {
+        let total = self.total_weight();
+        let mut draw = splitmix64(self.seed ^ splitmix64(index ^ 0xC1A5_5000)) % total;
+        for (i, c) in self.classes.iter().enumerate() {
+            let w = u64::from(c.weight);
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        self.classes.len() - 1
+    }
+
+    /// The simulation seed of device `index` (pure in `(seed, index)`).
+    pub fn device_seed(&self, index: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(index))
+    }
+
+    /// The fault-plan seed of device `index`, decorrelated from the
+    /// simulation seed.
+    pub fn fault_seed(&self, index: u64) -> u64 {
+        splitmix64(self.device_seed(index) ^ 0xFA17_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_pure_and_distinct() {
+        let spec = CampaignSpec::heterogeneous(2016, 1000);
+        assert_eq!(spec.device_seed(17), spec.device_seed(17));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(spec.device_seed(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn strata_follow_weights() {
+        let spec = CampaignSpec::heterogeneous(7, 24_000);
+        let mut counts = vec![0u64; spec.classes.len()];
+        for i in 0..spec.devices {
+            counts[spec.class_of(i)] += 1;
+        }
+        let total = spec.total_weight() as f64;
+        for (c, &n) in spec.classes.iter().zip(&counts) {
+            let expected = spec.devices as f64 * f64::from(c.weight) / total;
+            let err = (n as f64 - expected).abs() / expected;
+            assert!(err < 0.1, "{}: {n} vs {expected}", c.name);
+        }
+    }
+
+    #[test]
+    fn class_of_is_independent_of_device_count() {
+        // Sharding must not change stratum assignment: device 5 is in
+        // the same class whether the campaign has 10 or 10k devices.
+        let small = CampaignSpec::heterogeneous(2016, 10);
+        let large = CampaignSpec::heterogeneous(2016, 10_000);
+        for i in 0..10 {
+            assert_eq!(small.class_of(i), large.class_of(i));
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //!              [--warmup-dst HOST:PORT] [--json]
 //!              [--metrics-json] [--metrics-text]
 //!              [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]
+//! acutemon-cli fleet [--devices N] [--workers W] [--seed S] [--k N]
+//!              [--out FILE] [--json] [-v] [--quiet]
 //! ```
 //!
 //! Defaults mirror the paper: K=100, dpre=db=20 ms, warm-up TTL 1 (the
@@ -19,6 +21,10 @@
 //! `chrome://tracing` / Perfetto); `--trace-spans` writes the same spans
 //! as JSON-lines. Tracing is off — and costs nothing on the probe hot
 //! path — unless one of the two flags is given.
+//!
+//! The `fleet` subcommand runs a *simulated* sharded campaign (the
+//! `fleet` crate's heterogeneous population) instead of probing a real
+//! host — handy for sizing a measurement study before deploying it.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -51,11 +57,98 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn fleet_usage() -> ! {
+    error!(
+        "usage: acutemon-cli fleet [--devices N] [--workers W] [--seed S] [--k N]\n\
+         \x20                [--out FILE] [--json] [-v] [--quiet]\n\
+         \n\
+         Runs a simulated sharded measurement campaign over the fleet\n\
+         crate's heterogeneous device population and prints per-stratum\n\
+         du/dn/overhead quantiles. --out writes the merged report JSON\n\
+         (byte-identical for any --workers)."
+    );
+    std::process::exit(2);
+}
+
+fn run_fleet(args: &mut dyn Iterator<Item = String>) -> ! {
+    let mut devices = 500u64;
+    let mut workers: Option<usize> = None;
+    let mut seed = 2016u64;
+    let mut k = 6u32;
+    let mut out: Option<PathBuf> = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut verbosity = 0u8;
+    let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            error!("acutemon-cli: {what} needs a number");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--devices" => devices = next_num(args, "--devices"),
+            "--workers" => workers = Some(next_num(args, "--workers") as usize),
+            "--seed" => seed = next_num(args, "--seed"),
+            "--k" => k = next_num(args, "--k") as u32,
+            "--out" => {
+                out = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| fleet_usage()),
+                )
+            }
+            "--json" => json = true,
+            "--quiet" | "-q" => quiet = true,
+            "-v" | "--verbose" => verbosity += 1,
+            _ => fleet_usage(),
+        }
+    }
+    obs::log::init_from_flags(quiet, verbosity);
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+    let spec = fleet::CampaignSpec::heterogeneous(seed, devices).with_probes(k);
+    info!(
+        "fleet: {} devices × {} probes on {workers} workers ...",
+        spec.devices, spec.probes_per_device
+    );
+    let (report, stats) = fleet::run_campaign(&spec, workers);
+    let doc = {
+        use obs::ToJson;
+        report.to_json().to_string_pretty()
+    };
+    if json {
+        println!("{doc}");
+    } else {
+        println!("{}", report.render());
+        info!(
+            "throughput:  {:.1} devices/s, {:.1} probes/s ({:.2} s wall)",
+            stats.devices_per_sec(),
+            stats.probes_per_sec(),
+            stats.wall.as_secs_f64()
+        );
+    }
+    if let Some(p) = &out {
+        if let Err(e) = std::fs::write(p, doc) {
+            error!("acutemon-cli: write {}: {e}", p.display());
+            std::process::exit(1);
+        }
+        info!("report:      {}", p.display());
+    }
+    std::process::exit(0);
+}
+
 fn parse() -> Cli {
     let mut args = std::env::args().skip(1);
     let Some(target) = args.next() else { usage() };
     if target == "--help" || target == "-h" {
         usage();
+    }
+    if target == "fleet" {
+        run_fleet(&mut args);
     }
     let target: SocketAddr = target.parse().unwrap_or_else(|_| {
         error!("acutemon-cli: bad target address (need HOST:PORT)");

@@ -464,7 +464,7 @@ pub fn run_traced(cfg: LiveConfig, reg: &Registry, tracer: &Tracer) -> io::Resul
 
     let _ = stop_tx.send(());
     bt.join()
-        .map_err(|_| io::Error::new(io::ErrorKind::Other, "background thread panicked"))??;
+        .map_err(|_| io::Error::other("background thread panicked"))??;
     let mut bt_stats = *lock(&stats);
     bt_stats.degraded = degraded.load(Ordering::Relaxed);
     Ok(LiveReport {
@@ -681,7 +681,11 @@ mod tests {
             (report.completion() - 1.0).abs() < 1e-12,
             "completion {} (attempts {:?})",
             report.completion(),
-            report.samples.iter().map(|s| s.attempts).collect::<Vec<_>>()
+            report
+                .samples
+                .iter()
+                .map(|s| s.attempts)
+                .collect::<Vec<_>>()
         );
         // Every probe needed exactly its one retry, and no error stuck.
         assert!(report.samples.iter().all(|s| s.attempts == 2));
@@ -719,7 +723,10 @@ mod tests {
         assert_eq!(report.completion(), 0.0);
         for s in &report.samples {
             assert_eq!(s.attempts, 2);
-            assert_eq!(s.error, Some(measure::ProbeError::Exhausted { attempts: 2 }));
+            assert_eq!(
+                s.error,
+                Some(measure::ProbeError::Exhausted { attempts: 2 })
+            );
         }
         // All four du values are censored: no quantile is identifiable.
         let cs = report.censored();
@@ -745,7 +752,11 @@ mod tests {
         .with_bt_error_threshold(3);
         let report = run(cfg).expect("run");
         stop.store(true, Ordering::Relaxed);
-        assert!(report.bt.send_errors >= 3, "errors {}", report.bt.send_errors);
+        assert!(
+            report.bt.send_errors >= 3,
+            "errors {}",
+            report.bt.send_errors
+        );
         assert!(report.bt.degraded);
         assert_eq!(report.bt.background_sent, 0);
         // Probing itself is unaffected by the broken keep-awake path.

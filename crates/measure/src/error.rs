@@ -109,7 +109,10 @@ mod tests {
         let e = io::Error::new(io::ErrorKind::WouldBlock, "t");
         assert_eq!(ProbeError::from(e), ProbeError::Timeout);
         let e = io::Error::new(io::ErrorKind::BrokenPipe, "p");
-        assert_eq!(ProbeError::from(e), ProbeError::Recv(io::ErrorKind::BrokenPipe));
+        assert_eq!(
+            ProbeError::from(e),
+            ProbeError::Recv(io::ErrorKind::BrokenPipe)
+        );
     }
 
     #[test]

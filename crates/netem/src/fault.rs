@@ -399,14 +399,14 @@ impl FaultState {
             return FaultVerdict::Drop(DropReason::Loss);
         }
         let dir = dir % FAULT_DIRS;
-        let copies = if self.plan.duplicate_prob > 0.0 && self.rng[dir].chance(self.plan.duplicate_prob)
-        {
-            self.stats.duplicated += 1;
-            self.metrics.duplicated.inc();
-            2
-        } else {
-            1
-        };
+        let copies =
+            if self.plan.duplicate_prob > 0.0 && self.rng[dir].chance(self.plan.duplicate_prob) {
+                self.stats.duplicated += 1;
+                self.metrics.duplicated.inc();
+                2
+            } else {
+                1
+            };
         let mut extra_ms = 0.0;
         if self.plan.reorder_prob > 0.0 && self.rng[dir].chance(self.plan.reorder_prob) {
             self.stats.reordered += 1;

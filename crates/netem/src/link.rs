@@ -377,7 +377,11 @@ mod tests {
                 sim.inject(a, link, SimTime::ZERO, Msg::Wire(pkt(i)));
             }
             sim.run_until_idle(1000);
-            sim.node::<Sink>(b).got.iter().map(|g| g.1).collect::<Vec<_>>()
+            sim.node::<Sink>(b)
+                .got
+                .iter()
+                .map(|g| g.1)
+                .collect::<Vec<_>>()
         };
         // Same plan seed ⇒ identical delivered-id stream, even under a
         // different *engine* seed: the fault layer owns its randomness.
@@ -392,8 +396,7 @@ mod tests {
         let b = sim.add_node(Box::new(Sink { got: vec![] }));
         let link = sim.add_node(Box::new(LinkNode::new(LinkParams::delay_ms(1))));
         sim.node_mut::<LinkNode>(link).connect(a, b);
-        let plan = FaultPlan::none()
-            .with_flap(SimTime::from_millis(10), SimTime::from_millis(20));
+        let plan = FaultPlan::none().with_flap(SimTime::from_millis(10), SimTime::from_millis(20));
         sim.node_mut::<LinkNode>(link).set_fault_plan(&plan);
         for (i, t) in [(1u64, 5u64), (2, 15), (3, 25)] {
             sim.inject(a, link, SimTime::from_millis(t), Msg::Wire(pkt(i)));

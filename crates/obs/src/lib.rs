@@ -45,8 +45,8 @@ pub use json::{Json, JsonParseError, ToJson};
 pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 pub use span::SpanTimer;
 pub use trace::{
-    build_trace_tree, render_waterfall, AttrValue, SpanId, SpanNode, SpanRecord, TraceCtx, TraceId,
-    Tracer,
+    build_trace_tree, render_waterfall, AttrValue, SamplePolicy, SamplingStats, SpanId, SpanNode,
+    SpanRecord, TraceCtx, TraceId, Tracer,
 };
 
 /// Derive `ToJson` for a struct with named fields or a unit-variant enum.

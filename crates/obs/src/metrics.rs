@@ -100,6 +100,42 @@ impl Registry {
         SpanTimer::start(self.histogram_ms(name))
     }
 
+    /// Merge a [`Snapshot`] (typically taken from a per-shard registry)
+    /// into this registry: counters and gauges add, histograms add
+    /// bucket-wise (created with the snapshot's bounds when absent),
+    /// retained raw samples append up to [`SAMPLE_CAP`] with the spill
+    /// counted in `sample_overflow`. No-op on a disabled registry.
+    ///
+    /// Counter/gauge/bucket arithmetic is pure integer addition, so the
+    /// merged totals are independent of merge order; float histogram
+    /// sums are summed in whatever order merges arrive, so callers that
+    /// need bit-identical output (the fleet collector) must merge in a
+    /// fixed order.
+    pub fn merge_snapshot(&self, snap: &Snapshot) {
+        let Some(inner) = &self.0 else { return };
+        let mut g = inner.lock().unwrap();
+        for (name, v) in &snap.counters {
+            g.counters
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .fetch_add(*v, Ordering::Relaxed);
+        }
+        for (name, v) in &snap.gauges {
+            g.gauges
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0)))
+                .fetch_add(*v, Ordering::Relaxed);
+        }
+        for hs in &snap.histograms {
+            let cell = g
+                .hists
+                .entry(hs.name.clone())
+                .or_insert_with(|| Arc::new(Mutex::new(HistInner::new(&hs.bounds))))
+                .clone();
+            cell.lock().unwrap().merge(hs);
+        }
+    }
+
     /// A deterministic, name-sorted snapshot of every metric.
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
@@ -214,6 +250,25 @@ impl HistInner {
         } else {
             self.sample_overflow += 1;
         }
+    }
+
+    fn merge(&mut self, snap: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, snap.bounds,
+            "merging histograms with mismatched bounds"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&snap.buckets) {
+            *a += b;
+        }
+        self.count += snap.count;
+        self.sum += snap.sum;
+        if snap.count > 0 {
+            self.min = self.min.min(snap.min);
+            self.max = self.max.max(snap.max);
+        }
+        let take = snap.samples.len().min(SAMPLE_CAP - self.samples.len());
+        self.samples.extend_from_slice(&snap.samples[..take]);
+        self.sample_overflow += snap.sample_overflow + (snap.samples.len() - take) as u64;
     }
 
     fn snapshot(&self, name: &str) -> HistogramSnapshot {
@@ -446,6 +501,92 @@ mod tests {
         assert!((hs.quantile(0.0) - 1.0).abs() < 1e-9);
         assert!((hs.quantile(1.0) - 100.0).abs() < 1e-9);
         assert!((hs.p95() - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_snapshot_equals_direct_ingest() {
+        // Two shard registries vs one registry fed everything: merged
+        // snapshots must agree exactly (integer-valued observations so
+        // even the float sums are exact).
+        let shard_a = Registry::new();
+        let shard_b = Registry::new();
+        let direct = Registry::new();
+        for v in [1u64, 3, 7] {
+            shard_a.counter("probes").add(v);
+            direct.counter("probes").add(v);
+        }
+        shard_b.counter("probes").add(5);
+        direct.counter("probes").add(5);
+        shard_b.counter("only_b").inc();
+        direct.counter("only_b").inc();
+        shard_a.gauge("depth").add(4);
+        direct.gauge("depth").add(4);
+        for v in [2.0f64, 8.0, 64.0] {
+            shard_a.histogram_ms("du_ms").observe(v);
+            direct.histogram_ms("du_ms").observe(v);
+        }
+        shard_b.histogram_ms("du_ms").observe(16.0);
+        direct.histogram_ms("du_ms").observe(16.0);
+
+        let merged = Registry::new();
+        merged.merge_snapshot(&shard_a.snapshot());
+        merged.merge_snapshot(&shard_b.snapshot());
+        assert_eq!(
+            merged.snapshot().to_json().to_string(),
+            direct.snapshot().to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn merge_snapshot_is_order_independent_for_integer_state() {
+        let shards: Vec<Registry> = (0..4)
+            .map(|i| {
+                let r = Registry::new();
+                r.counter("c").add(i + 1);
+                r.histogram("h", &[10.0, 100.0]).observe((3 * i + 1) as f64);
+                r
+            })
+            .collect();
+        let snaps: Vec<Snapshot> = shards.iter().map(|r| r.snapshot()).collect();
+        let fwd = Registry::new();
+        for s in &snaps {
+            fwd.merge_snapshot(s);
+        }
+        let rev = Registry::new();
+        for s in snaps.iter().rev() {
+            rev.merge_snapshot(s);
+        }
+        let a = fwd.snapshot();
+        let b = rev.snapshot();
+        assert_eq!(a.counter("c"), b.counter("c"));
+        let (ha, hb) = (a.histogram("h").unwrap(), b.histogram("h").unwrap());
+        assert_eq!(ha.buckets, hb.buckets);
+        assert_eq!(ha.count, hb.count);
+        assert_eq!(ha.sum, hb.sum);
+        assert_eq!(ha.min, hb.min);
+        assert_eq!(ha.max, hb.max);
+    }
+
+    #[test]
+    fn merge_snapshot_caps_samples_and_tracks_spill() {
+        let shard = Registry::new();
+        let h = shard.histogram("big", &[1e9]);
+        for v in 0..SAMPLE_CAP {
+            h.observe(v as f64);
+        }
+        let snap = shard.snapshot();
+        let merged = Registry::new();
+        merged.merge_snapshot(&snap);
+        merged.merge_snapshot(&snap);
+        let out = merged.snapshot();
+        let hs = out.histogram("big").unwrap();
+        assert_eq!(hs.samples.len(), SAMPLE_CAP);
+        assert_eq!(hs.sample_overflow, SAMPLE_CAP as u64);
+        assert_eq!(hs.count, 2 * SAMPLE_CAP as u64);
+        // Disabled registries ignore merges entirely.
+        let off = Registry::disabled();
+        off.merge_snapshot(&snap);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

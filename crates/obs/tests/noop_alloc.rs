@@ -61,6 +61,73 @@ fn disabled_tracer_allocates_nothing() {
 }
 
 #[test]
+fn sampled_out_probes_allocate_nothing() {
+    // An *enabled* tracer with 1-in-N sampling: probes the policy drops
+    // must cost zero heap allocations — this is what lets tracing stay
+    // on for million-probe fleet campaigns.
+    let tracer = obs::Tracer::with_policy(obs::SamplePolicy::one_in(1000));
+    // Probe 0 is sampled in; consume it outside the counted window.
+    let warm = tracer.begin_trace();
+    let root = tracer.start_span(warm, None, "probe", "app", 0);
+    tracer.end_span(root, 10);
+    let before = alloc_count();
+    for pkt in 0..999u64 {
+        let trace = tracer.begin_trace();
+        assert_eq!(trace, obs::TraceId(0));
+        let root = tracer.start_span(trace, None, "probe", "app", 0);
+        tracer.attr(root, "tool", "ping");
+        tracer.attr(root, "probe", 42u32);
+        tracer.bind_packet(pkt, obs::TraceCtx { trace, root });
+        let _ = tracer.packet_ctx(pkt);
+        tracer.span(trace, Some(root), "sdio_wake", "driver", 0, 10);
+        tracer.rebind_packet(pkt, pkt + 1);
+        tracer.end_span(root, 100);
+    }
+    assert_eq!(
+        alloc_count() - before,
+        0,
+        "sampled-out probes must not allocate on the hot path"
+    );
+}
+
+#[test]
+fn enabled_probe_allocation_cost_is_bounded() {
+    // The enabled path does allocate (span records, index entries) but
+    // the cost per probe must stay small and flat: this bound is the
+    // allocation-side complement of the wall-clock budget tracked by
+    // `repro bench-snapshot` (obs/tracer_enabled_probe).
+    let tracer = obs::Tracer::new();
+    // Warm up internal Vec/HashMap capacity so the bound reflects the
+    // steady state, not growth doublings.
+    for pkt in 0..64u64 {
+        let trace = tracer.begin_trace();
+        let root = tracer.start_span(trace, None, "probe", "app", 0);
+        tracer.bind_packet(pkt, obs::TraceCtx { trace, root });
+        tracer.span(trace, Some(root), "sdio_wake", "driver", 0, 10);
+        tracer.end_span(root, 100);
+    }
+    let before = alloc_count();
+    const PROBES: u64 = 256;
+    for i in 0..PROBES {
+        let pkt = 1000 + 2 * i;
+        let trace = tracer.begin_trace();
+        let root = tracer.start_span(trace, None, "probe", "app", 0);
+        tracer.attr(root, "probe", i as u32);
+        tracer.bind_packet(pkt, obs::TraceCtx { trace, root });
+        let _ = tracer.packet_ctx(pkt);
+        tracer.span(trace, Some(root), "kernel_tx", "kernel", 0, 10);
+        tracer.span(trace, Some(root), "sdio_wake", "driver", 10, 50);
+        tracer.rebind_packet(pkt, pkt + 1);
+        tracer.end_span(root, 100);
+    }
+    let per_probe = (alloc_count() - before) / PROBES;
+    assert!(
+        per_probe <= 16,
+        "enabled tracer allocation cost grew: {per_probe} allocations per 3-span probe"
+    );
+}
+
+#[test]
 fn disabled_metric_handles_allocate_nothing() {
     let reg = obs::Registry::disabled();
     let counter = reg.counter("x");

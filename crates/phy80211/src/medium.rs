@@ -576,7 +576,10 @@ mod tests {
         let st = &sim.node::<MediumNode>(medium).stats;
         assert_eq!(st.dropped_fault, 1);
         assert_eq!(
-            sim.node::<MediumNode>(medium).fault_stats().unwrap().offered,
+            sim.node::<MediumNode>(medium)
+                .fault_stats()
+                .unwrap()
+                .offered,
             1
         );
     }

@@ -193,9 +193,7 @@ mod tests {
         for c in [0usize, 5, 13, 20] {
             // Censor the c largest values (timeouts hit the slow tail).
             let cut = sorted_full[n - 1 - c];
-            let outcomes = full
-                .iter()
-                .map(|&v| if v > cut { None } else { Some(v) });
+            let outcomes = full.iter().map(|&v| if v > cut { None } else { Some(v) });
             let s = CensoredSample::from_outcomes(outcomes);
             assert_eq!(s.censored(), c);
             for i in 0..=20 {
@@ -203,10 +201,7 @@ mod tests {
                 let truth = quantile_sorted(&sorted_full, p);
                 match s.quantile(p) {
                     // Identifiable ⇒ must equal the uncensored truth.
-                    Some(q) => assert!(
-                        (q - truth).abs() < 1e-12,
-                        "p={p} c={c}: {q} != {truth}"
-                    ),
+                    Some(q) => assert!((q - truth).abs() < 1e-12, "p={p} c={c}: {q} != {truth}"),
                     // Unidentifiable only when p reaches the censored
                     // region.
                     None => {

@@ -10,6 +10,10 @@
 //! * [`quantile`]/[`median`]: R type-7 percentiles;
 //! * [`CensoredSample`]: loss-aware quantiles over right-censored probes
 //!   (timeouts count toward the denominator instead of being dropped);
+//! * [`QuantileSketch`]/[`MergeHist`]: mergeable streaming sketches with
+//!   exactly associative/commutative `merge()` for population-scale
+//!   (fleet) aggregation — memory bounded by the value range, censoring
+//!   handled per [`CensoredSample`];
 //! * [`render`]: ASCII tables, box-plot strips, and CDF plots for the
 //!   terminal-based experiment runners;
 //! * [`bench`]: the offline wall-clock benchmark harness shared by
@@ -24,6 +28,7 @@ mod ecdf;
 mod hist;
 mod quantile;
 pub mod render;
+mod sketch;
 mod summary;
 
 pub use boxplot::BoxStats;
@@ -32,4 +37,5 @@ pub use ecdf::Ecdf;
 pub use hist::{hist_percentiles, HistPercentiles};
 pub use quantile::{median, quantile, quantile_sorted};
 pub use render::{render_boxplots, render_cdfs, Table};
+pub use sketch::{MergeHist, QuantileSketch, DEFAULT_ALPHA, MIN_VALUE_MS};
 pub use summary::{t_quantile_975, Summary};

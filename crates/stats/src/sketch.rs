@@ -1,0 +1,563 @@
+//! Mergeable streaming sketches for population-scale aggregation.
+//!
+//! The fleet campaign engine runs thousands of independent device
+//! simulations in parallel; holding every probe sample in one vector
+//! would make the collector's memory grow with the probe count and make
+//! the result depend on the (nondeterministic) shard completion order.
+//! The sketches here solve both problems:
+//!
+//! * [`QuantileSketch`] — a log-bucketed quantile sketch in the DDSketch
+//!   family: relative-accuracy buckets, memory bounded by the dynamic
+//!   range (never by the sample count), and *censoring-aware* in the
+//!   sense of [`CensoredSample`](crate::CensoredSample) — lost probes
+//!   stay in the denominator as +∞ and a quantile is reported only when
+//!   it provably falls in the observed region.
+//! * [`MergeHist`] — a fixed-bound histogram whose buckets simply add.
+//!
+//! Both sketches keep **integer internals** (bucket counts, and sums in
+//! integer nanoseconds): their [`merge`](QuantileSketch::merge) is then
+//! *exactly* associative and commutative — not merely up to float
+//! rounding — so a collector may fold shard results in completion order
+//! and still produce byte-identical output for any worker count. The
+//! property tests below check both laws on the full serialized state.
+
+use obs::{Json, ToJson};
+
+/// Relative-accuracy parameter α of the default sketch: a reported
+/// quantile `q̂` satisfies `|q̂ − q| ≤ α·q`.
+pub const DEFAULT_ALPHA: f64 = 0.005;
+
+/// Smallest magnitude (ms) the sketch resolves; values in
+/// `[0, MIN_VALUE_MS]` share the zero bucket.
+pub const MIN_VALUE_MS: f64 = 1e-4;
+
+/// A mergeable, censoring-aware quantile sketch over non-negative
+/// millisecond values (negative observations clamp to the zero bucket —
+/// delays cannot be negative, but float noise around 0 can be).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// γ = (1+α)/(1−α); bucket `i` covers `(γ^(i−1)·MIN, γ^i·MIN]`.
+    gamma: f64,
+    /// ln(γ), cached for the index computation.
+    ln_gamma: f64,
+    /// Sparse bucket counts, keyed by bucket index, kept sorted. The
+    /// number of keys is bounded by the dynamic range: ~3500 for
+    /// α = 0.5% across 1e-4..1e5 ms, independent of the sample count.
+    buckets: Vec<(i32, u64)>,
+    /// Observations at or below [`MIN_VALUE_MS`].
+    zero: u64,
+    /// Observed (non-censored) count.
+    count: u64,
+    /// Censored (lost/timed-out) count — mass at +∞.
+    censored: u64,
+    /// Sum of observed values in integer nanoseconds: merge stays exact.
+    sum_ns: i128,
+    /// Exact minimum observed value, ms.
+    min: f64,
+    /// Exact maximum observed value, ms.
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with the default accuracy ([`DEFAULT_ALPHA`]).
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// An empty sketch with relative accuracy `alpha` (clamped to a sane
+    /// range). Two sketches merge only if built with the same `alpha`.
+    pub fn with_alpha(alpha: f64) -> QuantileSketch {
+        let alpha = alpha.clamp(1e-4, 0.2);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            gamma,
+            ln_gamma: gamma.ln(),
+            buckets: Vec::new(),
+            zero: 0,
+            count: 0,
+            censored: 0,
+            sum_ns: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(&self, v: f64) -> i32 {
+        // ceil(ln(v / MIN) / ln γ): bucket i covers (γ^(i−1), γ^i]·MIN.
+        ((v / MIN_VALUE_MS).ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// The representative value of bucket `i` (geometric midpoint, the
+    /// standard DDSketch estimator).
+    fn bucket_value(&self, i: i32) -> f64 {
+        2.0 * self.gamma.powi(i) / (self.gamma + 1.0) * MIN_VALUE_MS
+    }
+
+    /// Record one observed value (ms).
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.count += 1;
+        self.sum_ns += (v * 1e6).round() as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v <= MIN_VALUE_MS {
+            self.zero += 1;
+            return;
+        }
+        let idx = self.bucket_index(v);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+    }
+
+    /// Record one censored probe (lost/timed-out: value known only to be
+    /// at least its deadline, treated as +∞).
+    pub fn observe_censored(&mut self) {
+        self.censored += 1;
+    }
+
+    /// Record an outcome in the [`CensoredSample`](crate::CensoredSample)
+    /// convention: `Some(v)` observed, `None` censored.
+    pub fn push(&mut self, outcome: Option<f64>) {
+        match outcome {
+            Some(v) => self.observe(v),
+            None => self.observe_censored(),
+        }
+    }
+
+    /// Merge `other` into `self`. Panics if the sketches were built with
+    /// different accuracies (their buckets would not line up).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.gamma - other.gamma).abs() < 1e-12,
+            "merging sketches with different accuracy parameters"
+        );
+        self.zero += other.zero;
+        self.count += other.count;
+        self.censored += other.censored;
+        self.sum_ns += other.sum_ns;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+    }
+
+    /// Observed (completed) count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Censored count.
+    pub fn censored(&self) -> u64 {
+        self.censored
+    }
+
+    /// Total probes, observed + censored.
+    pub fn len(&self) -> u64 {
+        self.count + self.censored
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of probes that completed (0 for an empty sketch).
+    pub fn completion(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.count as f64 / self.len() as f64
+        }
+    }
+
+    /// Mean of the observed values, ms (0 when empty). Exact: the sum is
+    /// kept in integer nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / 1e6 / self.count as f64
+        }
+    }
+
+    /// Minimum observed value (None when nothing observed).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observed value (None when nothing observed).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Loss-aware quantile: rank over the *full* population with every
+    /// censored probe at +∞. Returns `None` when the rank lands in the
+    /// censored tail (the quantile is not identifiable), `Some(q̂)` with
+    /// relative error ≤ α otherwise.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let n = self.len();
+        // Nearest-rank over n samples; ranks beyond the observed region
+        // are censored, hence unidentifiable — mirrors CensoredSample.
+        let rank = ((p * (n - 1) as f64).ceil() as u64).min(n - 1);
+        if rank >= self.count {
+            return None;
+        }
+        let mut seen = self.zero;
+        if rank < seen {
+            // Exact for the zero bucket when min is in it; conservative
+            // otherwise (everything below MIN_VALUE_MS is "zero").
+            return Some(self.min.clamp(0.0, MIN_VALUE_MS));
+        }
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if rank < seen {
+                return Some(self.bucket_value(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Loss-aware median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Number of non-empty buckets (memory proxy, for the bounded-memory
+    /// assertions).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len() + usize::from(self.zero > 0)
+    }
+}
+
+impl ToJson for QuantileSketch {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("count", self.count);
+        obj.set("censored", self.censored);
+        obj.set("completion", self.completion());
+        obj.set("mean", self.mean());
+        obj.set("min", self.min());
+        obj.set("max", self.max());
+        obj.set("p50", self.quantile(0.50));
+        obj.set("p90", self.quantile(0.90));
+        obj.set("p99", self.quantile(0.99));
+        obj.set("buckets", self.bucket_count() as u64);
+        obj
+    }
+}
+
+/// A fixed-bound mergeable histogram: the streaming counterpart of an
+/// `obs` histogram for cross-shard aggregation. Counts are integers and
+/// the sum is integer nanoseconds, so `merge` is exactly associative
+/// and commutative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeHist {
+    /// Bucket upper bounds, ascending; the final implicit bucket is
+    /// `> bounds.last()`.
+    bounds: Vec<f64>,
+    /// `buckets[i]` counts observations `<= bounds[i]`; the last slot is
+    /// the overflow bucket.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: i128,
+}
+
+impl MergeHist {
+    /// An empty histogram over `bounds` (strictly ascending).
+    pub fn new(bounds: &[f64]) -> MergeHist {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        MergeHist {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Record one value (ms).
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += (v * 1e6).round() as i128;
+    }
+
+    /// Merge `other` into `self`. Panics on mismatched bounds.
+    pub fn merge(&mut self, other: &MergeHist) {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched histograms");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 when empty); exact under any merge order.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / 1e6 / self.count as f64
+        }
+    }
+
+    /// The bucket counts (last slot = overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+impl ToJson for MergeHist {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("count", self.count);
+        obj.set("mean", self.mean());
+        obj.set("bounds", &self.bounds);
+        obj.set("buckets", &self.buckets);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CensoredSample;
+
+    /// A tiny deterministic value stream (no external RNG in tests).
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Latency-shaped: 0.05 .. ~500 ms, long-tailed.
+                let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+                0.05 + 500.0 * u * u
+            })
+            .collect()
+    }
+
+    fn sketch_of(values: &[f64], censored: u64) -> QuantileSketch {
+        let mut s = QuantileSketch::new();
+        for &v in values {
+            s.observe(v);
+        }
+        for _ in 0..censored {
+            s.observe_censored();
+        }
+        s
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut xs = stream(7, 50_000);
+        let s = sketch_of(&xs, 0);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let exact = crate::quantile_sorted(&xs, p);
+            let est = s.quantile(p).unwrap();
+            let rel = (est - exact).abs() / exact;
+            // Nearest-rank vs interpolated exact adds a half-sample gap
+            // on top of the bucket error; 2α covers both comfortably at
+            // this n.
+            assert!(rel <= 2.0 * DEFAULT_ALPHA + 1e-6, "p={p}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_dynamic_range_not_count() {
+        let s = sketch_of(&stream(3, 200_000), 0);
+        assert_eq!(s.count(), 200_000);
+        // ~log(range)/log(γ) buckets; far below the sample count.
+        assert!(s.bucket_count() < 4000, "{} buckets", s.bucket_count());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_exactly() {
+        let a = sketch_of(&stream(1, 5000), 17);
+        let b = sketch_of(&stream(2, 3000), 0);
+        let c = sketch_of(&stream(3, 4000), 5);
+        // Commutativity: a⊕b == b⊕a on the full state.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Associativity: (a⊕b)⊕c == a⊕(b⊕c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // And the serialized view agrees byte-for-byte.
+        assert_eq!(ab_c.to_json().to_string(), a_bc.to_json().to_string());
+    }
+
+    #[test]
+    fn merge_is_permutation_invariant_over_many_shards() {
+        let shards: Vec<QuantileSketch> = (0..16)
+            .map(|i| sketch_of(&stream(i, 500 + 37 * i as usize), i))
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = QuantileSketch::new();
+            for &i in order {
+                acc.merge(&shards[i]);
+            }
+            acc.to_json().to_string()
+        };
+        let fwd: Vec<usize> = (0..16).collect();
+        let rev: Vec<usize> = (0..16).rev().collect();
+        let shuffled = vec![5, 12, 0, 9, 3, 15, 7, 1, 14, 6, 11, 2, 8, 13, 4, 10];
+        assert_eq!(fold(&fwd), fold(&rev));
+        assert_eq!(fold(&fwd), fold(&shuffled));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = sketch_of(&stream(9, 1000), 3);
+        let mut b = a.clone();
+        b.merge(&QuantileSketch::new());
+        assert_eq!(a, b);
+        let mut e = QuantileSketch::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn censoring_matches_censored_sample_identifiability() {
+        // Same data into both estimators: the sketch must report a
+        // quantile exactly when CensoredSample does (same rank rule),
+        // and when it does, the value must sit within the sketch's
+        // accuracy of the exact nearest-rank order statistic.
+        let xs = stream(11, 400);
+        let n_obs = xs.len();
+        for censored in [0usize, 40, 150, 201, 399] {
+            let s = sketch_of(&xs, censored as u64);
+            let cs = CensoredSample::from_parts(xs.clone(), censored);
+            let n = n_obs + censored;
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for i in 0..=20 {
+                let p = i as f64 / 20.0;
+                let rank = ((p * (n - 1) as f64).ceil() as usize).min(n - 1);
+                match (s.quantile(p), cs.quantile(p)) {
+                    (Some(est), Some(_)) => {
+                        let exact = sorted[rank];
+                        let rel = (est - exact).abs() / exact.max(1e-9);
+                        assert!(
+                            rel <= DEFAULT_ALPHA + 1e-9,
+                            "p={p} censored={censored}: {est} vs {exact}"
+                        );
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        panic!("p={p} censored={censored}: sketch {got:?} vs exact {want:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completion_and_mean_are_exact() {
+        let mut s = QuantileSketch::new();
+        s.push(Some(10.0));
+        s.push(Some(20.0));
+        s.push(None);
+        s.push(Some(30.0));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.censored(), 1);
+        assert!((s.completion() - 0.75).abs() < 1e-12);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(10.0));
+        assert_eq!(s.max(), Some(30.0));
+    }
+
+    #[test]
+    fn empty_and_all_censored() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        let mut s = QuantileSketch::new();
+        for _ in 0..10 {
+            s.observe_censored();
+        }
+        assert_eq!(s.completion(), 0.0);
+        assert_eq!(s.quantile(0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different accuracy")]
+    fn mismatched_alpha_merge_rejected() {
+        let mut a = QuantileSketch::with_alpha(0.005);
+        a.merge(&QuantileSketch::with_alpha(0.02));
+    }
+
+    #[test]
+    fn merge_hist_adds_buckets_exactly() {
+        let bounds = [1.0, 10.0, 100.0];
+        let mut a = MergeHist::new(&bounds);
+        let mut b = MergeHist::new(&bounds);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            a.observe(v);
+        }
+        for v in [2.0, 20.0] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.buckets(), &[1, 2, 2, 1]);
+        assert_eq!(ab.count(), 6);
+        let mut all = MergeHist::new(&bounds);
+        for v in [0.5, 5.0, 50.0, 500.0, 2.0, 20.0] {
+            all.observe(v);
+        }
+        assert_eq!(ab, all, "merge equals single-stream ingest");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn merge_hist_bounds_must_match() {
+        let mut a = MergeHist::new(&[1.0, 2.0]);
+        a.merge(&MergeHist::new(&[1.0, 3.0]));
+    }
+}

@@ -5,7 +5,7 @@
 //! inflation.
 
 use cellular::{CellConfig, CellNode};
-use netem::{LinkNode, LinkParams, ServerConfig, ServerNode};
+use netem::{FaultPlan, LinkNode, LinkParams, ServerConfig, ServerNode};
 use phone::{App, PhoneNode, PhoneProfile, RuntimeKind};
 use simcore::{NodeId, Sim, SimTime};
 use wire::{Ip, Msg};
@@ -35,6 +35,10 @@ pub struct CellTestbedConfig {
     pub cell: CellConfig,
     /// Core-network RTT beyond the bearer, ms.
     pub core_rtt_ms: u64,
+    /// Faults injected on the radio bearer (fading, handover loss) —
+    /// both directions, applied after RRC accounting so lost uplinks
+    /// still warm the radio.
+    pub bearer_faults: Option<FaultPlan>,
 }
 
 impl CellTestbedConfig {
@@ -45,6 +49,7 @@ impl CellTestbedConfig {
             profile,
             cell: CellConfig::lte(cell_addr::GATEWAY),
             core_rtt_ms,
+            bearer_faults: None,
         }
     }
 
@@ -55,7 +60,23 @@ impl CellTestbedConfig {
             profile,
             cell: CellConfig::umts(cell_addr::GATEWAY),
             core_rtt_ms,
+            bearer_faults: None,
         }
+    }
+
+    /// Builder: inject `plan` on the radio bearer.
+    pub fn with_bearer_faults(mut self, plan: FaultPlan) -> CellTestbedConfig {
+        self.bearer_faults = Some(plan);
+        self
+    }
+
+    /// An AcuteMon config tuned for this bearer: retries enabled with a
+    /// re-warm lead that clears the RRC promotion delay (the cellular
+    /// analogue of the paper's `Tprom < dpre` rule).
+    pub fn acutemon_profile(&self, k: u32) -> acutemon::AcuteMonConfig {
+        acutemon::AcuteMonConfig::new(cell_addr::SERVER, k)
+            .with_retries(4)
+            .with_rewarm_dpre(cellular::acutemon_rewarm_dpre(&self.cell.rrc))
     }
 }
 
@@ -83,10 +104,14 @@ impl CellTestbed {
             cfg.core_rtt_ms / 2,
         ))));
         let rng = sim.fork_rng(0xCE11);
-        let cell = sim.add_node(Box::new(CellNode::new(
+        let mut cell_node = CellNode::new(
             210, cfg.cell, link, // placeholder host; re-pointed below
             link, rng,
-        )));
+        );
+        if let Some(plan) = &cfg.bearer_faults {
+            cell_node.set_fault_plan(plan);
+        }
+        let cell = sim.add_node(Box::new(cell_node));
         sim.node_mut::<LinkNode>(link).connect(cell, server);
         let mut phone_node = PhoneNode::new(1, cfg.profile, cell_addr::PHONE, cell);
         // The WNIC/SDIO model is a WiFi artifact; the modem's power
@@ -150,6 +175,57 @@ mod tests {
         assert!(du[0] > du[1] + 50.0, "du0 {} du1 {}", du[0], du[1]);
         // Warm RTT ≈ core 40 + bearer ~12.
         assert!((du[1] - 52.0).abs() < 10.0, "du1 {}", du[1]);
+    }
+
+    #[test]
+    fn bearer_faults_drop_packets_and_acutemon_recovers() {
+        use acutemon::AcuteMonApp;
+        use cellular::CellNode;
+        use measure::RecordSet;
+        use netem::FaultPlan;
+
+        let cfg = CellTestbedConfig::lte(7, phone::nexus5(), 40)
+            .with_bearer_faults(FaultPlan::gilbert_elliott(0.3, 3.0).with_seed(0xBEA7));
+        let am_cfg = cfg.acutemon_profile(40);
+        // The derived retry profile clears the LTE worst-case promotion.
+        assert!(
+            am_cfg.effective_rewarm_dpre() > SimDuration::from_millis(200),
+            "rewarm lead {} must cover LTE idle promotion",
+            am_cfg.effective_rewarm_dpre()
+        );
+        let mut tb = CellTestbed::build(cfg);
+        let app = tb.install_app(Box::new(AcuteMonApp::new(am_cfg)), RuntimeKind::Native);
+        tb.run_until(SimTime::from_secs(240));
+        let am = tb.app::<AcuteMonApp>(app);
+        // 30% bursty bearer loss: the retry/re-warm loop still completes
+        // every probe.
+        assert!(
+            (am.records.completion() - 1.0).abs() < 1e-12,
+            "completion {}",
+            am.records.completion()
+        );
+        assert!(am.records.total_retries() > 0, "loss must cost retries");
+        // The bearer actually dropped packets — visible in its counters.
+        let cell = tb.sim.node::<CellNode>(tb.cell);
+        let fs = cell.fault_stats().expect("fault plan installed");
+        assert!(fs.dropped() > 0);
+        assert_eq!(fs.dropped(), cell.stats.dropped_fault);
+        // And the recovered probes stay accurate: the retried probe rides
+        // a re-warmed (promoted) bearer, so the censored median overhead
+        // over core RTT + warm bearer stays in single-digit ms.
+        let med = am.records.du_censored().median().expect("identifiable");
+        assert!(med < 70.0, "median du {med} on a 40 ms core + warm bearer");
+    }
+
+    #[test]
+    fn default_wifi_dpre_underruns_cellular_promotion() {
+        // The guard rail the ROADMAP asked for, stated as a test: the
+        // WiFi default (20 ms) is NOT a safe re-warm lead on cellular —
+        // the promotion-aware profile must be used instead.
+        let wifi_default = acutemon::AcuteMonConfig::new(cell_addr::SERVER, 5);
+        let lte = cellular::RrcConfig::lte();
+        assert!(wifi_default.effective_rewarm_dpre() < lte.max_promotion_delay());
+        assert!(cellular::acutemon_rewarm_dpre(&lte) > lte.max_promotion_delay());
     }
 
     #[test]

@@ -62,7 +62,16 @@ impl FaultSweep {
             "Fault sweep: post-MAC WiFi loss × burstiness \
              (Nexus 5, {} ms path, K={})\n\
              {:>6} {:>6} {:>11} {:>8} {:>8} {:>6} {:>13} {:>12}\n",
-            self.rtt_ms, self.k, "loss", "burst", "completion", "retries", "rewarms", "lost", "med ovhd (ms)", "dur (ms)"
+            self.rtt_ms,
+            self.k,
+            "loss",
+            "burst",
+            "completion",
+            "retries",
+            "rewarms",
+            "lost",
+            "med ovhd (ms)",
+            "dur (ms)"
         );
         for p in &self.points {
             out.push_str(&format!(
@@ -128,10 +137,7 @@ pub fn run(k: u32, seed: u64) -> FaultSweep {
                 rewarms: am.bt.rewarms_sent,
                 lost_probes: cs.censored() as u64,
                 median_overhead_ms: cs.median().map(|m| m - rtt as f64),
-                duration_ms: am
-                    .finished_at()
-                    .map(|t| t.as_ms_f64())
-                    .unwrap_or(240_000.0),
+                duration_ms: am.finished_at().map(|t| t.as_ms_f64()).unwrap_or(240_000.0),
             }
         })
         .collect();
@@ -195,9 +201,8 @@ mod tests {
         // loss there cannot touch the TTL-1 keep-awake stream, so only
         // probes/replies need recovering.
         let mut tb = Testbed::build(
-            TestbedConfig::new(13, phone::nexus5(), 50).with_server_link_faults(
-                FaultPlan::gilbert_elliott(0.20, 3.0).with_seed(99),
-            ),
+            TestbedConfig::new(13, phone::nexus5(), 50)
+                .with_server_link_faults(FaultPlan::gilbert_elliott(0.20, 3.0).with_seed(99)),
         );
         let mut cfg = AcuteMonConfig::new(addr::SERVER, 20)
             .with_retries(8)

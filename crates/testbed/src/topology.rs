@@ -80,6 +80,9 @@ pub struct TestbedConfig {
     /// *after* a successful MAC exchange (the transmitter still sees
     /// TxDone), so only app-level retry/re-warm recovers. `None` = off.
     pub wifi_faults: Option<FaultPlan>,
+    /// Override the AP beacon interval (None = the 802.11 default of
+    /// 102.4 ms). Fleet campaigns sweep this across device populations.
+    pub beacon_interval_override: Option<SimDuration>,
 }
 
 impl TestbedConfig {
@@ -101,7 +104,14 @@ impl TestbedConfig {
             wifi_fer: 0.0,
             server_link_faults: None,
             wifi_faults: None,
+            beacon_interval_override: None,
         }
+    }
+
+    /// Builder: override the AP beacon interval.
+    pub fn with_beacon_interval(mut self, interval: SimDuration) -> Self {
+        self.beacon_interval_override = Some(interval);
+        self
     }
 
     /// Builder: install a fault plan on the server link.
@@ -188,7 +198,9 @@ impl Testbed {
         let mut sim = Sim::new(cfg.seed);
 
         // Beacon phase: uniform over the beacon cycle, from the seed.
-        let beacon_interval = phy80211::default_beacon_interval();
+        let beacon_interval = cfg
+            .beacon_interval_override
+            .unwrap_or_else(phy80211::default_beacon_interval);
         let beacon_offset = {
             let mut r = sim.fork_rng(0xBEAC);
             SimDuration::from_nanos(r.uniform_u64(0, beacon_interval.as_nanos() - 1))
