@@ -3,21 +3,32 @@
 //! [`DevicePartial`]s over a *bounded* channel into an in-order
 //! collector.
 //!
-//! Memory is bounded end to end: a worker blocks on the channel when
-//! the collector lags (backpressure, never unbounded buffering), and
-//! the collector's reorder buffer can hold at most
-//! `workers + channel capacity` partials, because a partial for index
-//! `i` can only be in flight while every smaller index is either
-//! absorbed, queued, or being computed by one of the other workers.
+//! Memory is bounded end to end by an explicit backpressure window: a
+//! worker may not *start* device `i` until the collector has absorbed
+//! device `i − window` (`window = 2·workers + 4`), so the reorder
+//! buffer holds at most `window` partials even when per-device runtimes
+//! are wildly heterogeneous (lognormal path RTTs, cross-traffic
+//! strata). The channel bound additionally keeps finished-but-unmerged
+//! partials from piling up when the collector itself lags.
+//!
+//! The same inner loop powers three entry points that all produce
+//! byte-identical JSON:
+//!
+//! * [`run_campaign`] / [`run_campaign_opts`] — a whole campaign in one
+//!   process, optionally writing atomic resume checkpoints.
+//! * [`resume_campaign`] — restart a killed campaign from its last
+//!   checkpoint and finish it.
+//! * [`run_partition`] — run one contiguous `i/k` device slice; slices
+//!   merge back together with [`crate::report::merge_partials`].
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use obs::ToJson;
+use obs::{Json, ToJson};
 
-use crate::report::{CampaignReport, Collector};
+use crate::report::{CampaignReport, CampaignStateError, Collector};
 use crate::shard::{run_device, DevicePartial};
 use crate::spec::CampaignSpec;
 
@@ -27,11 +38,12 @@ use crate::spec::CampaignSpec;
 pub struct RunStats {
     /// Worker threads used.
     pub workers: usize,
-    /// Wall-clock time of the whole campaign.
+    /// Wall-clock time of the whole run.
     pub wall: std::time::Duration,
-    /// Devices simulated.
+    /// Devices simulated *by this run* (a resumed run counts only the
+    /// devices it absorbed after the checkpoint).
     pub devices: u64,
-    /// Probes sent across the population.
+    /// Probes sent by the devices this run simulated.
     pub probes: u64,
     /// High-water mark of the collector's reorder buffer.
     pub reorder_peak: usize,
@@ -49,26 +61,90 @@ impl RunStats {
     }
 }
 
-/// Run `spec` across `workers` OS threads. Returns the merged report
-/// (byte-identical for any `workers`) and the wall-clock stats.
-pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> (CampaignReport, RunStats) {
+/// Periodic atomic checkpointing for [`run_campaign_opts`] and
+/// [`resume_campaign`].
+///
+/// Every `every` absorbed devices the collector's full state
+/// ([`Collector::state_json`]) is written to `path` via a
+/// write-temp-then-rename, so a kill at any instant leaves either the
+/// previous checkpoint or the new one — never a torn file.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file (conventionally `campaign.resume.json`).
+    pub path: std::path::PathBuf,
+    /// Devices between checkpoint writes (must be ≥ 1).
+    pub every: u64,
+}
+
+/// Options for [`run_campaign_opts`] and [`resume_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Write periodic resume checkpoints.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Test hook simulating a kill: stop cleanly after absorbing this
+    /// many devices *in this run* and return `None` instead of a
+    /// report. Checkpoints due at or before the halt point are written
+    /// first, exactly as they would be before a real crash.
+    pub halt_after_devices: Option<u64>,
+}
+
+fn write_checkpoint(cp: &CheckpointPolicy, state: &Json) {
+    let tmp = cp.path.with_extension("json.tmp");
+    let body = state.to_string_pretty();
+    if let Err(e) =
+        std::fs::write(&tmp, body.as_bytes()).and_then(|()| std::fs::rename(&tmp, &cp.path))
+    {
+        panic!("failed to write checkpoint {}: {e}", cp.path.display());
+    }
+}
+
+/// The shared inner loop: drive `collector` from its
+/// [`Collector::next_index`] up to device `end` (exclusive) across
+/// `workers` threads. Returns the collector, the run's stats, and
+/// whether the run halted early via `opts.halt_after_devices`.
+fn run_range(
+    spec: &CampaignSpec,
+    workers: usize,
+    mut collector: Collector,
+    end: u64,
+    opts: &RunOptions,
+) -> (Collector, RunStats, bool) {
     let workers = workers.max(1);
-    let next = AtomicU64::new(0);
+    let start_index = collector.next_index();
+    let window = (workers as u64) * 2 + 4;
+    let next = AtomicU64::new(start_index);
+    let absorbed = AtomicU64::new(start_index);
+    let stop = AtomicBool::new(false);
     // Small bound: enough to decouple workers from the collector's
     // merge cost, small enough that memory stays O(workers).
     let (tx, rx) = mpsc::sync_channel::<DevicePartial>(workers * 2);
     let start = Instant::now();
-    let mut collector = Collector::new(spec);
     let mut reorder_peak = 0usize;
+    let mut probes_run = 0u64;
+    let mut halted = false;
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let absorbed = &absorbed;
+            let stop = &stop;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= spec.devices {
+                if stop.load(Ordering::Relaxed) {
                     break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= end {
+                    break;
+                }
+                // Backpressure window: stay within `window` devices of
+                // the collector so the reorder buffer is bounded even
+                // when a slow low-index device holds up absorption.
+                while i >= absorbed.load(Ordering::Acquire) + window {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::yield_now();
                 }
                 let partial = run_device(spec, i);
                 if tx.send(partial).is_err() {
@@ -76,41 +152,175 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> (CampaignReport, Run
                 }
             });
         }
-        // The workers hold the only remaining senders: the iterator
-        // below terminates when the last one exits.
+        // The workers hold the only remaining senders: `recv` below
+        // errors out when the last one exits.
         drop(tx);
 
         // In-order absorption through a reorder buffer, so the merged
-        // registry (floating-point sums) is independent of completion
-        // order.
+        // registry (order-sensitive sample reservoirs) is independent
+        // of completion order.
         let mut pending: BTreeMap<u64, DevicePartial> = BTreeMap::new();
-        let mut expect = 0u64;
-        for p in rx {
+        let mut expect = start_index;
+        while let Ok(p) = rx.recv() {
             pending.insert(p.index, p);
             reorder_peak = reorder_peak.max(pending.len());
             while let Some(p) = pending.remove(&expect) {
                 collector.absorb(&p);
+                probes_run += p.probes_sent;
                 expect += 1;
+                absorbed.store(expect, Ordering::Release);
+                if let Some(cp) = &opts.checkpoint {
+                    let done = expect - start_index;
+                    if cp.every > 0 && done.is_multiple_of(cp.every) {
+                        write_checkpoint(cp, &collector.state_json());
+                    }
+                }
+                if let Some(h) = opts.halt_after_devices {
+                    if expect - start_index >= h {
+                        halted = true;
+                        break;
+                    }
+                }
+            }
+            if halted {
+                stop.store(true, Ordering::Relaxed);
+                break;
             }
         }
-        assert!(
-            pending.is_empty(),
-            "lost device partials: {:?}",
-            pending.keys().collect::<Vec<_>>()
-        );
+        // Dropping the receiver unblocks any worker parked in `send`;
+        // discarded partials past the halt point are recomputed by the
+        // resumed run, exactly like after a real kill.
+        drop(rx);
+        if !halted {
+            assert!(
+                pending.is_empty(),
+                "lost device partials: {:?}",
+                pending.keys().collect::<Vec<_>>()
+            );
+            assert_eq!(expect, end, "absorption stopped early at device {expect}");
+        }
     });
 
     let wall = start.elapsed();
-    let report = collector.finish();
-    let probes = report.strata.iter().map(|s| s.probes_sent).sum();
     let stats = RunStats {
         workers,
         wall,
-        devices: report.devices,
-        probes,
+        devices: collector.next_index() - start_index,
+        probes: probes_run,
         reorder_peak,
     };
+    (collector, stats, halted)
+}
+
+/// Run `spec` across `workers` OS threads. Returns the merged report
+/// (byte-identical for any `workers`) and the wall-clock stats.
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> (CampaignReport, RunStats) {
+    let (report, stats) = run_campaign_opts(spec, workers, &RunOptions::default());
+    (
+        report.expect("run without a halt hook always completes"),
+        stats,
+    )
+}
+
+/// [`run_campaign`] with checkpointing and halt options. Returns
+/// `None` for the report when the run halted early (the checkpoint
+/// file, if any, carries the state forward).
+pub fn run_campaign_opts(
+    spec: &CampaignSpec,
+    workers: usize,
+    opts: &RunOptions,
+) -> (Option<CampaignReport>, RunStats) {
+    let collector = Collector::new(spec);
+    let (collector, stats, halted) = run_range(spec, workers, collector, spec.devices, opts);
+    let report = if halted {
+        None
+    } else {
+        Some(collector.finish())
+    };
     (report, stats)
+}
+
+/// Resume a killed campaign from serialized checkpoint state and drive
+/// it to completion (or to the next halt, if `opts` asks for one).
+///
+/// The state must belong to `spec` (seed + fingerprint are verified)
+/// and must be a whole-campaign checkpoint (`range_start == 0`), not a
+/// partition partial. The finished report is byte-identical to an
+/// uninterrupted single-process run:
+///
+/// ```
+/// use fleet::{resume_campaign, run_campaign, run_partition, CampaignSpec, RunOptions};
+/// use obs::ToJson;
+///
+/// let spec = CampaignSpec::heterogeneous(7, 8).with_probes(1);
+/// // State as of device 4 — what a checkpoint would hold at a kill…
+/// let (half, _) = run_partition(&spec, 2, 0, 2);
+/// // …restored and driven to completion:
+/// let (resumed, _) =
+///     resume_campaign(&spec, 2, &half.state_json(), &RunOptions::default()).unwrap();
+/// let (full, _) = run_campaign(&spec, 1);
+/// assert_eq!(
+///     resumed.unwrap().to_json().to_string_pretty(),
+///     full.to_json().to_string_pretty()
+/// );
+/// ```
+pub fn resume_campaign(
+    spec: &CampaignSpec,
+    workers: usize,
+    state: &Json,
+    opts: &RunOptions,
+) -> Result<(Option<CampaignReport>, RunStats), CampaignStateError> {
+    let collector = Collector::from_state_json(state)?;
+    collector.verify_spec(spec)?;
+    if collector.range_start() != 0 {
+        return Err(CampaignStateError(format!(
+            "cannot resume from a partition partial (range starts at device {}, not 0)",
+            collector.range_start()
+        )));
+    }
+    if collector.next_index() > spec.devices {
+        return Err(CampaignStateError(format!(
+            "checkpoint has absorbed {} devices but the spec only has {}",
+            collector.next_index(),
+            spec.devices
+        )));
+    }
+    let (collector, stats, halted) = run_range(spec, workers, collector, spec.devices, opts);
+    let report = if halted {
+        None
+    } else {
+        Some(collector.finish())
+    };
+    Ok((report, stats))
+}
+
+/// The contiguous device range `[start, end)` of partition `i` of `k`.
+pub fn partition_range(devices: u64, i: u64, k: u64) -> (u64, u64) {
+    assert!(k > 0 && i < k, "partition {i}/{k} is out of range");
+    (devices * i / k, devices * (i + 1) / k)
+}
+
+/// Run partition `i` of `k`: the contiguous device slice
+/// [`partition_range`]`(spec.devices, i, k)`, in one process. The
+/// returned [`Collector`] serializes to a mergeable partial report via
+/// [`Collector::state_json`]; `k` such partials fold back into the
+/// single-process report with [`crate::report::merge_partials`].
+pub fn run_partition(spec: &CampaignSpec, workers: usize, i: u64, k: u64) -> (Collector, RunStats) {
+    let (start, end) = partition_range(spec.devices, i, k);
+    let collector = Collector::new_range(spec, start);
+    let (collector, stats, halted) =
+        run_range(spec, workers, collector, end, &RunOptions::default());
+    assert!(!halted);
+    (collector, stats)
+}
+
+/// Detected hardware parallelism (`1` when unknown). The scaling table
+/// uses this to annotate speedups that *cannot* exceed ~1.0× because
+/// the host has fewer cores than the worker count under test.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// One row of the worker-scaling table.
@@ -152,8 +362,12 @@ pub fn scaling_table(spec: &CampaignSpec, worker_counts: &[usize]) -> Vec<Scalin
     rows
 }
 
-/// Render the scaling table.
+/// Render the scaling table. When the host exposes fewer cores than
+/// the widest row, speedups are expected to flatline near 1.0× — the
+/// table says so instead of letting a single-core CI runner look like
+/// a scaling regression.
 pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let cores = available_parallelism();
     let mut out = String::new();
     out.push_str(&format!(
         "{:>7} {:>9} {:>12} {:>12} {:>8} {:>10}\n",
@@ -161,7 +375,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:>7} {:>9.2} {:>12.1} {:>12.1} {:>7.2}x {:>10}\n",
+            "{:>7} {:>9.2} {:>12.1} {:>12.1} {:>7.2}x {:>10}{}\n",
             r.workers,
             r.wall_secs,
             r.devices_per_sec,
@@ -171,8 +385,17 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 "identical"
             } else {
                 "DIVERGED"
-            }
+            },
+            if r.workers > cores { "  (> cores)" } else { "" },
         ));
+    }
+    if let Some(widest) = rows.iter().map(|r| r.workers).max() {
+        if widest > cores {
+            out.push_str(&format!(
+                "note: host exposes {cores} core(s); speedup beyond {cores} worker(s) \
+                 is not expected here\n"
+            ));
+        }
     }
     out
 }
@@ -190,8 +413,12 @@ mod tests {
         assert_eq!(report.strata.iter().map(|s| s.devices).sum::<u64>(), 24);
         assert!(!report.du_all.is_empty());
         assert!(stats.probes > 0);
-        // The reorder buffer stayed bounded by in-flight work.
-        assert!(stats.reorder_peak <= 4 + 8, "peak {}", stats.reorder_peak);
+        // The reorder buffer stayed within the backpressure window.
+        assert!(
+            stats.reorder_peak <= 4 * 2 + 4,
+            "peak {}",
+            stats.reorder_peak
+        );
     }
 
     #[test]
@@ -203,5 +430,31 @@ mod tests {
             a.to_json().to_string_pretty(),
             b.to_json().to_string_pretty()
         );
+    }
+
+    #[test]
+    fn halted_run_reports_no_campaign() {
+        let spec = CampaignSpec::heterogeneous(13, 16).with_probes(1);
+        let opts = RunOptions {
+            checkpoint: None,
+            halt_after_devices: Some(5),
+        };
+        let (report, stats) = run_campaign_opts(&spec, 3, &opts);
+        assert!(report.is_none());
+        assert_eq!(stats.devices, 5);
+    }
+
+    #[test]
+    fn partition_ranges_tile_the_campaign() {
+        for k in 1..=7u64 {
+            let mut next = 0u64;
+            for i in 0..k {
+                let (s, e) = partition_range(100, i, k);
+                assert_eq!(s, next);
+                assert!(e >= s);
+                next = e;
+            }
+            assert_eq!(next, 100);
+        }
     }
 }

@@ -18,6 +18,14 @@
 //! in device-index order, so the merged [`CampaignReport`] JSON is
 //! byte-identical regardless of worker count or completion order.
 //!
+//! The same determinism extends across *processes*: the collector's
+//! full state round-trips through the versioned campaign-state JSON
+//! (see [`report`]), which backs both resume checkpoints
+//! ([`resume_campaign`]) and `i/k` partition partials
+//! ([`run_partition`] + [`merge_partials`]). A killed-and-resumed
+//! campaign and a k-way partitioned-and-merged campaign both produce
+//! the same bytes as an uninterrupted single-process run.
+//!
 //! ```
 //! use fleet::{run_campaign, CampaignSpec};
 //! use obs::ToJson;
@@ -28,14 +36,23 @@
 //! assert_eq!(a.to_json().to_string(), b.to_json().to_string());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod report;
 pub mod shard;
 pub mod spec;
 
-pub use engine::{render_scaling, run_campaign, scaling_table, RunStats, ScalingRow};
-pub use report::{CampaignReport, Collector, StratumReport};
+pub use engine::{
+    available_parallelism, partition_range, render_scaling, resume_campaign, run_campaign,
+    run_campaign_opts, run_partition, scaling_table, CheckpointPolicy, RunOptions, RunStats,
+    ScalingRow,
+};
+pub use report::{
+    merge_partials, CampaignReport, CampaignStateError, Collector, StratumReport,
+    CAMPAIGN_STATE_FORMAT, CAMPAIGN_STATE_VERSION,
+};
 pub use shard::{run_device, DevicePartial};
-pub use spec::{splitmix64, CampaignSpec, DeviceClass, Radio, Tool};
+pub use spec::{
+    splitmix64, CalibrationSweep, CampaignSpec, DeviceClass, DiurnalSchedule, Radio, RttDist, Tool,
+};

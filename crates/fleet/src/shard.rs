@@ -112,10 +112,17 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
     if let Some(tip) = class.tip_ms {
         profile.psm_timeout = LatencyDist::fixed(tip);
     }
+    // Population knobs drawn once per device, all pure in (spec, index):
+    // its path RTT from the stratum's distribution, whether its
+    // time-of-day puts it in the diurnal busy window, and its §4.2.2
+    // (dpre, db) calibration grid point.
+    let path_rtt_ms = spec.path_rtt_of(index);
+    let cross_traffic = spec.cross_traffic_of(index);
+    let calibration = spec.calibration_of(index);
 
     match class.radio {
         Radio::Wifi => {
-            let mut cfg = TestbedConfig::new(seed, profile, class.path_rtt_ms);
+            let mut cfg = TestbedConfig::new(seed, profile, path_rtt_ms);
             // One lossless sniffer: full dn coverage at minimum cost.
             cfg.sniffers = 1;
             cfg.sniffer_loss = 0.0;
@@ -126,12 +133,22 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
             if let Some(plan) = class.faults.clone() {
                 cfg = cfg.with_wifi_faults(plan.with_seed(spec.fault_seed(index)));
             }
+            if cross_traffic {
+                cfg.cross_traffic = true;
+                // Busy the whole session: the schedule models *which*
+                // devices contend, not an in-session on/off pattern.
+                cfg.cross_stop = simcore::SimTime::ZERO + spec.horizon;
+            }
             let mut tb = Testbed::build(cfg);
             let reg = Registry::new();
             tb.attach_metrics(&reg);
             let app = match class.tool {
                 Tool::AcuteMon => {
                     let mut am = acutemon::AcuteMonConfig::new(addr::SERVER, k);
+                    if let Some((dpre_ms, db_ms)) = calibration {
+                        am.dpre = SimDuration::from_ms_f64(dpre_ms);
+                        am.db = SimDuration::from_ms_f64(db_ms);
+                    }
                     if class.faults.is_some() {
                         // Lossy stratum: bounded retries with a short
                         // timeout, as the fault sweep does.
@@ -168,13 +185,17 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
         }
         Radio::Lte | Radio::Umts => {
             let mut cfg = match class.radio {
-                Radio::Lte => CellTestbedConfig::lte(seed, profile, class.path_rtt_ms),
-                _ => CellTestbedConfig::umts(seed, profile, class.path_rtt_ms),
+                Radio::Lte => CellTestbedConfig::lte(seed, profile, path_rtt_ms),
+                _ => CellTestbedConfig::umts(seed, profile, path_rtt_ms),
             };
             if let Some(plan) = class.faults.clone() {
                 cfg = cfg.with_bearer_faults(plan.with_seed(spec.fault_seed(index)));
             }
-            let am_cfg = cfg.acutemon_profile(k);
+            let mut am_cfg = cfg.acutemon_profile(k);
+            if let Some((dpre_ms, db_ms)) = calibration {
+                am_cfg.dpre = SimDuration::from_ms_f64(dpre_ms);
+                am_cfg.db = SimDuration::from_ms_f64(db_ms);
+            }
             let mut tb = CellTestbed::build(cfg);
             let reg = Registry::new();
             tb.sim.set_metrics(&reg);

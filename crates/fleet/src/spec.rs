@@ -30,6 +30,134 @@ pub enum Tool {
     SparsePing,
 }
 
+/// A per-class path-RTT *distribution*. Real measurement populations
+/// (MopEye-style crowdsourcing) see a distribution of path RTTs per
+/// device class, not one fixed value; each device draws its own path
+/// RTT deterministically from `(campaign_seed, device_index)` via
+/// [`CampaignSpec::path_rtt_of`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RttDist {
+    /// Every device in the class sees the same path RTT (ms).
+    Constant(u64),
+    /// Uniform over `lo_ms..=hi_ms` (inclusive), in whole milliseconds.
+    Uniform {
+        /// Smallest path RTT, ms.
+        lo_ms: u64,
+        /// Largest path RTT, ms.
+        hi_ms: u64,
+    },
+    /// Log-normal around a median: `median_ms · exp(sigma · Z)` with
+    /// `Z ~ N(0,1)`, rounded to whole ms and clamped to
+    /// `[1, 10_000]` ms — the long-tailed shape crowdsourced per-app RTT
+    /// populations actually show.
+    LogNormal {
+        /// Median path RTT, ms (the `exp(μ)` of the underlying normal).
+        median_ms: f64,
+        /// Log-scale spread σ (0.5 ≈ a 2.7× p95/p50 ratio).
+        sigma: f64,
+    },
+}
+
+impl RttDist {
+    /// Draw one path RTT (whole ms, in `[1, 10_000]`) from `draw`, a
+    /// 64-bit value that must already be device-unique (the spec derives
+    /// it from `(campaign_seed, device_index)` with a dedicated stream
+    /// tag, so RTT draws never correlate with the simulation RNG).
+    pub fn sample_ms(&self, draw: u64) -> u64 {
+        const CLAMP_MAX: u64 = 10_000;
+        match *self {
+            RttDist::Constant(ms) => ms.clamp(1, CLAMP_MAX),
+            RttDist::Uniform { lo_ms, hi_ms } => {
+                let (lo, hi) = (lo_ms.min(hi_ms), lo_ms.max(hi_ms));
+                (lo + draw % (hi - lo + 1)).clamp(1, CLAMP_MAX)
+            }
+            RttDist::LogNormal { median_ms, sigma } => {
+                // Box–Muller over two decorrelated uniform draws.
+                let u1 = to_unit_open(splitmix64(draw ^ 0x5EED_0001));
+                let u2 = to_unit_open(splitmix64(draw ^ 0x5EED_0002));
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let ms = median_ms * (sigma * z).exp();
+                (ms.round() as u64).clamp(1, CLAMP_MAX)
+            }
+        }
+    }
+}
+
+/// Map a u64 to the open unit interval (0, 1) — never exactly 0, so
+/// `ln(u)` in Box–Muller stays finite.
+fn to_unit_open(x: u64) -> f64 {
+    (((x >> 11) as f64) + 0.5) / (1u64 << 53) as f64
+}
+
+/// A diurnal cross-traffic schedule: devices whose (simulated,
+/// per-device) local time-of-day falls inside the busy window run the
+/// paper's §4.3 iPerf-style cross traffic for their whole session.
+/// Device time-of-day is a deterministic uniform draw over `[0, 24)`
+/// hours via [`CampaignSpec::time_of_day_of`] — a population snapshot of
+/// devices measuring at different wall-clock hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSchedule {
+    /// Busy window start, hours in `[0, 24)`.
+    pub busy_start_hour: f64,
+    /// Busy window end, hours in `[0, 24)`; a start after the end wraps
+    /// around midnight (e.g. 22→2).
+    pub busy_end_hour: f64,
+}
+
+impl DiurnalSchedule {
+    /// The evening peak (19:00–23:00) most residential WiFi sees.
+    pub fn evening_peak() -> DiurnalSchedule {
+        DiurnalSchedule {
+            busy_start_hour: 19.0,
+            busy_end_hour: 23.0,
+        }
+    }
+
+    /// Whether `tod_hours` (in `[0, 24)`) falls inside the busy window.
+    pub fn is_busy(&self, tod_hours: f64) -> bool {
+        let (s, e) = (self.busy_start_hour, self.busy_end_hour);
+        if s <= e {
+            (s..e).contains(&tod_hours)
+        } else {
+            tod_hours >= s || tod_hours < e
+        }
+    }
+}
+
+/// A §4.2.2 calibration sweep at population scale: each device in the
+/// stratum deterministically picks one `(dpre, db)` grid point, so a
+/// single campaign covers the whole sensitivity grid with
+/// population-sized samples per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSweep {
+    /// Warm-up lead times `dpre` to sweep, ms. Must respect the paper's
+    /// validity window `Tprom < dpre < min(Tis, Tip)`.
+    pub dpre_ms: Vec<f64>,
+    /// Background intervals `db` to sweep, ms (`db < min(Tis, Tip)`).
+    pub db_ms: Vec<f64>,
+}
+
+impl CalibrationSweep {
+    /// The default §4.2.2 grid: `dpre ∈ {10, 20, 40}` × `db ∈ {10, 20,
+    /// 40}` ms — all inside the validity window of every Table 1 phone.
+    pub fn paper_grid() -> CalibrationSweep {
+        CalibrationSweep {
+            dpre_ms: vec![10.0, 20.0, 40.0],
+            db_ms: vec![10.0, 20.0, 40.0],
+        }
+    }
+
+    /// The `(dpre, db)` grid point device draw `draw` lands on.
+    pub fn pick(&self, draw: u64) -> (f64, f64) {
+        let n = (self.dpre_ms.len() * self.db_ms.len()).max(1) as u64;
+        let cell = (draw % n) as usize;
+        (
+            self.dpre_ms[cell / self.db_ms.len().max(1)],
+            self.db_ms[cell % self.db_ms.len().max(1)],
+        )
+    }
+}
+
 /// One population stratum: a phone model plus the knobs the paper shows
 /// matter (SDIO `idletime`, PSM `Tip`, listen interval `L`, beacon
 /// interval), the tool it runs, and optional fault / cellular profiles.
@@ -43,8 +171,9 @@ pub struct DeviceClass {
     pub profile: PhoneProfile,
     /// WiFi PSM or an RRC bearer.
     pub radio: Radio,
-    /// Emulated path RTT (WiFi) or core RTT (cellular), ms.
-    pub path_rtt_ms: u64,
+    /// Emulated path RTT (WiFi) or core RTT (cellular): a distribution
+    /// sampled once per device.
+    pub path_rtt: RttDist,
     /// Override the SDIO `idletime` (watchdog ticks before bus sleep).
     pub sdio_idletime: Option<u32>,
     /// Override the adaptive-PSM timeout `Tip` with a fixed value, ms.
@@ -58,6 +187,13 @@ pub struct DeviceClass {
     /// Fault plan for the path (WiFi medium / cellular bearer). The
     /// plan's seed is re-derived per device.
     pub faults: Option<FaultPlan>,
+    /// Diurnal cross-traffic schedule (WiFi only): devices whose drawn
+    /// time-of-day is inside the busy window compete with §4.3 cross
+    /// traffic.
+    pub diurnal: Option<DiurnalSchedule>,
+    /// §4.2.2 calibration sweep: per-device `(dpre, db)` grid points
+    /// (AcuteMon strata only; ignored for sparse ping).
+    pub calibration: Option<CalibrationSweep>,
 }
 
 impl DeviceClass {
@@ -68,13 +204,15 @@ impl DeviceClass {
             weight,
             profile,
             radio: Radio::Wifi,
-            path_rtt_ms: rtt_ms,
+            path_rtt: RttDist::Constant(rtt_ms),
             sdio_idletime: None,
             tip_ms: None,
             listen_interval: None,
             beacon_interval_ms: None,
             tool: Tool::AcuteMon,
             faults: None,
+            diurnal: None,
+            calibration: None,
         }
     }
 
@@ -117,6 +255,26 @@ impl DeviceClass {
     /// Builder: inject faults on the path (seed re-derived per device).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Builder: draw each device's path RTT from `dist` instead of a
+    /// fixed value.
+    pub fn with_rtt(mut self, dist: RttDist) -> Self {
+        self.path_rtt = dist;
+        self
+    }
+
+    /// Builder: run §4.3 cross traffic on devices whose drawn
+    /// time-of-day falls inside `schedule`'s busy window.
+    pub fn with_diurnal(mut self, schedule: DiurnalSchedule) -> Self {
+        self.diurnal = Some(schedule);
+        self
+    }
+
+    /// Builder: sweep `(dpre, db)` across the stratum per `sweep`.
+    pub fn with_calibration(mut self, sweep: CalibrationSweep) -> Self {
+        self.calibration = Some(sweep);
         self
     }
 }
@@ -194,6 +352,26 @@ impl CampaignSpec {
             DeviceClass::wifi("umts-ping-40ms", 1, phone::nexus5(), 40)
                 .sparse_ping()
                 .with_radio(Radio::Umts),
+            // MopEye-style populations: per-class RTT *distributions*.
+            DeviceClass::wifi("n5-lognormal-rtt", 2, phone::nexus5(), 60).with_rtt(
+                RttDist::LogNormal {
+                    median_ms: 60.0,
+                    sigma: 0.5,
+                },
+            ),
+            DeviceClass::wifi("n4-uniform-rtt", 1, phone::nexus4(), 70)
+                .sparse_ping()
+                .with_rtt(RttDist::Uniform {
+                    lo_ms: 20,
+                    hi_ms: 120,
+                }),
+            // Evening-peak homes: §4.3 cross traffic for devices that
+            // measure during the busy window.
+            DeviceClass::wifi("n5-evening-cross", 1, phone::nexus5(), 50)
+                .with_diurnal(DiurnalSchedule::evening_peak()),
+            // §4.2.2 at population scale: the (dpre, db) sensitivity grid.
+            DeviceClass::wifi("n5-calib-dpre-db", 1, phone::nexus5(), 50)
+                .with_calibration(CalibrationSweep::paper_grid()),
         ];
         CampaignSpec::new(seed, devices, classes)
     }
@@ -227,6 +405,59 @@ impl CampaignSpec {
     /// simulation seed.
     pub fn fault_seed(&self, index: u64) -> u64 {
         splitmix64(self.device_seed(index) ^ 0xFA17_5EED)
+    }
+
+    /// The path RTT (ms) of device `index`: one deterministic draw from
+    /// its stratum's [`RttDist`], decorrelated from the simulation and
+    /// fault seeds by a dedicated stream tag.
+    pub fn path_rtt_of(&self, index: u64) -> u64 {
+        let class = &self.classes[self.class_of(index)];
+        class
+            .path_rtt
+            .sample_ms(splitmix64(self.device_seed(index) ^ 0x0077_D157))
+    }
+
+    /// The simulated local time-of-day of device `index`, hours in
+    /// `[0, 24)` — a uniform deterministic draw, used against
+    /// [`DiurnalSchedule`] busy windows.
+    pub fn time_of_day_of(&self, index: u64) -> f64 {
+        let draw = splitmix64(self.device_seed(index) ^ 0x70D0_0DA1);
+        24.0 * ((draw >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// The `(dpre, db)` calibration grid point of device `index` (ms),
+    /// when its stratum carries a [`CalibrationSweep`].
+    pub fn calibration_of(&self, index: u64) -> Option<(f64, f64)> {
+        let class = &self.classes[self.class_of(index)];
+        let sweep = class.calibration.as_ref()?;
+        Some(sweep.pick(splitmix64(self.device_seed(index) ^ 0xCA11_B007)))
+    }
+
+    /// Whether device `index` runs §4.3 cross traffic: its stratum has a
+    /// diurnal schedule and its drawn time-of-day is in the busy window.
+    pub fn cross_traffic_of(&self, index: u64) -> bool {
+        let class = &self.classes[self.class_of(index)];
+        class
+            .diurnal
+            .map(|d| d.is_busy(self.time_of_day_of(index)))
+            .unwrap_or(false)
+    }
+
+    /// A fingerprint of the whole spec (seed, population size, probes,
+    /// horizon, and every stratum knob), FNV-1a over the canonical debug
+    /// rendering. Campaign checkpoints and partial reports embed it so a
+    /// resume or merge against a *different* spec is rejected instead of
+    /// silently producing garbage.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let canon = format!("fleet-spec-v1 {self:?}");
+        let mut h = FNV_OFFSET;
+        for b in canon.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
     }
 }
 

@@ -88,10 +88,12 @@ impl<E> EventStream<E> {
         self.dropped
     }
 
+    /// Number of events currently buffered.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }

@@ -11,11 +11,15 @@ use std::fmt::Write as _;
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// The JSON `null` value.
     Null,
+    /// A boolean.
     Bool(bool),
     /// All numbers are f64; integral values print without a fraction.
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Insertion-ordered object.
     Obj(Vec<(String, Json)>),
@@ -461,6 +465,7 @@ impl<'a> Parser<'a> {
 
 /// Conversion into a [`Json`] value.
 pub trait ToJson {
+    /// The [`Json`] representation of `self`.
     fn to_json(&self) -> Json;
 }
 

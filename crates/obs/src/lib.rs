@@ -28,6 +28,8 @@
 //! macro): it must build in fully offline environments and be safe to
 //! pull into every other crate in the workspace.
 
+#![deny(missing_docs)]
+
 // Let `#[derive(ToJson)]` (which expands to paths under `::obs`) work
 // inside this crate's own tests.
 extern crate self as obs;
@@ -42,7 +44,10 @@ pub mod trace;
 
 pub use events::EventStream;
 pub use json::{Json, JsonParseError, ToJson};
-pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, SnapshotStateError,
+    SNAPSHOT_STATE_VERSION,
+};
 pub use span::SpanTimer;
 pub use trace::{
     build_trace_tree, render_waterfall, AttrValue, SamplePolicy, SamplingStats, SpanId, SpanNode,

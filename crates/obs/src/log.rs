@@ -13,9 +13,13 @@ use std::sync::atomic::{AtomicU8, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Level {
+    /// Unrecoverable or user-visible failures.
     Error = 0,
+    /// Degraded-but-continuing conditions.
     Warn = 1,
+    /// Progress messages (the default level).
     Info = 2,
+    /// Diagnostic detail, enabled with `-v`.
     Debug = 3,
 }
 
@@ -71,6 +75,7 @@ pub fn log(level: Level, args: fmt::Arguments<'_>) {
     }
 }
 
+/// Log at [`Level::Error`](crate::log::Level::Error) with `format!` syntax.
 #[macro_export]
 macro_rules! error {
     ($($arg:tt)*) => {
@@ -78,6 +83,7 @@ macro_rules! error {
     };
 }
 
+/// Log at [`Level::Warn`](crate::log::Level::Warn) with `format!` syntax.
 #[macro_export]
 macro_rules! warn {
     ($($arg:tt)*) => {
@@ -85,6 +91,7 @@ macro_rules! warn {
     };
 }
 
+/// Log at [`Level::Info`](crate::log::Level::Info) with `format!` syntax.
 #[macro_export]
 macro_rules! info {
     ($($arg:tt)*) => {
@@ -92,6 +99,7 @@ macro_rules! info {
     };
 }
 
+/// Log at [`Level::Debug`](crate::log::Level::Debug) with `format!` syntax.
 #[macro_export]
 macro_rules! debug {
     ($($arg:tt)*) => {

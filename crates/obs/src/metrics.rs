@@ -50,6 +50,8 @@ impl Registry {
         Registry(None)
     }
 
+    /// Whether this registry records anything (false for
+    /// [`Registry::disabled`]).
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
     }
@@ -106,11 +108,13 @@ impl Registry {
     /// retained raw samples append up to [`SAMPLE_CAP`] with the spill
     /// counted in `sample_overflow`. No-op on a disabled registry.
     ///
-    /// Counter/gauge/bucket arithmetic is pure integer addition, so the
-    /// merged totals are independent of merge order; float histogram
-    /// sums are summed in whatever order merges arrive, so callers that
-    /// need bit-identical output (the fleet collector) must merge in a
-    /// fixed order.
+    /// Counter/gauge/bucket arithmetic — histogram sums included, via
+    /// their integer-nanosecond accumulators — is exact integer
+    /// addition, so merged totals are independent of merge order and
+    /// grouping. The one order-sensitive piece of state is the first-N
+    /// sample reservoir: callers that need bit-identical output (the
+    /// fleet collector) must merge in a fixed order so the same samples
+    /// are retained.
     pub fn merge_snapshot(&self, snap: &Snapshot) {
         let Some(inner) = &self.0 else { return };
         let mut g = inner.lock().unwrap();
@@ -161,16 +165,19 @@ impl Registry {
 pub struct Counter(Option<Arc<AtomicU64>>);
 
 impl Counter {
+    /// Add one.
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Add `n`.
     pub fn add(&self, n: u64) {
         if let Some(c) = &self.0 {
             c.fetch_add(n, Ordering::Relaxed);
         }
     }
 
+    /// Current value (0 when vended by a disabled registry).
     pub fn get(&self) -> u64 {
         self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
@@ -181,22 +188,26 @@ impl Counter {
 pub struct Gauge(Option<Arc<AtomicI64>>);
 
 impl Gauge {
+    /// Set the level to `v`.
     pub fn set(&self, v: i64) {
         if let Some(g) = &self.0 {
             g.store(v, Ordering::Relaxed);
         }
     }
 
+    /// Raise the level by `n`.
     pub fn add(&self, n: i64) {
         if let Some(g) = &self.0 {
             g.fetch_add(n, Ordering::Relaxed);
         }
     }
 
+    /// Lower the level by `n`.
     pub fn sub(&self, n: i64) {
         self.add(-n);
     }
 
+    /// Current level (0 when vended by a disabled registry).
     pub fn get(&self) -> i64 {
         self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
     }
@@ -209,7 +220,12 @@ struct HistInner {
     /// is the overflow bucket (`> bounds.last()`).
     buckets: Vec<u64>,
     count: u64,
-    sum: f64,
+    /// Sum of observations in integer nanoseconds (observations are
+    /// millisecond-scale f64s). Integer addition is exactly associative
+    /// and commutative, so merged registries agree bit-for-bit however
+    /// the merges were grouped — the property the fleet checkpoint /
+    /// partial-report formats rely on.
+    sum_ns: i128,
     min: f64,
     max: f64,
     samples: Vec<f64>,
@@ -226,7 +242,7 @@ impl HistInner {
             bounds: bounds.to_vec(),
             buckets: vec![0; bounds.len() + 1],
             count: 0,
-            sum: 0.0,
+            sum_ns: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             samples: Vec::new(),
@@ -242,7 +258,7 @@ impl HistInner {
             .unwrap_or(self.bounds.len());
         self.buckets[idx] += 1;
         self.count += 1;
-        self.sum += v;
+        self.sum_ns += (v * 1e6).round() as i128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         if self.samples.len() < SAMPLE_CAP {
@@ -261,7 +277,7 @@ impl HistInner {
             *a += b;
         }
         self.count += snap.count;
-        self.sum += snap.sum;
+        self.sum_ns += snap.sum_ns;
         if snap.count > 0 {
             self.min = self.min.min(snap.min);
             self.max = self.max.max(snap.max);
@@ -277,7 +293,8 @@ impl HistInner {
             bounds: self.bounds.clone(),
             buckets: self.buckets.clone(),
             count: self.count,
-            sum: self.sum,
+            sum: self.sum_ns as f64 / 1e6,
+            sum_ns: self.sum_ns,
             min: if self.count == 0 { 0.0 } else { self.min },
             max: if self.count == 0 { 0.0 } else { self.max },
             samples: self.samples.clone(),
@@ -297,12 +314,14 @@ impl Histogram {
         self.0.is_some()
     }
 
+    /// Record one observation.
     pub fn observe(&self, v: f64) {
         if let Some(h) = &self.0 {
             h.lock().unwrap().observe(v);
         }
     }
 
+    /// Observations recorded so far.
     pub fn count(&self) -> u64 {
         self.0.as_ref().map_or(0, |h| h.lock().unwrap().count)
     }
@@ -311,12 +330,25 @@ impl Histogram {
 /// Point-in-time state of one histogram.
 #[derive(Debug, Clone)]
 pub struct HistogramSnapshot {
+    /// Metric name.
     pub name: String,
+    /// Bucket upper bounds, ascending.
     pub bounds: Vec<f64>,
+    /// `buckets[i]` counts observations `<= bounds[i]`; the final slot is
+    /// the overflow bucket.
     pub buckets: Vec<u64>,
+    /// Total observations.
     pub count: u64,
+    /// Sum of observations (derived from [`sum_ns`](Self::sum_ns), so it
+    /// is identical under any merge grouping).
     pub sum: f64,
+    /// The exact sum accumulator, integer nanoseconds. Merges add these,
+    /// never the float `sum`, which keeps registry merging exactly
+    /// associative and commutative.
+    pub sum_ns: i128,
+    /// Smallest observation (0 when `count == 0`).
     pub min: f64,
+    /// Largest observation (0 when `count == 0`).
     pub max: f64,
     /// First-N raw samples (deterministic reservoir, cap [`SAMPLE_CAP`]).
     pub samples: Vec<f64>,
@@ -326,6 +358,7 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -349,14 +382,17 @@ impl HistogramSnapshot {
         xs[lo] + (xs[hi] - xs[lo]) * (h - lo as f64)
     }
 
+    /// Median from the retained samples.
     pub fn p50(&self) -> f64 {
         self.quantile(0.50)
     }
 
+    /// 95th percentile from the retained samples.
     pub fn p95(&self) -> f64 {
         self.quantile(0.95)
     }
 
+    /// 99th percentile from the retained samples.
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
@@ -384,12 +420,16 @@ impl ToJson for HistogramSnapshot {
 /// Deterministic (name-sorted) view of a whole registry.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
+    /// `(name, value)` per counter, name-sorted.
     pub counters: Vec<(String, u64)>,
+    /// `(name, level)` per gauge, name-sorted.
     pub gauges: Vec<(String, i64)>,
+    /// Per-histogram state, name-sorted.
     pub histograms: Vec<HistogramSnapshot>,
 }
 
 impl Snapshot {
+    /// Value of counter `name`, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
@@ -397,16 +437,161 @@ impl Snapshot {
             .map(|(_, v)| *v)
     }
 
+    /// Level of gauge `name`, if present.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// State of histogram `name`, if present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// Whether the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Version tag written into [`Snapshot::state_json`] payloads;
+/// [`Snapshot::from_state_json`] rejects anything newer.
+pub const SNAPSHOT_STATE_VERSION: u64 = 1;
+
+/// A failure to reconstruct a [`Snapshot`] from its serialized state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotStateError(pub String);
+
+impl std::fmt::Display for SnapshotStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot state error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotStateError {}
+
+impl Snapshot {
+    /// Serialize the **full** snapshot state — unlike [`ToJson`], which
+    /// emits a summary view (derived quantiles, no raw samples) — so the
+    /// snapshot can be reconstructed exactly by
+    /// [`Snapshot::from_state_json`] and merged into a fresh
+    /// [`Registry`] without losing a bit. Histogram `sum_ns`
+    /// accumulators travel as decimal strings (JSON numbers are doubles,
+    /// `i128` is not).
+    ///
+    /// This is the payload the fleet campaign checkpoint and
+    /// partial-report formats embed: restore + continue must equal an
+    /// uninterrupted run byte-for-byte.
+    pub fn state_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (name, v) in &self.counters {
+            counters.set(name, *v);
+        }
+        let mut gauges = Json::object();
+        for (name, v) in &self.gauges {
+            gauges.set(name, *v as f64);
+        }
+        let mut hists = Json::array();
+        for h in &self.histograms {
+            let mut obj = Json::object();
+            obj.set("name", &h.name);
+            obj.set("bounds", &h.bounds);
+            obj.set("buckets", &h.buckets);
+            obj.set("count", h.count);
+            obj.set("sum_ns", h.sum_ns.to_string());
+            obj.set("min", h.min);
+            obj.set("max", h.max);
+            obj.set("samples", &h.samples);
+            obj.set("sample_overflow", h.sample_overflow);
+            hists.push(obj);
+        }
+        let mut obj = Json::object();
+        obj.set("version", SNAPSHOT_STATE_VERSION);
+        obj.set("counters", counters);
+        obj.set("gauges", gauges);
+        obj.set("histograms", hists);
+        obj
+    }
+
+    /// Reconstruct a snapshot from [`Snapshot::state_json`] output. The
+    /// round trip is exact: merging the result into a registry produces
+    /// the same state as merging the original.
+    pub fn from_state_json(state: &Json) -> Result<Snapshot, SnapshotStateError> {
+        let err = |msg: &str| SnapshotStateError(msg.to_string());
+        let version = state
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing version"))? as u64;
+        if version > SNAPSHOT_STATE_VERSION {
+            return Err(SnapshotStateError(format!(
+                "snapshot state version {version} is newer than supported \
+                 {SNAPSHOT_STATE_VERSION}"
+            )));
+        }
+        let entries = |key: &str| -> Result<&[(String, Json)], SnapshotStateError> {
+            match state.get(key) {
+                Some(Json::Obj(entries)) => Ok(entries),
+                _ => Err(SnapshotStateError(format!("missing {key} object"))),
+            }
+        };
+        let mut snap = Snapshot::default();
+        for (name, v) in entries("counters")? {
+            let v = v.as_f64().ok_or_else(|| err("counter not a number"))?;
+            snap.counters.push((name.clone(), v as u64));
+        }
+        for (name, v) in entries("gauges")? {
+            let v = v.as_f64().ok_or_else(|| err("gauge not a number"))?;
+            snap.gauges.push((name.clone(), v as i64));
+        }
+        let floats = |h: &Json, key: &str| -> Result<Vec<f64>, SnapshotStateError> {
+            h.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| SnapshotStateError(format!("missing {key} array")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| SnapshotStateError(format!("{key} entry not a number")))
+                })
+                .collect()
+        };
+        let num = |h: &Json, key: &str| -> Result<f64, SnapshotStateError> {
+            h.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| SnapshotStateError(format!("missing {key}")))
+        };
+        for h in state
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing histograms array"))?
+        {
+            let sum_ns = h
+                .get("sum_ns")
+                .and_then(Json::as_str)
+                .ok_or_else(|| err("missing sum_ns"))?
+                .parse::<i128>()
+                .map_err(|e| SnapshotStateError(format!("bad sum_ns: {e}")))?;
+            let bounds = floats(h, "bounds")?;
+            let buckets: Vec<u64> = floats(h, "buckets")?.iter().map(|&v| v as u64).collect();
+            if buckets.len() != bounds.len() + 1 {
+                return Err(err("bucket count must be bounds + 1"));
+            }
+            snap.histograms.push(HistogramSnapshot {
+                name: h
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("missing histogram name"))?
+                    .to_string(),
+                bounds,
+                buckets,
+                count: num(h, "count")? as u64,
+                sum: sum_ns as f64 / 1e6,
+                sum_ns,
+                min: num(h, "min")?,
+                max: num(h, "max")?,
+                samples: floats(h, "samples")?,
+                sample_overflow: num(h, "sample_overflow")? as u64,
+            });
+        }
+        Ok(snap)
     }
 }
 
@@ -587,6 +772,91 @@ mod tests {
         let off = Registry::disabled();
         off.merge_snapshot(&snap);
         assert!(off.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_state_round_trip_is_exact() {
+        let r = Registry::new();
+        r.counter("probes").add(41);
+        r.gauge("depth").set(-3);
+        let h = r.histogram_ms("du_ms");
+        for v in [0.125, 7.25, 3001.5] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let state = snap.state_json();
+        let restored =
+            Snapshot::from_state_json(&Json::parse(&state.to_string_pretty()).unwrap()).unwrap();
+        assert_eq!(restored.counters, snap.counters);
+        assert_eq!(restored.gauges, snap.gauges);
+        assert_eq!(restored.histograms.len(), snap.histograms.len());
+        let (a, b) = (&restored.histograms[0], &snap.histograms[0]);
+        assert_eq!(a.sum_ns, b.sum_ns);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(
+            restored.to_json().to_string_pretty(),
+            snap.to_json().to_string_pretty()
+        );
+        // Restoring into a fresh registry and continuing equals the
+        // uninterrupted registry exactly.
+        let resumed = Registry::new();
+        resumed.merge_snapshot(&restored);
+        resumed.histogram_ms("du_ms").observe(42.0);
+        h.observe(42.0);
+        assert_eq!(
+            resumed.snapshot().to_json().to_string_pretty(),
+            r.snapshot().to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn snapshot_state_rejects_newer_versions() {
+        let snap = Registry::new().snapshot();
+        let mut state = snap.state_json();
+        state.set("version", (SNAPSHOT_STATE_VERSION + 1) as f64);
+        assert!(Snapshot::from_state_json(&state).is_err());
+        assert!(Snapshot::from_state_json(&Json::object()).is_err());
+    }
+
+    #[test]
+    fn merged_histogram_sums_are_grouping_independent() {
+        // (A ⊕ B) ⊕ C must equal A ⊕ (B ⊕ C) on the full state, even for
+        // float-valued observations — the integer-nanosecond accumulator
+        // makes the sum exact.
+        let shards: Vec<Snapshot> = (0..3)
+            .map(|i| {
+                let r = Registry::new();
+                let h = r.histogram("h", &[1.0, 10.0]);
+                h.observe(0.1 + 0.7 * i as f64);
+                h.observe(5.3 * (i + 1) as f64);
+                r.snapshot()
+            })
+            .collect();
+        let left = Registry::new();
+        left.merge_snapshot(&shards[0]);
+        left.merge_snapshot(&shards[1]);
+        let left_ab = left.snapshot();
+        let right_bc = {
+            let r = Registry::new();
+            r.merge_snapshot(&shards[1]);
+            r.merge_snapshot(&shards[2]);
+            r.snapshot()
+        };
+        let grouped_left = Registry::new();
+        grouped_left.merge_snapshot(&left_ab);
+        grouped_left.merge_snapshot(&shards[2]);
+        let grouped_right = Registry::new();
+        grouped_right.merge_snapshot(&shards[0]);
+        grouped_right.merge_snapshot(&right_bc);
+        assert_eq!(
+            grouped_left.snapshot().to_json().to_string_pretty(),
+            grouped_right.snapshot().to_json().to_string_pretty()
+        );
+        let (a, b) = (grouped_left.snapshot(), grouped_right.snapshot());
+        assert_eq!(
+            a.histogram("h").unwrap().sum_ns,
+            b.histogram("h").unwrap().sum_ns
+        );
     }
 
     #[test]

@@ -39,9 +39,13 @@ pub struct TraceId(pub u64);
 /// A typed span attribute value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
+    /// A signed integer attribute.
     Int(i64),
+    /// A floating-point attribute.
     Float(f64),
+    /// A string attribute.
     Str(String),
+    /// A boolean attribute.
     Bool(bool),
 }
 

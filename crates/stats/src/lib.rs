@@ -19,7 +19,7 @@
 //! * [`bench`]: the offline wall-clock benchmark harness shared by
 //!   `cargo bench` and `repro bench-snapshot`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bench;
 mod boxplot;
@@ -37,5 +37,7 @@ pub use ecdf::Ecdf;
 pub use hist::{hist_percentiles, HistPercentiles};
 pub use quantile::{median, quantile, quantile_sorted};
 pub use render::{render_boxplots, render_cdfs, Table};
-pub use sketch::{MergeHist, QuantileSketch, DEFAULT_ALPHA, MIN_VALUE_MS};
+pub use sketch::{
+    MergeHist, QuantileSketch, SketchStateError, DEFAULT_ALPHA, MIN_VALUE_MS, SKETCH_STATE_VERSION,
+};
 pub use summary::{t_quantile_975, Summary};

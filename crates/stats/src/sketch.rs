@@ -23,6 +23,22 @@
 
 use obs::{Json, ToJson};
 
+/// Version tag written into [`QuantileSketch::state_json`] payloads;
+/// [`QuantileSketch::from_state_json`] rejects anything newer.
+pub const SKETCH_STATE_VERSION: u64 = 1;
+
+/// A failure to reconstruct a sketch from its serialized state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchStateError(pub String);
+
+impl std::fmt::Display for SketchStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sketch state error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SketchStateError {}
+
 /// Relative-accuracy parameter α of the default sketch: a reported
 /// quantile `q̂` satisfies `|q̂ − q| ≤ α·q`.
 pub const DEFAULT_ALPHA: f64 = 0.005;
@@ -242,6 +258,134 @@ impl QuantileSketch {
     /// assertions).
     pub fn bucket_count(&self) -> usize {
         self.buckets.len() + usize::from(self.zero > 0)
+    }
+
+    /// Serialize the **full** sketch state — not the summary view of
+    /// [`ToJson`] — so the sketch can be reconstructed exactly by
+    /// [`QuantileSketch::from_state_json`]. This is the payload the fleet
+    /// campaign checkpoint and partial-report formats embed.
+    ///
+    /// The state keeps merge exactness across a serialize/deserialize
+    /// hop: `sum_ns` (an `i128`) travels as a decimal string because JSON
+    /// numbers are doubles, and `min`/`max` are omitted (null) when
+    /// nothing was observed (their in-memory sentinels are ±∞, which JSON
+    /// cannot carry).
+    ///
+    /// ```
+    /// use am_stats::QuantileSketch;
+    /// let mut s = QuantileSketch::new();
+    /// s.observe(12.5);
+    /// s.observe_censored();
+    /// let restored = QuantileSketch::from_state_json(&s.state_json()).unwrap();
+    /// assert_eq!(restored, s);
+    /// ```
+    pub fn state_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("version", SKETCH_STATE_VERSION);
+        obj.set("gamma", self.gamma);
+        let mut buckets = Json::array();
+        for &(idx, n) in &self.buckets {
+            let mut pair = Json::array();
+            pair.push(f64::from(idx));
+            pair.push(n);
+            buckets.push(pair);
+        }
+        obj.set("buckets", buckets);
+        obj.set("zero", self.zero);
+        obj.set("count", self.count);
+        obj.set("censored", self.censored);
+        obj.set("sum_ns", self.sum_ns.to_string());
+        obj.set("min", (self.count > 0).then_some(self.min));
+        obj.set("max", (self.count > 0).then_some(self.max));
+        obj
+    }
+
+    /// Reconstruct a sketch from [`QuantileSketch::state_json`] output.
+    /// The round trip is exact: the result compares equal (`==`) to the
+    /// original and merges identically.
+    pub fn from_state_json(state: &Json) -> Result<QuantileSketch, SketchStateError> {
+        let err = |msg: &str| SketchStateError(msg.to_string());
+        let version = state
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing version"))? as u64;
+        if version > SKETCH_STATE_VERSION {
+            return Err(SketchStateError(format!(
+                "sketch state version {version} is newer than supported {SKETCH_STATE_VERSION}"
+            )));
+        }
+        let gamma = state
+            .get("gamma")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing gamma"))?;
+        if !(gamma.is_finite() && gamma > 1.0) {
+            return Err(err("gamma must be finite and > 1"));
+        }
+        let u64_field = |name: &str| {
+            state
+                .get(name)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| SketchStateError(format!("missing {name}")))
+        };
+        let count = u64_field("count")?;
+        let zero = u64_field("zero")?;
+        let censored = u64_field("censored")?;
+        let sum_ns = state
+            .get("sum_ns")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing sum_ns"))?
+            .parse::<i128>()
+            .map_err(|e| SketchStateError(format!("bad sum_ns: {e}")))?;
+        let mut buckets = Vec::new();
+        for pair in state
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing buckets"))?
+        {
+            let pair = pair.as_arr().ok_or_else(|| err("bucket not a pair"))?;
+            let (idx, n) = match pair {
+                [i, n] => (
+                    i.as_f64().ok_or_else(|| err("bucket index not a number"))? as i32,
+                    n.as_f64().ok_or_else(|| err("bucket count not a number"))? as u64,
+                ),
+                _ => return Err(err("bucket pair must have two entries")),
+            };
+            if let Some(&(last, _)) = buckets.last() {
+                if idx <= last {
+                    return Err(err("bucket indices must be strictly ascending"));
+                }
+            }
+            buckets.push((idx, n));
+        }
+        let float_field = |name: &str| -> Result<Option<f64>, SketchStateError> {
+            match state.get(name) {
+                Some(Json::Null) | None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| SketchStateError(format!("bad {name}"))),
+            }
+        };
+        let (min, max) = if count > 0 {
+            (
+                float_field("min")?.ok_or_else(|| err("missing min"))?,
+                float_field("max")?.ok_or_else(|| err("missing max"))?,
+            )
+        } else {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        };
+        Ok(QuantileSketch {
+            gamma,
+            ln_gamma: gamma.ln(),
+            buckets,
+            zero,
+            count,
+            censored,
+            sum_ns,
+            min,
+            max,
+        })
     }
 }
 
@@ -520,6 +664,62 @@ mod tests {
         }
         assert_eq!(s.completion(), 0.0);
         assert_eq!(s.quantile(0.0), None);
+    }
+
+    #[test]
+    fn state_round_trip_is_exact() {
+        for (seed, censored) in [(1u64, 0u64), (7, 23), (13, 999)] {
+            let s = sketch_of(&stream(seed, 4000), censored);
+            let state = s.state_json();
+            let restored = QuantileSketch::from_state_json(&state).expect("round trip");
+            assert_eq!(restored, s, "seed {seed}");
+            // The serialized text itself round-trips through the parser.
+            let reparsed = obs::Json::parse(&state.to_string_pretty()).unwrap();
+            assert_eq!(QuantileSketch::from_state_json(&reparsed).unwrap(), s);
+        }
+        // Empty and all-censored sketches survive too (±∞ sentinels).
+        let empty = QuantileSketch::new();
+        assert_eq!(
+            QuantileSketch::from_state_json(&empty.state_json()).unwrap(),
+            empty
+        );
+        let mut cens = QuantileSketch::new();
+        cens.observe_censored();
+        assert_eq!(
+            QuantileSketch::from_state_json(&cens.state_json()).unwrap(),
+            cens
+        );
+    }
+
+    #[test]
+    fn deserialized_sketch_merges_identically() {
+        // serialize → deserialize → merge must equal merge of the
+        // originals, bit for bit: this is what makes a resumed campaign
+        // byte-identical to an uninterrupted one.
+        let a = sketch_of(&stream(21, 3000), 11);
+        let b = sketch_of(&stream(22, 2000), 0);
+        let a2 = QuantileSketch::from_state_json(&a.state_json()).unwrap();
+        let mut direct = a.clone();
+        direct.merge(&b);
+        let mut hopped = a2;
+        hopped.merge(&b);
+        assert_eq!(direct, hopped);
+        assert_eq!(
+            direct.to_json().to_string_pretty(),
+            hopped.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn state_rejects_newer_versions_and_garbage() {
+        let s = sketch_of(&stream(5, 100), 2);
+        let mut state = s.state_json();
+        state.set("version", (SKETCH_STATE_VERSION + 1) as f64);
+        assert!(QuantileSketch::from_state_json(&state).is_err());
+        assert!(QuantileSketch::from_state_json(&Json::object()).is_err());
+        let mut bad = s.state_json();
+        bad.set("sum_ns", "not-a-number");
+        assert!(QuantileSketch::from_state_json(&bad).is_err());
     }
 
     #[test]
