@@ -7,9 +7,12 @@
 //!       [--fleet-devices N] [--fleet-workers W]
 //!       [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //!       [--partition i/k] [--fleet-halt-after N]
+//!       [--push-to ADDR] [--push-every N]
+//!       [--listen ADDR] [--http ADDR]
+//!       [--bench-baseline FILE] [--bench-candidate FILE] [--bench-factor F]
 //!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
 //!        seeds|ablations|faults|telemetry|waterfall|fleet|
-//!        fleet-merge|bench-snapshot|all]...
+//!        fleet-merge|collectord|bench-snapshot|bench-gate|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
@@ -22,12 +25,14 @@
 //! additionally writes the spans as Chrome `trace_event` JSON (loadable
 //! in `chrome://tracing` / Perfetto) and `--trace-spans` as JSON-lines.
 //! `bench-snapshot` (not part of `all`) runs the am-bench harness at a
-//! reduced budget and writes `BENCH_2.json` with median ns per scenario.
+//! reduced budget and writes `BENCH_2.json` with median ns per scenario;
+//! `bench-gate` compares a fresh snapshot against the committed baseline
+//! and exits non-zero when the tracer's enabled-path budget regresses.
 //! `fleet` (not part of `all` either — it is deliberately big) runs a
 //! sharded multi-device campaign (default 10 000 devices) plus a
 //! worker-scaling table, and writes the merged population report as
-//! `fleet.json`. Campaigns survive process death and split across
-//! processes:
+//! `fleet.json`. Campaigns survive process death, split across
+//! processes, and stream to a collector daemon:
 //!
 //! * `--checkpoint FILE` writes an atomic resume checkpoint every
 //!   `--checkpoint-every` devices (default 64); `--resume FILE`
@@ -40,10 +45,21 @@
 //!   byte-identical to the single-process report.
 //! * `--fleet-halt-after N` simulates a kill after absorbing N devices
 //!   (used by CI to exercise the resume path deterministically).
+//! * `--push-to ADDR` additionally streams cumulative partial state to
+//!   a `repro collectord` daemon every `--push-every` devices (default
+//!   64), with a final push when the slice completes. The daemon's
+//!   `/snapshot` is then byte-identical to `fleet.json` once every
+//!   partition has landed.
+//!
+//! `repro collectord --seed S --fleet-devices N` runs the collector
+//! daemon itself: a push listener on `--listen` (default
+//! `127.0.0.1:9310`) and an HTTP server on `--http` (default
+//! `127.0.0.1:9311`) serving `/` (dashboard), `/snapshot`, `/status`,
+//! `/metrics`, and `/healthz`.
 
 use std::path::{Path, PathBuf};
 
-use obs::{error, info, Registry, ToJson, Tracer};
+use obs::{error, info, warn, Registry, ToJson, Tracer};
 use testbed::experiments::{
     ablations, faults, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5,
     telemetry, waterfall,
@@ -64,6 +80,13 @@ struct Options {
     resume: Option<PathBuf>,
     partition: Option<(u64, u64)>,
     fleet_halt_after: Option<u64>,
+    push_to: Option<String>,
+    push_every: u64,
+    listen: String,
+    http: String,
+    bench_baseline: PathBuf,
+    bench_candidate: Option<PathBuf>,
+    bench_factor: f64,
     merge_inputs: Vec<PathBuf>,
     experiments: Vec<String>,
 }
@@ -94,6 +117,13 @@ fn parse_args() -> Options {
         resume: None,
         partition: None,
         fleet_halt_after: None,
+        push_to: None,
+        push_every: 64,
+        listen: "127.0.0.1:9310".to_string(),
+        http: "127.0.0.1:9311".to_string(),
+        bench_baseline: PathBuf::from("baselines/BENCH_2.json"),
+        bench_candidate: None,
+        bench_factor: 10.0,
         merge_inputs: Vec::new(),
         experiments: Vec::new(),
     };
@@ -169,6 +199,45 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--fleet-halt-after needs a number")),
                 )
             }
+            "--push-to" => {
+                opts.push_to = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--push-to needs host:port")),
+                )
+            }
+            "--push-every" => {
+                opts.push_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--push-every needs a positive number"))
+            }
+            "--listen" => {
+                opts.listen = args
+                    .next()
+                    .unwrap_or_else(|| die("--listen needs host:port"))
+            }
+            "--http" => opts.http = args.next().unwrap_or_else(|| die("--http needs host:port")),
+            "--bench-baseline" => {
+                opts.bench_baseline = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| die("--bench-baseline needs a path"))
+            }
+            "--bench-candidate" => {
+                opts.bench_candidate = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| die("--bench-candidate needs a path")),
+                )
+            }
+            "--bench-factor" => {
+                opts.bench_factor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f > 1.0)
+                    .unwrap_or_else(|| die("--bench-factor needs a factor > 1"))
+            }
             "--metrics-json" => opts.metrics_json = true,
             "--metrics-text" => opts.metrics_text = true,
             "--trace-out" => {
@@ -195,9 +264,13 @@ fn parse_args() -> Options {
                      [--fleet-devices N] [--fleet-workers W] \
                      [--checkpoint FILE] [--checkpoint-every N] \
                      [--resume FILE] [--partition i/k] [--fleet-halt-after N] \
+                     [--push-to ADDR] [--push-every N] \
+                     [--listen ADDR] [--http ADDR] \
+                     [--bench-baseline FILE] [--bench-candidate FILE] \
+                     [--bench-factor F] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
                      seeds|ablations|faults|telemetry|waterfall|fleet|\
-                     fleet-merge|bench-snapshot|all]...\n\
+                     fleet-merge|collectord|bench-snapshot|bench-gate|all]...\n\
                      \n\
                      --trace-out FILE    write the waterfall session's spans as\n\
                      \u{20}                    Chrome trace_event JSON (chrome://tracing)\n\
@@ -211,14 +284,27 @@ fn parse_args() -> Options {
                      --partition i/k     run only device slice i of k; writes the\n\
                      \u{20}                    mergeable fleet.partial-i-of-k.json\n\
                      --fleet-halt-after N  simulate a kill after N absorbed devices\n\
+                     --push-to ADDR      stream cumulative partial state to a\n\
+                     \u{20}                    collectord daemon every --push-every\n\
+                     \u{20}                    devices (default 64)\n\
+                     --listen ADDR       collectord push listener (127.0.0.1:9310)\n\
+                     --http ADDR         collectord HTTP server (127.0.0.1:9311)\n\
                      \n\
                      fleet-merge A B ... folds partition partials back into\n\
                      fleet.json (run with the partitions' --seed and\n\
                      --fleet-devices).\n\
                      \n\
+                     collectord runs the streaming collector daemon for the\n\
+                     campaign given by --seed/--fleet-devices; shards connect\n\
+                     with --push-to, and /snapshot serves the live campaign\n\
+                     JSON (byte-identical to fleet.json once complete).\n\
+                     \n\
                      fleet and bench-snapshot run only when named explicitly\n\
                      (not under 'all'); fleet writes fleet.json, bench-snapshot\n\
-                     writes BENCH_2.json (median ns per scenario)."
+                     writes BENCH_2.json (median ns per scenario). bench-gate\n\
+                     compares --bench-candidate (default: a fresh snapshot)\n\
+                     against --bench-baseline and fails when the obs tracer\n\
+                     scenarios regress by more than --bench-factor (default 10)."
                 );
                 std::process::exit(0);
             }
@@ -234,7 +320,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 20] = [
         "table1",
         "table2",
         "table3",
@@ -251,7 +337,9 @@ fn parse_args() -> Options {
         "waterfall",
         "fleet",
         "fleet-merge",
+        "collectord",
         "bench-snapshot",
+        "bench-gate",
         "all",
     ];
     for e in &opts.experiments {
@@ -282,10 +370,194 @@ fn write_raw(dir: &Path, file: &str, contents: String) {
     info!("[saved {}]", path.display());
 }
 
+/// Run the collector daemon forever: push listener + HTTP server.
+fn run_collectord(opts: &Options) -> ! {
+    let spec = fleet::CampaignSpec::heterogeneous(opts.seed, opts.fleet_devices);
+    info!(
+        "collectord: expecting campaign seed {} with {} devices × {} probes \
+         (fingerprint {:016x})",
+        spec.seed,
+        spec.devices,
+        spec.probes_per_device,
+        spec.fingerprint()
+    );
+    let ingest = std::net::TcpListener::bind(&opts.listen)
+        .unwrap_or_else(|e| die(&format!("collectord: bind {}: {e}", opts.listen)));
+    let http = std::net::TcpListener::bind(&opts.http)
+        .unwrap_or_else(|e| die(&format!("collectord: bind {}: {e}", opts.http)));
+    let daemon = collectord::Daemon::new(spec);
+    let ingest_daemon = daemon.clone();
+    std::thread::spawn(move || ingest_daemon.serve_ingest(ingest));
+    daemon.serve_http(http);
+    unreachable!("serve_http loops forever");
+}
+
+/// Run the fleet partition slice `i/k`, optionally streaming cumulative
+/// state to a collectord daemon, and write the mergeable partial.
+fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usize) {
+    let (i, k) = opts.partition.unwrap_or((0, 1));
+    let (start, end) = fleet::partition_range(spec.devices, i, k);
+    info!(
+        "running fleet partition {i}/{k}: devices {start}..{end} of {} \
+         on {workers} workers ...",
+        spec.devices
+    );
+    let shard = format!("{i}/{k}");
+    let client = opts.push_to.as_deref().map(|addr| {
+        info!(
+            "streaming partial state to collectord at {addr} every {} devices ...",
+            opts.push_every
+        );
+        std::sync::Mutex::new(
+            collectord::PushClient::connect(addr, &shard)
+                .unwrap_or_else(|e| die(&format!("--push-to {addr}: {e}"))),
+        )
+    });
+    let client = std::sync::Arc::new(client);
+    let run_opts = fleet::RunOptions {
+        checkpoint: None,
+        halt_after_devices: None,
+        progress: opts.push_to.as_ref().map(|_| {
+            let client = client.clone();
+            fleet::ProgressSink {
+                every: opts.push_every,
+                f: std::sync::Arc::new(move |collector, done| {
+                    // The final push happens explicitly below, off the
+                    // returned collector, so failures can be fatal there.
+                    if done {
+                        return;
+                    }
+                    if let Some(c) = client.as_ref() {
+                        if let Err(e) = c.lock().unwrap().push(collector, false) {
+                            warn!("fleet: mid-run push failed (continuing): {e}");
+                        }
+                    }
+                }),
+            }
+        }),
+    };
+    let (collector, stats) = fleet::run_partition_opts(spec, workers, i, k, &run_opts);
+    if let Some(c) = client.as_ref() {
+        let ack = c
+            .lock()
+            .unwrap()
+            .push(&collector, true)
+            .unwrap_or_else(|e| die(&format!("fleet: final push failed: {e}")));
+        println!(
+            "partition {i}/{k}: final push {} ({} devices absorbed daemon-side{})",
+            ack.outcome.status(),
+            ack.devices_absorbed,
+            if ack.complete {
+                ", campaign complete"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "partition {i}/{k}: {} devices in {:.2} s ({:.1} devices/s)",
+        stats.devices,
+        stats.wall.as_secs_f64(),
+        stats.devices_per_sec()
+    );
+    write_raw(
+        &opts.out,
+        &format!("fleet.partial-{i}-of-{k}.json"),
+        collector.state_json().to_string_pretty(),
+    );
+}
+
+/// Read a `BENCH_*.json` snapshot into `(name, p50_ns)` pairs.
+fn read_bench(path: &Path) -> Vec<(String, f64)> {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("bench-gate {}: {e}", path.display())));
+    let json = obs::Json::parse(&body)
+        .unwrap_or_else(|e| die(&format!("bench-gate {}: {e}", path.display())));
+    let obs::Json::Arr(rows) = json else {
+        die(&format!(
+            "bench-gate {}: expected a JSON array of bench results",
+            path.display()
+        ));
+    };
+    rows.iter()
+        .filter_map(|r| {
+            let name = r.get("name")?.as_str()?.to_string();
+            let p50 = r.get("p50_ns")?.as_f64()?;
+            Some((name, p50))
+        })
+        .collect()
+}
+
+/// Compare candidate bench medians against the committed baseline. The
+/// `obs_tracer_*` scenarios gate (they are tight, allocation-free inner
+/// loops whose cost is what PR 2's tracer budget promised); everything
+/// else is reported informationally — full experiments vary too much
+/// across machines to gate on.
+fn run_bench_gate(opts: &Options) {
+    let candidate_path = opts.bench_candidate.clone().unwrap_or_else(|| {
+        die("bench-gate needs --bench-candidate FILE (from a bench-snapshot run)")
+    });
+    let baseline = read_bench(&opts.bench_baseline);
+    let candidate = read_bench(&candidate_path);
+    info!(
+        "bench-gate: {} vs baseline {} (factor {}x on obs_tracer_*)",
+        candidate_path.display(),
+        opts.bench_baseline.display(),
+        opts.bench_factor
+    );
+    println!(
+        "\n{:<28} {:>14} {:>14} {:>8}  gate",
+        "scenario", "baseline p50", "candidate p50", "ratio"
+    );
+    let mut regressed = Vec::new();
+    for (name, base_p50) in &baseline {
+        let Some((_, cand_p50)) = candidate.iter().find(|(n, _)| n == name) else {
+            regressed.push(format!("scenario `{name}` missing from candidate"));
+            continue;
+        };
+        let ratio = if *base_p50 > 0.0 {
+            cand_p50 / base_p50
+        } else {
+            1.0
+        };
+        let gated = name.starts_with("obs_tracer_");
+        let fails = gated && ratio > opts.bench_factor;
+        println!(
+            "{:<28} {:>12.0}ns {:>12.0}ns {:>7.2}x  {}",
+            name,
+            base_p50,
+            cand_p50,
+            ratio,
+            match (gated, fails) {
+                (false, _) => "info",
+                (true, false) => "ok",
+                (true, true) => "FAIL",
+            }
+        );
+        if fails {
+            regressed.push(format!(
+                "`{name}` p50 {cand_p50:.0} ns vs baseline {base_p50:.0} ns \
+                 ({ratio:.2}x > {}x budget)",
+                opts.bench_factor
+            ));
+        }
+    }
+    if !regressed.is_empty() {
+        for r in &regressed {
+            error!("bench-gate: {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench-gate: tracer budget holds.");
+}
+
 fn main() {
     let opts = parse_args();
     let wants = |name: &str| opts.experiments.iter().any(|e| e == name || e == "all");
 
+    if opts.experiments.iter().any(|e| e == "collectord") {
+        run_collectord(&opts);
+    }
     if wants("table1") {
         let t = table1::run();
         println!("\n{}", t.render());
@@ -480,29 +752,15 @@ fn main() {
                 every: opts.checkpoint_every,
             }),
             halt_after_devices: opts.fleet_halt_after,
+            progress: None,
         };
 
-        if let Some((i, k)) = opts.partition {
-            // One contiguous device slice; the partial merges back into
-            // the single-process report via `repro fleet-merge`.
-            let (start, end) = fleet::partition_range(spec.devices, i, k);
-            info!(
-                "running fleet partition {i}/{k}: devices {start}..{end} of {} \
-                 on {workers} workers ...",
-                spec.devices
-            );
-            let (collector, stats) = fleet::run_partition(&spec, workers, i, k);
-            println!(
-                "partition {i}/{k}: {} devices in {:.2} s ({:.1} devices/s)",
-                stats.devices,
-                stats.wall.as_secs_f64(),
-                stats.devices_per_sec()
-            );
-            write_raw(
-                &opts.out,
-                &format!("fleet.partial-{i}-of-{k}.json"),
-                collector.state_json().to_string_pretty(),
-            );
+        if opts.partition.is_some() || opts.push_to.is_some() {
+            // One contiguous device slice (all of them for a plain
+            // --push-to run); the partial merges back into the
+            // single-process report via `repro fleet-merge` or streams
+            // into a collectord daemon.
+            run_fleet_partition(&opts, &spec, workers);
         } else {
             info!(
                 "running fleet campaign: {} devices × {} probes on {workers} workers ...",
@@ -566,16 +824,19 @@ fn main() {
                 }
                 // A speedup sanity check only means something when the
                 // host actually has the cores: single-core CI runners
-                // legitimately print ~1.0x across the board.
+                // legitimately print ~1.0x across the board. With >= 4
+                // cores, a 4-worker run that is no faster than 1 worker
+                // means the engine serialised somewhere — fail loudly.
                 let cores = fleet::available_parallelism();
                 if cores >= 4 {
                     if let Some(r4) = rows.iter().find(|r| r.workers == 4) {
                         if r4.speedup <= 1.0 {
-                            info!(
+                            error!(
                                 "fleet: 4-worker speedup {:.2}x on a {cores}-core host \
-                                 (expected > 1x; not failing — timing is machine-dependent)",
+                                 (expected > 1x)",
                                 r4.speedup
                             );
+                            std::process::exit(1);
                         }
                     }
                 } else {
@@ -658,6 +919,9 @@ fn main() {
         let results = h.results().to_vec();
         write_json(&opts.out, "BENCH_2", &results);
         h.finish();
+    }
+    if opts.experiments.iter().any(|e| e == "bench-gate") {
+        run_bench_gate(&opts);
     }
     info!("done.");
 }

@@ -1,0 +1,322 @@
+//! The collector daemon: a push listener (length-prefixed JSON frames)
+//! and an HTTP listener (`/`, `/snapshot`, `/status`, `/metrics`,
+//! `/healthz`), both thread-per-connection over one shared
+//! [`Ingest`].
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fleet::CampaignSpec;
+use obs::{info, warn, Json, Registry};
+use wire::framing::{read_frame, write_frame, FrameError};
+
+use crate::dashboard;
+use crate::http::{read_request, respond};
+use crate::ingest::{Ingest, ShardInfo};
+use crate::protocol::{ack_doc, error_doc, parse_push, IngestError, PushOutcome};
+
+struct Inner {
+    ingest: Mutex<Ingest>,
+    registry: Registry,
+    started: Instant,
+}
+
+/// A running (or ready-to-run) collector daemon. Cheap to clone; all
+/// clones share the same campaign state and metrics registry.
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+}
+
+impl Daemon {
+    /// A daemon expecting campaign `spec`.
+    pub fn new(spec: CampaignSpec) -> Daemon {
+        let registry = Registry::new();
+        registry
+            .gauge("collectord.devices.expected")
+            .set(spec.devices as i64);
+        Daemon {
+            inner: Arc::new(Inner {
+                ingest: Mutex::new(Ingest::new(spec)),
+                registry,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The daemon's own metrics registry (ingest counters, batch
+    /// latency, device gauges). Exported on `/metrics` alongside the
+    /// per-shard labelled series.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Whether the whole campaign population has been absorbed.
+    pub fn complete(&self) -> bool {
+        self.inner.ingest.lock().unwrap().complete()
+    }
+
+    /// Accept push connections forever. Each connection carries any
+    /// number of `push` frames; every frame is answered with an `ack`
+    /// or a typed `error` frame.
+    pub fn serve_ingest(&self, listener: TcpListener) {
+        info!(
+            "collectord: ingest listening on {}",
+            listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_string())
+        );
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let daemon = self.clone();
+                    std::thread::spawn(move || daemon.handle_push_conn(stream));
+                }
+                Err(e) => warn!("collectord: accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Accept HTTP connections forever (one GET per connection).
+    pub fn serve_http(&self, listener: TcpListener) {
+        info!(
+            "collectord: http listening on {}",
+            listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_string())
+        );
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let daemon = self.clone();
+                    std::thread::spawn(move || daemon.handle_http_conn(stream));
+                }
+                Err(e) => warn!("collectord: accept failed: {e}"),
+            }
+        }
+    }
+
+    fn handle_push_conn(&self, mut stream: TcpStream) {
+        let reg = &self.inner.registry;
+        loop {
+            let payload = match read_frame(&mut stream) {
+                Ok(p) => p,
+                Err(FrameError::Closed) => return,
+                Err(e) => {
+                    warn!("collectord: dropping push connection: {e}");
+                    reg.counter("collectord.ingest.errors").inc();
+                    return;
+                }
+            };
+            reg.counter("collectord.ingest.bytes")
+                .add(payload.len() as u64);
+            let reply = self.ingest_frame(&payload);
+            if write_frame(&mut stream, reply.to_string().as_bytes()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Process one push frame and build the reply document. Split out
+    /// from the socket loop so tests can drive it without a network.
+    pub fn ingest_frame(&self, payload: &[u8]) -> Json {
+        let reg = &self.inner.registry;
+        reg.counter("collectord.ingest.pushes").inc();
+        let started = Instant::now();
+        let result: Result<_, IngestError> = (|| {
+            let push = parse_push(payload)?;
+            let mut ingest = self.inner.ingest.lock().unwrap();
+            ingest.push(&push.shard, &push.state, push.done, payload.len() as u64)
+        })();
+        match result {
+            Ok(ack) => {
+                reg.histogram_ms("collectord.ingest.batch_ms")
+                    .observe(started.elapsed().as_secs_f64() * 1e3);
+                match ack.outcome {
+                    PushOutcome::Duplicate | PushOutcome::Stale => {
+                        reg.counter("collectord.ingest.duplicates").inc()
+                    }
+                    _ => {}
+                }
+                reg.gauge("collectord.devices.absorbed")
+                    .set(ack.devices_absorbed as i64);
+                reg.gauge("collectord.devices.view")
+                    .set(ack.devices_view as i64);
+                if ack.complete {
+                    reg.gauge("collectord.campaign.complete").set(1);
+                }
+                ack_doc(&ack)
+            }
+            Err(e) => {
+                reg.counter("collectord.ingest.errors").inc();
+                reg.counter(&format!("collectord.ingest.rejected.{}", e.code()))
+                    .inc();
+                warn!("collectord: rejected push: {e}");
+                error_doc(&e)
+            }
+        }
+    }
+
+    fn handle_http_conn(&self, mut stream: TcpStream) {
+        let Some(req) = read_request(&mut stream) else {
+            return;
+        };
+        self.inner
+            .registry
+            .counter("collectord.http.requests")
+            .inc();
+        if req.method != "GET" {
+            let _ = respond(&mut stream, 405, "text/plain", "only GET is served\n");
+            return;
+        }
+        let _ = match req.path.as_str() {
+            "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+            "/snapshot" => {
+                let body = self.inner.ingest.lock().unwrap().snapshot_pretty();
+                respond(&mut stream, 200, "application/json", &body)
+            }
+            "/status" => {
+                let body = self.status_json().to_string_pretty();
+                respond(&mut stream, 200, "application/json", &body)
+            }
+            "/metrics" => {
+                let body = self.metrics_text();
+                respond(
+                    &mut stream,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                )
+            }
+            "/" => {
+                let ingest = self.inner.ingest.lock().unwrap();
+                let view = ingest.view().report();
+                let shards = shard_rows(&ingest);
+                let body = dashboard::render(
+                    ingest.spec(),
+                    &view,
+                    &shards,
+                    ingest.devices_absorbed(),
+                    ingest.complete(),
+                );
+                respond(&mut stream, 200, "text/html; charset=utf-8", &body)
+            }
+            _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+        };
+    }
+
+    /// The `/status` document: campaign identity, progress, and
+    /// per-shard heartbeats.
+    pub fn status_json(&self) -> Json {
+        let ingest = self.inner.ingest.lock().unwrap();
+        let spec = ingest.spec();
+        let mut campaign = Json::object();
+        campaign.set("seed", spec.seed.to_string());
+        campaign.set("devices", spec.devices);
+        campaign.set("probes_per_device", spec.probes_per_device);
+        campaign.set("fingerprint", format!("{:016x}", spec.fingerprint()));
+        let mut shards = Json::array();
+        for (label, info, age) in shard_rows(&ingest) {
+            let mut s = Json::object();
+            s.set("shard", label);
+            s.set("range_start", info.range_start);
+            s.set("devices_pushed", info.devices_pushed);
+            s.set("pushes", info.pushes);
+            s.set("bytes", info.bytes);
+            s.set("final", info.done);
+            s.set("heartbeat_age_ms", (age * 1e3).round());
+            shards.push(s);
+        }
+        let mut doc = Json::object();
+        doc.set("service", "collectord");
+        doc.set("campaign", campaign);
+        doc.set("devices_absorbed", ingest.devices_absorbed());
+        doc.set("devices_view", ingest.devices_view());
+        doc.set("complete", ingest.complete());
+        doc.set(
+            "uptime_secs",
+            self.inner.started.elapsed().as_secs_f64().round(),
+        );
+        doc.set("shards", shards);
+        doc
+    }
+
+    /// The `/metrics` body: the obs Prometheus exporter over the
+    /// daemon registry, extended with per-shard labelled series
+    /// (ingest counters, devices, final flag, and heartbeat age for
+    /// stall detection).
+    pub fn metrics_text(&self) -> String {
+        use obs::export::{escape_label_value, prometheus};
+        use std::fmt::Write as _;
+
+        let mut out = prometheus(&self.inner.registry.snapshot());
+        let ingest = self.inner.ingest.lock().unwrap();
+        let shards = shard_rows(&ingest);
+        if shards.is_empty() {
+            return out;
+        }
+        type SeriesValue<'a> = &'a dyn Fn(&ShardInfo, f64) -> String;
+        let series: [(&str, &str, &str, SeriesValue); 5] = [
+            (
+                "collectord_shard_pushes_total",
+                "counter",
+                "pushes accepted per shard",
+                &|i, _| i.pushes.to_string(),
+            ),
+            (
+                "collectord_shard_devices",
+                "gauge",
+                "devices covered by the shard's latest cumulative push",
+                &|i, _| i.devices_pushed.to_string(),
+            ),
+            (
+                "collectord_shard_bytes_total",
+                "counter",
+                "payload bytes received per shard",
+                &|i, _| i.bytes.to_string(),
+            ),
+            (
+                "collectord_shard_final",
+                "gauge",
+                "1 once the shard declared its slice complete",
+                &|i, _| (i.done as u8).to_string(),
+            ),
+            (
+                "collectord_shard_heartbeat_age_seconds",
+                "gauge",
+                "seconds since the shard's last push (stall detection)",
+                &|_, age| format!("{age:.3}"),
+            ),
+        ];
+        for (name, kind, help, value) in series {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (label, info, age) in &shards {
+                let _ = writeln!(
+                    out,
+                    "{name}{{shard=\"{}\"}} {}",
+                    escape_label_value(label),
+                    value(info, *age)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn shard_rows(ingest: &Ingest) -> Vec<(String, ShardInfo, f64)> {
+    ingest
+        .shards()
+        .iter()
+        .map(|(label, info)| {
+            (
+                label.clone(),
+                info.clone(),
+                info.last_push.elapsed().as_secs_f64(),
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,294 @@
+//! The ingest state machine: cumulative shard partials in, a gap-free
+//! merged campaign out.
+//!
+//! Shards push *cumulative* state — each push for a given
+//! `range_start` supersedes the previous one — so the protocol is
+//! naturally idempotent under loss, duplication, and reordering:
+//!
+//! * a re-sent push is a [`PushOutcome::Duplicate`] no-op,
+//! * a reordered older cumulative push is [`PushOutcome::Stale`] and
+//!   dropped,
+//! * a push for a slice that collides with a different shard's slice is
+//!   a typed [`IngestError::Overlap`] rejection.
+//!
+//! Only **final** slices (`final: true`, the shard's range complete)
+//! fold into the merged collector, and only in device-index order —
+//! the same fingerprint-validated [`fleet::Collector::absorb_state`]
+//! algebra `repro fleet-merge` uses — so once every partition lands,
+//! [`Ingest::snapshot_pretty`] is byte-identical to the one-shot merge
+//! and to an uninterrupted single-process run. Mid-campaign, a *view*
+//! overlays the buffered (non-final or out-of-order) slices on the
+//! merged prefix so `/snapshot` and the dashboard always show current
+//! totals.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use fleet::{CampaignSpec, Collector};
+use obs::Json;
+
+use crate::protocol::{Ack, IngestError, PushOutcome};
+
+/// Per-shard ingest bookkeeping, surfaced on `/metrics` (labelled
+/// series) and the dashboard.
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// First device index of the shard's slice.
+    pub range_start: u64,
+    /// Devices covered by the shard's latest cumulative push.
+    pub devices_pushed: u64,
+    /// Pushes accepted from this shard (including duplicates/stale).
+    pub pushes: u64,
+    /// Payload bytes received from this shard.
+    pub bytes: u64,
+    /// Whether the shard declared its slice complete.
+    pub done: bool,
+    /// When the last push arrived (heartbeat for stall detection).
+    pub last_push: Instant,
+}
+
+struct Pending {
+    collector: Collector,
+    done: bool,
+}
+
+/// The daemon's campaign state. One `Ingest` per expected campaign;
+/// pushes are validated against the campaign's
+/// [`CampaignSpec::fingerprint`] before anything is merged.
+pub struct Ingest {
+    spec: CampaignSpec,
+    /// Gap-free merged prefix: only final slices, in device order.
+    merged: Collector,
+    /// `(range_start, devices)` of every final slice already folded.
+    absorbed: Vec<(u64, u64)>,
+    /// Buffered cumulative slices keyed by `range_start`.
+    pending: BTreeMap<u64, Pending>,
+    /// Per-shard-label bookkeeping.
+    shards: BTreeMap<String, ShardInfo>,
+}
+
+impl Ingest {
+    /// An empty ingest for `spec`.
+    pub fn new(spec: CampaignSpec) -> Ingest {
+        let merged = Collector::new(&spec);
+        Ingest {
+            spec,
+            merged,
+            absorbed: Vec::new(),
+            pending: BTreeMap::new(),
+            shards: BTreeMap::new(),
+        }
+    }
+
+    /// The campaign this ingest expects.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Devices folded into the gap-free merged prefix.
+    pub fn devices_absorbed(&self) -> u64 {
+        self.merged.devices_seen()
+    }
+
+    /// Devices in the live view: merged prefix plus buffered slices.
+    pub fn devices_view(&self) -> u64 {
+        self.merged.devices_seen()
+            + self
+                .pending
+                .values()
+                .map(|p| p.collector.devices_seen())
+                .sum::<u64>()
+    }
+
+    /// Whether the whole population has been absorbed gap-free.
+    pub fn complete(&self) -> bool {
+        self.merged.devices_seen() == self.spec.devices
+    }
+
+    /// Per-shard bookkeeping, label-sorted.
+    pub fn shards(&self) -> &BTreeMap<String, ShardInfo> {
+        &self.shards
+    }
+
+    /// Ingest one push: validate, buffer or fold, and answer. `bytes`
+    /// is the frame payload size (bookkeeping only). Rejected pushes
+    /// leave every piece of campaign state untouched.
+    pub fn push(
+        &mut self,
+        shard: &str,
+        state: &Json,
+        done: bool,
+        bytes: u64,
+    ) -> Result<Ack, IngestError> {
+        let c = Collector::from_state_json(state).map_err(|e| IngestError::BadState(e.0))?;
+        c.verify_spec(&self.spec)
+            .map_err(|e| IngestError::SpecMismatch(e.0))?;
+        let (start, count) = (c.range_start(), c.devices_seen());
+        let end = start + count;
+        if end > self.spec.devices {
+            return Err(IngestError::RangeOutOfBounds {
+                start,
+                end,
+                devices: self.spec.devices,
+            });
+        }
+
+        let outcome = self.classify_and_store(start, count, c, done)?;
+        if matches!(outcome, PushOutcome::Absorbed | PushOutcome::Buffered) {
+            self.drain();
+        }
+        self.note_shard(shard, start, count, done, bytes);
+
+        // `Absorbed` only if the drain actually advanced past this
+        // slice; a buffered-behind-a-gap final stays `Buffered`.
+        let outcome = match outcome {
+            PushOutcome::Buffered if self.merged.next_index() >= end && count > 0 => {
+                PushOutcome::Absorbed
+            }
+            o => o,
+        };
+        Ok(Ack {
+            outcome,
+            devices_absorbed: self.devices_absorbed(),
+            devices_view: self.devices_view(),
+            complete: self.complete(),
+        })
+    }
+
+    /// Decide what to do with a validated slice and stash it if it is
+    /// new. Returns `Buffered` for anything that may drain, or the
+    /// idempotent outcomes.
+    fn classify_and_store(
+        &mut self,
+        start: u64,
+        count: u64,
+        c: Collector,
+        done: bool,
+    ) -> Result<PushOutcome, IngestError> {
+        // Slices at or behind the merged frontier: either a re-send of
+        // a folded final (idempotent) or a genuine collision.
+        if start < self.merged.next_index() {
+            if let Some(&(_, folded)) = self.absorbed.iter().find(|&&(s, _)| s == start) {
+                if count <= folded {
+                    return Ok(if count == folded && done {
+                        PushOutcome::Duplicate
+                    } else {
+                        PushOutcome::Stale
+                    });
+                }
+                // Claims more devices than the final slice we folded —
+                // two shards disagree about this range.
+                return Err(IngestError::Overlap {
+                    start,
+                    devices: count,
+                });
+            }
+            return Err(IngestError::Overlap {
+                start,
+                devices: count,
+            });
+        }
+
+        // Collision checks against buffered neighbours (other shards'
+        // slices are disjoint; same-start pushes supersede each other).
+        if let Some((&ps, prev)) = self.pending.range(..start).next_back() {
+            if ps + prev.collector.devices_seen() > start {
+                return Err(IngestError::Overlap {
+                    start,
+                    devices: count,
+                });
+            }
+        }
+        if let Some((&ns, _)) = self.pending.range(start + 1..).next() {
+            if start + count > ns {
+                return Err(IngestError::Overlap {
+                    start,
+                    devices: count,
+                });
+            }
+        }
+
+        match self.pending.get(&start) {
+            Some(prev) if count < prev.collector.devices_seen() => Ok(PushOutcome::Stale),
+            Some(prev) if count == prev.collector.devices_seen() => {
+                // Same coverage: keep the final flag if either push had
+                // it (a reordered non-final after the final must not
+                // un-finalize the slice).
+                let keep_done = prev.done || done;
+                self.pending.insert(
+                    start,
+                    Pending {
+                        collector: c,
+                        done: keep_done,
+                    },
+                );
+                Ok(if done {
+                    PushOutcome::Duplicate
+                } else {
+                    PushOutcome::Stale
+                })
+            }
+            _ => {
+                self.pending.insert(start, Pending { collector: c, done });
+                Ok(PushOutcome::Buffered)
+            }
+        }
+    }
+
+    /// Fold every contiguous final slice at the merged frontier.
+    fn drain(&mut self) {
+        while let Some(p) = self.pending.get(&self.merged.next_index()) {
+            if !p.done {
+                break;
+            }
+            let start = self.merged.next_index();
+            let p = self.pending.remove(&start).expect("checked above");
+            let count = p.collector.devices_seen();
+            self.merged
+                .absorb_state(&p.collector)
+                .expect("contiguous final slice always folds");
+            self.absorbed.push((start, count));
+        }
+    }
+
+    fn note_shard(&mut self, shard: &str, start: u64, count: u64, done: bool, bytes: u64) {
+        let info = self.shards.entry(shard.to_string()).or_insert(ShardInfo {
+            range_start: start,
+            devices_pushed: 0,
+            pushes: 0,
+            bytes: 0,
+            done: false,
+            last_push: Instant::now(),
+        });
+        info.range_start = start;
+        info.devices_pushed = info.devices_pushed.max(count);
+        info.pushes += 1;
+        info.bytes += bytes;
+        info.done |= done;
+        info.last_push = Instant::now();
+    }
+
+    /// The live view: the merged prefix plus every buffered slice, in
+    /// device order. Exact in every count/sketch/histogram; only the
+    /// registry sample reservoirs can differ from a gap-free run while
+    /// gaps remain (see [`Collector::absorb_state_for_view`]). Once
+    /// [`Ingest::complete`], the view *is* the merged collector.
+    pub fn view(&self) -> Collector {
+        let mut v = Collector::from_state_json(&self.merged.state_json())
+            .expect("collector state round-trips");
+        for p in self.pending.values() {
+            v.absorb_state_for_view(&p.collector)
+                .expect("buffered slices are validated disjoint");
+        }
+        v
+    }
+
+    /// The `/snapshot` body: the live campaign report, pretty-printed.
+    /// Byte-identical to `repro fleet-merge` output (and to an
+    /// uninterrupted single-process `fleet.json`) once all partitions
+    /// have landed.
+    pub fn snapshot_pretty(&self) -> String {
+        use obs::ToJson;
+        self.view().report().to_json().to_string_pretty()
+    }
+}

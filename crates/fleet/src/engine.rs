@@ -76,6 +76,36 @@ pub struct CheckpointPolicy {
     pub every: u64,
 }
 
+/// A streaming progress hook for [`RunOptions`]: the engine calls `f`
+/// with the collector's cumulative state every `every` absorbed devices
+/// and once more when the range completes (`done = true`).
+///
+/// This is how a `--push-to` shard feeds the collector daemon while it
+/// runs: each call serializes [`Collector::state_json`] and ships it as
+/// a cumulative partial, the final call marked `done` so the daemon
+/// knows the shard's slice is complete. The hook runs on the collector
+/// thread, between absorptions — it sees a consistent, contiguous
+/// prefix of the shard's range every time.
+#[derive(Clone)]
+pub struct ProgressSink {
+    /// Devices between progress calls (must be ≥ 1).
+    pub every: u64,
+    /// The hook: `(collector-so-far, done)`.
+    pub f: ProgressFn,
+}
+
+/// The [`ProgressSink`] callback: `(collector-so-far, done)`, shared
+/// across the collector thread and whoever registered it.
+pub type ProgressFn = std::sync::Arc<dyn Fn(&Collector, bool) + Send + Sync>;
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Options for [`run_campaign_opts`] and [`resume_campaign`].
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -86,6 +116,10 @@ pub struct RunOptions {
     /// report. Checkpoints due at or before the halt point are written
     /// first, exactly as they would be before a real crash.
     pub halt_after_devices: Option<u64>,
+    /// Streaming progress hook (cumulative pushes to a collector
+    /// daemon). Not called after a halt: a halted run's tail is
+    /// recomputed on resume, exactly like after a real kill.
+    pub progress: Option<ProgressSink>,
 }
 
 fn write_checkpoint(cp: &CheckpointPolicy, state: &Json) {
@@ -175,6 +209,12 @@ fn run_range(
                         write_checkpoint(cp, &collector.state_json());
                     }
                 }
+                if let Some(ps) = &opts.progress {
+                    let done = expect - start_index;
+                    if ps.every > 0 && done.is_multiple_of(ps.every) && expect < end {
+                        (ps.f)(&collector, false);
+                    }
+                }
                 if let Some(h) = opts.halt_after_devices {
                     if expect - start_index >= h {
                         halted = true;
@@ -200,6 +240,12 @@ fn run_range(
             assert_eq!(expect, end, "absorption stopped early at device {expect}");
         }
     });
+
+    if !halted {
+        if let Some(ps) = &opts.progress {
+            (ps.f)(&collector, true);
+        }
+    }
 
     let wall = start.elapsed();
     let stats = RunStats {
@@ -306,10 +352,28 @@ pub fn partition_range(devices: u64, i: u64, k: u64) -> (u64, u64) {
 /// [`Collector::state_json`]; `k` such partials fold back into the
 /// single-process report with [`crate::report::merge_partials`].
 pub fn run_partition(spec: &CampaignSpec, workers: usize, i: u64, k: u64) -> (Collector, RunStats) {
+    run_partition_opts(spec, workers, i, k, &RunOptions::default())
+}
+
+/// [`run_partition`] with [`RunOptions`] — in particular a
+/// [`ProgressSink`] that streams the partition's cumulative state to a
+/// collector daemon while it runs. `halt_after_devices` is ignored for
+/// partitions (a partition is already a slice; kill-resume composes at
+/// the campaign level).
+pub fn run_partition_opts(
+    spec: &CampaignSpec,
+    workers: usize,
+    i: u64,
+    k: u64,
+    opts: &RunOptions,
+) -> (Collector, RunStats) {
     let (start, end) = partition_range(spec.devices, i, k);
     let collector = Collector::new_range(spec, start);
-    let (collector, stats, halted) =
-        run_range(spec, workers, collector, end, &RunOptions::default());
+    let opts = RunOptions {
+        halt_after_devices: None,
+        ..opts.clone()
+    };
+    let (collector, stats, halted) = run_range(spec, workers, collector, end, &opts);
     assert!(!halted);
     (collector, stats)
 }
@@ -438,6 +502,7 @@ mod tests {
         let opts = RunOptions {
             checkpoint: None,
             halt_after_devices: Some(5),
+            progress: None,
         };
         let (report, stats) = run_campaign_opts(&spec, 3, &opts);
         assert!(report.is_none());

@@ -8,7 +8,7 @@
 //! distributions look like?
 //!
 //! A [`CampaignSpec`] declares the population (weighted
-//! [`DeviceClass`] strata). The [`engine`](crate::engine) fans device
+//! [`DeviceClass`] strata). The [`engine`] fans device
 //! indices across a fixed pool of OS worker threads; each runs a
 //! deterministically-seeded simulation shard ([`run_device`]) and
 //! streams a [`DevicePartial`] — mergeable sketches and an [`obs`]
@@ -45,8 +45,8 @@ pub mod spec;
 
 pub use engine::{
     available_parallelism, partition_range, render_scaling, resume_campaign, run_campaign,
-    run_campaign_opts, run_partition, scaling_table, CheckpointPolicy, RunOptions, RunStats,
-    ScalingRow,
+    run_campaign_opts, run_partition, run_partition_opts, scaling_table, CheckpointPolicy,
+    ProgressFn, ProgressSink, RunOptions, RunStats, ScalingRow,
 };
 pub use report::{
     merge_partials, CampaignReport, CampaignStateError, Collector, StratumReport,

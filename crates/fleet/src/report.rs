@@ -181,6 +181,16 @@ impl Collector {
         self.devices_seen
     }
 
+    /// The campaign seed this collector was created for.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The [`CampaignSpec::fingerprint`] this collector was created for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// First device index of the range this collector covers.
     pub fn range_start(&self) -> u64 {
         self.range_start
@@ -409,6 +419,72 @@ impl Collector {
         self.registry.merge_snapshot(&other.registry.snapshot());
         self.devices_seen += other.devices_seen;
         Ok(())
+    }
+
+    /// Fold another collector's state into this one *for a live view*,
+    /// tolerating gaps: unlike [`Collector::absorb_state`], `other` may
+    /// start anywhere at or past this collector's
+    /// [`Collector::next_index`]. All counter/sketch/histogram algebra
+    /// is order- and gap-independent, so every number in the view is
+    /// exact; the one caveat is the registry's first-N sample
+    /// reservoirs, which may retain different raw samples than a
+    /// gap-free absorption would. The collector daemon uses this for
+    /// mid-campaign `/snapshot`s — the *final* snapshot (all partitions
+    /// landed) always comes from the gap-free [`Collector::absorb_state`]
+    /// path and is byte-identical to a single-process run.
+    pub fn absorb_state_for_view(&mut self, other: &Collector) -> Result<(), CampaignStateError> {
+        if other.fingerprint != self.fingerprint || other.seed != self.seed {
+            return Err(CampaignStateError(
+                "cannot merge partials from different campaign specs".to_string(),
+            ));
+        }
+        if other.range_start < self.next_index() {
+            return Err(CampaignStateError(format!(
+                "view partial starting at device {} overlaps merged range ending at {}",
+                other.range_start,
+                self.next_index()
+            )));
+        }
+        if other.strata.len() != self.strata.len() {
+            return Err(CampaignStateError(
+                "partials disagree on stratum count".to_string(),
+            ));
+        }
+        for (s, o) in self.strata.iter_mut().zip(&other.strata) {
+            s.devices += o.devices;
+            s.probes_sent += o.probes_sent;
+            s.probes_completed += o.probes_completed;
+            s.retries += o.retries;
+            s.du.merge(&o.du);
+            s.dn.merge(&o.dn);
+            s.overhead.merge(&o.overhead);
+        }
+        self.du_all.merge(&other.du_all);
+        self.overhead_all.merge(&other.overhead_all);
+        self.registry.merge_snapshot(&other.registry.snapshot());
+        // Count only devices actually absorbed; gap devices haven't run.
+        // Disjointness of successive view slices is the caller's
+        // responsibility (the daemon's pending map is keyed and
+        // validated by range), which the range_start check above
+        // backstops for the contiguous prefix.
+        self.devices_seen += other.devices_seen;
+        Ok(())
+    }
+
+    /// The report of everything absorbed *so far*, without consuming
+    /// the collector — the live-snapshot counterpart of
+    /// [`Collector::finish`]. Once a collector has absorbed its whole
+    /// campaign, `report()` and `finish()` serialize identically.
+    pub fn report(&self) -> CampaignReport {
+        CampaignReport {
+            seed: self.seed,
+            devices: self.devices_seen,
+            probes_per_device: self.probes_per_device,
+            strata: self.strata.clone(),
+            du_all: self.du_all.clone(),
+            overhead_all: self.overhead_all.clone(),
+            obs: self.registry.snapshot(),
+        }
     }
 
     /// Finish the campaign and emit the report.

@@ -43,30 +43,87 @@ pub fn json_lines(snap: &Snapshot) -> String {
     out
 }
 
-/// Prometheus text exposition format (`# TYPE` headers, cumulative `le`
-/// buckets, `_sum`/`_count` series). Metric names have `.` and `-`
-/// folded to `_`.
+/// Prometheus text exposition format, conformant with the text-format
+/// spec: one `# HELP` + `# TYPE` pair per metric *family* (families
+/// that sanitize to the same name are emitted once), counters suffixed
+/// `_total`, cumulative `le` buckets with `_sum`/`_count` series, and
+/// escaped label values / help text. Metric names have every
+/// non-`[a-zA-Z0-9_]` character folded to `_`; the `# HELP` line
+/// carries the original dotted name so the mapping stays visible.
 pub fn prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut header = |out: &mut String, family: &str, orig: &str, kind: &str| {
+        if seen.insert(family.to_string()) {
+            let _ = writeln!(out, "# HELP {family} {}", escape_help(orig));
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+        }
+    };
     for (name, v) in &snap.counters {
-        let n = sanitize(name);
-        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        let n = counter_family(name);
+        header(&mut out, &n, name, "counter");
+        let _ = writeln!(out, "{n} {v}");
     }
     for (name, v) in &snap.gauges {
         let n = sanitize(name);
-        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        header(&mut out, &n, name, "gauge");
+        let _ = writeln!(out, "{n} {v}");
     }
     for h in &snap.histograms {
         let n = sanitize(&h.name);
-        let _ = writeln!(out, "# TYPE {n} histogram");
+        header(&mut out, &n, &h.name, "histogram");
         let mut cum = 0u64;
         for (bound, count) in h.bounds.iter().zip(&h.buckets) {
             cum += count;
-            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cum}");
+            let _ = writeln!(
+                out,
+                "{n}_bucket{{le=\"{}\"}} {cum}",
+                escape_label_value(&bound.to_string())
+            );
         }
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// The sanitized family name of a counter: `_total`-suffixed per the
+/// Prometheus naming convention (idempotent when the name already ends
+/// in `_total`).
+pub fn counter_family(name: &str) -> String {
+    let n = sanitize(name);
+    if n.ends_with("_total") {
+        n
+    } else {
+        format!("{n}_total")
+    }
+}
+
+/// Escape a label value for the Prometheus text format: backslash,
+/// double-quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -157,8 +214,9 @@ mod tests {
     #[test]
     fn prometheus_cumulative_buckets() {
         let text = prometheus(&sample_registry().snapshot());
-        assert!(text.contains("# TYPE sim_events counter\nsim_events 42"));
-        assert!(text.contains("sim_queue_depth 7"));
+        assert!(text.contains("# HELP sim_events_total sim.events"));
+        assert!(text.contains("# TYPE sim_events_total counter\nsim_events_total 42"));
+        assert!(text.contains("# TYPE sim_queue_depth gauge\nsim_queue_depth 7"));
         assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"1\"} 1"));
         assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"10\"} 1"));
         assert!(text.contains("phone_sdio_wake_latency_ms_bucket{le=\"100\"} 3"));
@@ -181,9 +239,47 @@ mod tests {
         r.counter("netem.link-a.b/c forwarded").inc();
         let text = prometheus(&r.snapshot());
         assert!(
-            text.contains("netem_link_a_b_c_forwarded 1"),
+            text.contains("netem_link_a_b_c_forwarded_total 1"),
             "every non-alphanumeric character folds to '_': {text}"
         );
+    }
+
+    #[test]
+    fn prometheus_counters_are_total_suffixed_once() {
+        let r = Registry::new();
+        r.counter("probes.sent").add(3);
+        r.counter("frames.dropped_total").add(2);
+        let text = prometheus(&r.snapshot());
+        assert!(text.contains("probes_sent_total 3"), "{text}");
+        // Idempotent: an already-suffixed name is not doubled.
+        assert!(text.contains("frames_dropped_total 2"), "{text}");
+        assert!(!text.contains("_total_total"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_emits_help_and_type_once_per_family() {
+        // Two dotted names that sanitize to the same family must not
+        // repeat the HELP/TYPE header.
+        let r = Registry::new();
+        r.counter("a.b").inc();
+        r.counter("a-b").inc();
+        let text = prometheus(&r.snapshot());
+        assert_eq!(
+            text.matches("# TYPE a_b_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("# HELP a_b_total").count(), 1, "{text}");
+        // Both series still appear.
+        assert_eq!(text.matches("a_b_total 1").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        assert_eq!(escape_label_value("plain"), "plain");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   handled per [`CensoredSample`];
 //! * [`render`]: ASCII tables, box-plot strips, and CDF plots for the
 //!   terminal-based experiment runners;
-//! * [`bench`]: the offline wall-clock benchmark harness shared by
+//! * [`mod@bench`]: the offline wall-clock benchmark harness shared by
 //!   `cargo bench` and `repro bench-snapshot`.
 
 #![deny(missing_docs)]

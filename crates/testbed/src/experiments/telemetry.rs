@@ -1,5 +1,5 @@
 //! An instrumented AcuteMon-vs-ping session: the standard Fig. 2 testbed
-//! with a telemetry [`Registry`](obs::Registry) attached to every layer.
+//! with a telemetry [`Registry`] attached to every layer.
 //!
 //! This is the observability counterpart of the Table 3 / Fig. 3
 //! experiments: the same per-probe breakdowns (`∆dk−v`, `∆dv−n`), but

@@ -2,7 +2,7 @@
 //!
 //! The telemetry experiment cross-checks aggregate counters against the
 //! classic breakdowns; this one goes one level deeper. With a
-//! [`Tracer`](obs::Tracer) attached to the testbed, every probe yields a
+//! [`Tracer`] attached to the testbed, every probe yields a
 //! span tree — runtime crossing, kernel, SDIO wake, PSM doze wake, AP
 //! beacon buffering, the emulated link and server — whose gap-filled
 //! leaves exactly partition the user-level RTT `du`. The reconciliation

@@ -12,13 +12,16 @@
 //!   `simcore` engine;
 //! * [`codec`]: complete IPv4/ICMP/UDP/TCP serialization with correct
 //!   checksums, and parsers that verify them;
-//! * [`PcapWriter`]: export of sniffer captures as standard pcap files.
+//! * [`PcapWriter`]: export of sniffer captures as standard pcap files;
+//! * [`framing`]: length-prefixed message frames for the collector
+//!   daemon's push protocol.
 
 #![warn(missing_docs)]
 
 mod addr;
 pub mod codec;
 mod frame;
+pub mod framing;
 mod msg;
 mod packet;
 pub mod pcap;
