@@ -12,7 +12,7 @@
 //!       [--bench-baseline FILE] [--bench-candidate FILE] [--bench-factor F]
 //!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
 //!        seeds|ablations|faults|telemetry|waterfall|fleet|
-//!        fleet-merge|collectord|bench-snapshot|bench-gate|all]...
+//!        fleet-merge|collectord|profile|bench-snapshot|bench-gate|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
@@ -60,6 +60,13 @@
 use std::path::{Path, PathBuf};
 
 use obs::{error, info, warn, Registry, ToJson, Tracer};
+
+// Count allocations into the profiler's thread-local counters so
+// `repro profile` attributes heap traffic per phase. Pure counting on
+// top of the system allocator; without it the allocation columns read
+// zero but everything else works.
+#[global_allocator]
+static ALLOC: obs::prof::CountingAlloc = obs::prof::CountingAlloc;
 use testbed::experiments::{
     ablations, faults, fig7, fig8, fig9, ping_matrix, seeds, table1, table3, table4, table5,
     telemetry, waterfall,
@@ -270,7 +277,7 @@ fn parse_args() -> Options {
                      [--bench-factor F] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
                      seeds|ablations|faults|telemetry|waterfall|fleet|\
-                     fleet-merge|collectord|bench-snapshot|bench-gate|all]...\n\
+                     fleet-merge|collectord|profile|bench-snapshot|bench-gate|all]...\n\
                      \n\
                      --trace-out FILE    write the waterfall session's spans as\n\
                      \u{20}                    Chrome trace_event JSON (chrome://tracing)\n\
@@ -299,6 +306,14 @@ fn parse_args() -> Options {
                      with --push-to, and /snapshot serves the live campaign\n\
                      JSON (byte-identical to fleet.json once complete).\n\
                      \n\
+                     profile runs a self-profiled fleet campaign\n\
+                     (--seed/--fleet-devices/--fleet-workers), prints the\n\
+                     per-phase / per-stratum attribution table, writes\n\
+                     profile.json, profile.folded (flamegraph folded\n\
+                     stacks) and profile_trace.json (chrome://tracing),\n\
+                     and fails if less than 95% of the thread-time budget\n\
+                     is attributed to named phases.\n\
+                     \n\
                      fleet and bench-snapshot run only when named explicitly\n\
                      (not under 'all'); fleet writes fleet.json, bench-snapshot\n\
                      writes BENCH_2.json (median ns per scenario). bench-gate\n\
@@ -320,7 +335,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 20] = [
+    const KNOWN: [&str; 21] = [
         "table1",
         "table2",
         "table3",
@@ -338,6 +353,7 @@ fn parse_args() -> Options {
         "fleet",
         "fleet-merge",
         "collectord",
+        "profile",
         "bench-snapshot",
         "bench-gate",
         "all",
@@ -392,6 +408,18 @@ fn run_collectord(opts: &Options) -> ! {
     unreachable!("serve_http loops forever");
 }
 
+/// Live engine telemetry for a push, from the engine's progress
+/// callback metadata.
+fn shard_telemetry(progress: &fleet::Progress) -> wire::telemetry::ShardTelemetry {
+    wire::telemetry::ShardTelemetry {
+        devices_per_sec: progress.devices_per_sec(),
+        workers: progress.workers as u64,
+        per_worker_devices: progress.per_worker_devices.clone(),
+        queue_depth: progress.queue_depth as u64,
+        phase_self_ns: progress.phase_self_ns.clone(),
+    }
+}
+
 /// Run the fleet partition slice `i/k`, optionally streaming cumulative
 /// state to a collectord daemon, and write the mergeable partial.
 fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usize) {
@@ -415,26 +443,30 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
     });
     let client = std::sync::Arc::new(client);
     let run_opts = fleet::RunOptions {
-        checkpoint: None,
-        halt_after_devices: None,
         progress: opts.push_to.as_ref().map(|_| {
             let client = client.clone();
             fleet::ProgressSink {
                 every: opts.push_every,
-                f: std::sync::Arc::new(move |collector, done| {
+                f: std::sync::Arc::new(move |collector, progress, done| {
                     // The final push happens explicitly below, off the
                     // returned collector, so failures can be fatal there.
                     if done {
                         return;
                     }
                     if let Some(c) = client.as_ref() {
-                        if let Err(e) = c.lock().unwrap().push(collector, false) {
+                        let telemetry = shard_telemetry(progress);
+                        if let Err(e) = c.lock().unwrap().push_with_telemetry(
+                            collector,
+                            false,
+                            Some(&telemetry),
+                        ) {
                             warn!("fleet: mid-run push failed (continuing): {e}");
                         }
                     }
                 }),
             }
         }),
+        ..fleet::RunOptions::default()
     };
     let (collector, stats) = fleet::run_partition_opts(spec, workers, i, k, &run_opts);
     if let Some(c) = client.as_ref() {
@@ -467,6 +499,56 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
     );
 }
 
+/// Run a self-profiled fleet campaign and report where the engine's
+/// wall-clock time and allocations went. Exits non-zero when less than
+/// 95% of the thread-time budget lands in named phases — the
+/// profiler's own accounting has to stay honest before its numbers
+/// mean anything.
+fn run_profile(opts: &Options) {
+    let workers = opts
+        .fleet_workers
+        .unwrap_or_else(fleet::available_parallelism);
+    let spec = fleet::CampaignSpec::heterogeneous(opts.seed, opts.fleet_devices);
+    info!(
+        "profiling fleet campaign: {} devices × {} probes on {workers} workers ...",
+        spec.devices, spec.probes_per_device
+    );
+    let run_opts = fleet::RunOptions {
+        profiler: obs::Profiler::new(),
+        ..fleet::RunOptions::default()
+    };
+    let (report, mut stats) = fleet::run_campaign_opts(&spec, workers, &run_opts);
+    assert!(report.is_some(), "no halt hook configured");
+    let profile = stats.profile.take().expect("profiler was enabled");
+    println!("\n{}", profile.render());
+    println!(
+        "throughput: {:.1} devices/s on {} workers ({:.2} s wall)",
+        stats.devices_per_sec(),
+        stats.workers,
+        stats.wall.as_secs_f64(),
+    );
+    write_json(&opts.out, "profile", &profile);
+    write_raw(&opts.out, "profile.folded", profile.folded());
+    write_raw(
+        &opts.out,
+        "profile_trace.json",
+        profile.chrome_trace().to_string_pretty(),
+    );
+    let frac = profile.attributed_fraction();
+    if frac < 0.95 {
+        error!(
+            "profile: only {:.1}% of the thread-time budget attributed \
+             (need >= 95%) — the profiler is losing time somewhere",
+            100.0 * frac
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "profile: {:.1}% of the thread-time budget attributed.",
+        100.0 * frac
+    );
+}
+
 /// Read a `BENCH_*.json` snapshot into `(name, p50_ns)` pairs.
 fn read_bench(path: &Path) -> Vec<(String, f64)> {
     let body = std::fs::read_to_string(path)
@@ -489,10 +571,11 @@ fn read_bench(path: &Path) -> Vec<(String, f64)> {
 }
 
 /// Compare candidate bench medians against the committed baseline. The
-/// `obs_tracer_*` scenarios gate (they are tight, allocation-free inner
-/// loops whose cost is what PR 2's tracer budget promised); everything
-/// else is reported informationally — full experiments vary too much
-/// across machines to gate on.
+/// `obs_tracer_*` and `obs_prof_*` scenarios gate (they are tight,
+/// allocation-free inner loops whose cost is what the tracer and
+/// profiler budgets promised); everything else is reported
+/// informationally — full experiments vary too much across machines to
+/// gate on.
 fn run_bench_gate(opts: &Options) {
     let candidate_path = opts.bench_candidate.clone().unwrap_or_else(|| {
         die("bench-gate needs --bench-candidate FILE (from a bench-snapshot run)")
@@ -500,7 +583,7 @@ fn run_bench_gate(opts: &Options) {
     let baseline = read_bench(&opts.bench_baseline);
     let candidate = read_bench(&candidate_path);
     info!(
-        "bench-gate: {} vs baseline {} (factor {}x on obs_tracer_*)",
+        "bench-gate: {} vs baseline {} (factor {}x on obs_tracer_* / obs_prof_*)",
         candidate_path.display(),
         opts.bench_baseline.display(),
         opts.bench_factor
@@ -520,7 +603,7 @@ fn run_bench_gate(opts: &Options) {
         } else {
             1.0
         };
-        let gated = name.starts_with("obs_tracer_");
+        let gated = name.starts_with("obs_tracer_") || name.starts_with("obs_prof_");
         let fails = gated && ratio > opts.bench_factor;
         println!(
             "{:<28} {:>12.0}ns {:>12.0}ns {:>7.2}x  {}",
@@ -548,7 +631,7 @@ fn run_bench_gate(opts: &Options) {
         }
         std::process::exit(1);
     }
-    println!("\nbench-gate: tracer budget holds.");
+    println!("\nbench-gate: tracer and profiler budgets hold.");
 }
 
 fn main() {
@@ -752,7 +835,7 @@ fn main() {
                 every: opts.checkpoint_every,
             }),
             halt_after_devices: opts.fleet_halt_after,
-            progress: None,
+            ..fleet::RunOptions::default()
         };
 
         if opts.partition.is_some() || opts.push_to.is_some() {
@@ -845,6 +928,10 @@ fn main() {
             }
         }
     }
+    // Explicit-only like fleet: a profiled campaign is the same size.
+    if opts.experiments.iter().any(|e| e == "profile") {
+        run_profile(&opts);
+    }
     if opts.experiments.iter().any(|e| e == "fleet-merge") {
         if opts.merge_inputs.is_empty() {
             die("fleet-merge needs at least one partial-report path");
@@ -915,6 +1002,29 @@ fn main() {
             let root = t.start_span(trace, None, "probe", "app", 0);
             t.end_span(root, 1_000_000);
             t.sampling_stats().sampled_out
+        });
+        // The profiler's guard cost, mirroring the tracer pair: a
+        // 3-deep phase chain with the profiler on (interned, timed)
+        // and off (one branch per guard). Profilers built outside the
+        // closure so the bench measures guards, not setup.
+        let prof_on = obs::Profiler::new();
+        {
+            // Warm the intern table + timeline so the steady state is
+            // what gets measured.
+            let _a = prof_on.phase("probe");
+            let _b = prof_on.phase("des");
+            let _c = prof_on.phase("fold");
+        }
+        h.bench("obs_prof_enabled_phase", || {
+            let _a = prof_on.phase("probe");
+            let _b = prof_on.phase("des");
+            let _c = prof_on.phase("fold");
+        });
+        let prof_off = obs::Profiler::disabled();
+        h.bench("obs_prof_disabled_phase", || {
+            let _a = prof_off.phase("probe");
+            let _b = prof_off.phase("des");
+            let _c = prof_off.phase("fold");
         });
         let results = h.results().to_vec();
         write_json(&opts.out, "BENCH_2", &results);

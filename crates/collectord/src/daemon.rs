@@ -129,7 +129,11 @@ impl Daemon {
         let result: Result<_, IngestError> = (|| {
             let push = parse_push(payload)?;
             let mut ingest = self.inner.ingest.lock().unwrap();
-            ingest.push(&push.shard, &push.state, push.done, payload.len() as u64)
+            let ack = ingest.push(&push.shard, &push.state, push.done, payload.len() as u64)?;
+            if let Some(t) = push.telemetry {
+                ingest.note_telemetry(&push.shard, t);
+            }
+            Ok(ack)
         })();
         match result {
             Ok(ack) => {
@@ -201,6 +205,8 @@ impl Daemon {
                     &shards,
                     ingest.devices_absorbed(),
                     ingest.complete(),
+                    ingest.throughput_dps(),
+                    ingest.eta_secs(),
                 );
                 respond(&mut stream, 200, "text/html; charset=utf-8", &body)
             }
@@ -228,6 +234,13 @@ impl Daemon {
             s.set("bytes", info.bytes);
             s.set("final", info.done);
             s.set("heartbeat_age_ms", (age * 1e3).round());
+            if let Some(rate) = info.best_rate_dps() {
+                s.set("devices_per_sec", rate);
+            }
+            if let Some(t) = &info.telemetry {
+                s.set("workers", t.workers);
+                s.set("queue_depth", t.queue_depth);
+            }
             shards.push(s);
         }
         let mut doc = Json::object();
@@ -240,6 +253,10 @@ impl Daemon {
             "uptime_secs",
             self.inner.started.elapsed().as_secs_f64().round(),
         );
+        doc.set("devices_per_sec", ingest.throughput_dps());
+        if let Some(eta) = ingest.eta_secs() {
+            doc.set("eta_secs", eta);
+        }
         doc.set("shards", shards);
         doc
     }
@@ -257,6 +274,24 @@ impl Daemon {
         let shards = shard_rows(&ingest);
         if shards.is_empty() {
             return out;
+        }
+        let _ = writeln!(
+            out,
+            "# HELP collectord_campaign_devices_per_sec summed live-shard throughput"
+        );
+        let _ = writeln!(out, "# TYPE collectord_campaign_devices_per_sec gauge");
+        let _ = writeln!(
+            out,
+            "collectord_campaign_devices_per_sec {:.3}",
+            ingest.throughput_dps()
+        );
+        if let Some(eta) = ingest.eta_secs() {
+            let _ = writeln!(
+                out,
+                "# HELP collectord_campaign_eta_seconds estimated seconds to completion"
+            );
+            let _ = writeln!(out, "# TYPE collectord_campaign_eta_seconds gauge");
+            let _ = writeln!(out, "collectord_campaign_eta_seconds {eta:.3}");
         }
         type SeriesValue<'a> = &'a dyn Fn(&ShardInfo, f64) -> String;
         let series: [(&str, &str, &str, SeriesValue); 5] = [
@@ -301,6 +336,64 @@ impl Daemon {
                     escape_label_value(label),
                     value(info, *age)
                 );
+            }
+        }
+        // Sparse series: only shards with a usable rate / telemetry
+        // emit samples, so a fresh or telemetry-less shard contributes
+        // nothing rather than a fake zero.
+        let rated: Vec<_> = shards
+            .iter()
+            .filter_map(|(l, i, _)| i.best_rate_dps().map(|r| (l, r)))
+            .collect();
+        if !rated.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP collectord_shard_devices_per_sec devices/sec per shard \
+                 (push-delta derived, falling back to self-reported)"
+            );
+            let _ = writeln!(out, "# TYPE collectord_shard_devices_per_sec gauge");
+            for (label, rate) in rated {
+                let _ = writeln!(
+                    out,
+                    "collectord_shard_devices_per_sec{{shard=\"{}\"}} {rate:.3}",
+                    escape_label_value(label)
+                );
+            }
+        }
+        let telemetered: Vec<_> = shards
+            .iter()
+            .filter_map(|(l, i, _)| i.telemetry.as_ref().map(|t| (l, t)))
+            .collect();
+        if !telemetered.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP collectord_shard_queue_depth reorder-buffer depth self-reported by the shard"
+            );
+            let _ = writeln!(out, "# TYPE collectord_shard_queue_depth gauge");
+            for (label, t) in &telemetered {
+                let _ = writeln!(
+                    out,
+                    "collectord_shard_queue_depth{{shard=\"{}\"}} {}",
+                    escape_label_value(label),
+                    t.queue_depth
+                );
+            }
+            if telemetered.iter().any(|(_, t)| !t.phase_self_ns.is_empty()) {
+                let _ = writeln!(
+                    out,
+                    "# HELP collectord_shard_phase_self_ns self time per engine phase, nanoseconds"
+                );
+                let _ = writeln!(out, "# TYPE collectord_shard_phase_self_ns gauge");
+                for (label, t) in &telemetered {
+                    for (phase, ns) in &t.phase_self_ns {
+                        let _ = writeln!(
+                            out,
+                            "collectord_shard_phase_self_ns{{shard=\"{}\",phase=\"{}\"}} {ns}",
+                            escape_label_value(label),
+                            escape_label_value(phase)
+                        );
+                    }
+                }
             }
         }
         out

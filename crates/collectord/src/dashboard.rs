@@ -28,15 +28,34 @@ fn fmt_q(s: &am_stats::QuantileSketch, p: f64) -> String {
     }
 }
 
+fn fmt_eta(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!(
+            "{:.0}h{:02.0}m",
+            (secs / 3600.0).floor(),
+            (secs % 3600.0) / 60.0
+        )
+    } else if secs >= 60.0 {
+        format!("{:.0}m{:02.0}s", (secs / 60.0).floor(), secs % 60.0)
+    } else {
+        format!("{secs:.0}s")
+    }
+}
+
 /// Render the dashboard for the current ingest state. `view` is the
 /// live campaign report, `shards` the per-shard bookkeeping with
 /// heartbeat ages already computed (label, info, age in seconds).
+/// `throughput_dps` and `eta_secs` come from the ingest's push-delta
+/// rate derivation; `eta_secs == None` renders as "—" (no live shard
+/// has a usable rate yet).
 pub fn render(
     spec: &CampaignSpec,
     view: &CampaignReport,
     shards: &[(String, ShardInfo, f64)],
     devices_absorbed: u64,
     complete: bool,
+    throughput_dps: f64,
+    eta_secs: Option<f64>,
 ) -> String {
     let devices_view: u64 = view.devices;
     let pct = |n: u64| {
@@ -50,13 +69,23 @@ pub fn render(
     let mut shard_rows = String::new();
     for (label, info, age) in shards {
         let end = info.range_start + info.devices_pushed;
+        let rate = match info.best_rate_dps() {
+            Some(r) => format!("{r:.0}"),
+            None => "—".to_string(),
+        };
+        let queue = match &info.telemetry {
+            Some(t) => t.queue_depth.to_string(),
+            None => "—".to_string(),
+        };
         shard_rows.push_str(&format!(
             "<tr><td><code>{}</code></td><td>{}..{}</td><td>{}</td><td>{}</td>\
-             <td>{}</td><td>{:.1}&nbsp;s</td><td>{}</td></tr>\n",
+             <td>{}</td><td>{}</td><td>{}</td><td>{:.1}&nbsp;s</td><td>{}</td></tr>\n",
             esc(label),
             info.range_start,
             end,
             info.devices_pushed,
+            rate,
+            queue,
             info.pushes,
             if info.done { "final" } else { "running" },
             age,
@@ -64,7 +93,7 @@ pub fn render(
         ));
     }
     if shard_rows.is_empty() {
-        shard_rows.push_str("<tr><td colspan=\"7\"><em>no shards have pushed yet</em></td></tr>\n");
+        shard_rows.push_str("<tr><td colspan=\"9\"><em>no shards have pushed yet</em></td></tr>\n");
     }
 
     let mut stratum_rows = String::new();
@@ -109,12 +138,13 @@ code {{ background: #f4f4f8; padding: 0 .25rem; border-radius: 3px; }}
 <h1>collectord — campaign seed {seed}, {devices} devices × {k} probes</h1>
 <p class="meta">spec fingerprint <code>{fp:016x}</code> ·
 {absorbed} absorbed gap-free ({apct:.1}%) · {viewed} in view ({vpct:.1}%) ·
+{rate} devices/s · ETA {eta} ·
 state: <strong>{state}</strong> · auto-refreshes every 2&nbsp;s</p>
 <div class="bar"><div style="width:{vpct:.2}%"></div></div>
 <h2>Shards</h2>
 <table>
-<tr><th>shard</th><th>range</th><th>devices</th><th>pushes</th><th>state</th>
-<th>heartbeat age</th><th>bytes</th></tr>
+<tr><th>shard</th><th>range</th><th>devices</th><th>dev/s</th><th>queue</th>
+<th>pushes</th><th>state</th><th>heartbeat age</th><th>bytes</th></tr>
 {shard_rows}</table>
 <h2>Per-stratum quantiles (live view, ms)</h2>
 <table>
@@ -139,6 +169,19 @@ state: <strong>{state}</strong> · auto-refreshes every 2&nbsp;s</p>
         viewed = devices_view,
         vpct = pct(devices_view),
         state = if complete { "complete" } else { "collecting" },
+        rate = if throughput_dps > 0.0 {
+            format!("{throughput_dps:.0}")
+        } else {
+            "—".to_string()
+        },
+        eta = if complete {
+            "done".to_string()
+        } else {
+            match eta_secs {
+                Some(s) => fmt_eta(s),
+                None => "—".to_string(),
+            }
+        },
         bar_color = if complete { "#2e9e5b" } else { "#4a6fd4" },
         shard_rows = shard_rows,
         stratum_rows = stratum_rows,

@@ -26,8 +26,14 @@ use std::time::Instant;
 
 use fleet::{CampaignSpec, Collector};
 use obs::Json;
+use wire::telemetry::ShardTelemetry;
 
 use crate::protocol::{Ack, IngestError, PushOutcome};
+
+/// Shards whose last heartbeat is older than this are excluded from
+/// throughput and ETA math: a stalled shard's historical rate says
+/// nothing about when the campaign will finish.
+pub const STALE_AFTER_SECS: f64 = 30.0;
 
 /// Per-shard ingest bookkeeping, surfaced on `/metrics` (labelled
 /// series) and the dashboard.
@@ -45,6 +51,26 @@ pub struct ShardInfo {
     pub done: bool,
     /// When the last push arrived (heartbeat for stall detection).
     pub last_push: Instant,
+    /// Devices/sec derived from consecutive push deltas (`None` until
+    /// two device-advancing pushes arrive far enough apart to divide
+    /// safely).
+    pub rate_dps: Option<f64>,
+    /// The shard's self-reported live telemetry, when its engine sent
+    /// any (worker rates, queue depth, profiling phase split).
+    pub telemetry: Option<ShardTelemetry>,
+}
+
+impl ShardInfo {
+    /// Best devices/sec estimate: the daemon-derived push-delta rate,
+    /// falling back to the shard's self-reported figure.
+    pub fn best_rate_dps(&self) -> Option<f64> {
+        self.rate_dps.or_else(|| {
+            self.telemetry
+                .as_ref()
+                .map(|t| t.devices_per_sec)
+                .filter(|r| *r > 0.0)
+        })
+    }
 }
 
 struct Pending {
@@ -252,20 +278,70 @@ impl Ingest {
     }
 
     fn note_shard(&mut self, shard: &str, start: u64, count: u64, done: bool, bytes: u64) {
+        let now = Instant::now();
         let info = self.shards.entry(shard.to_string()).or_insert(ShardInfo {
             range_start: start,
             devices_pushed: 0,
             pushes: 0,
             bytes: 0,
             done: false,
-            last_push: Instant::now(),
+            last_push: now,
+            rate_dps: None,
+            telemetry: None,
         });
+        // Devices/sec from consecutive push deltas. Guard the division:
+        // a burst of pushes in the same instant (dt ≈ 0) or a push that
+        // advances nothing keeps the previous estimate instead of
+        // producing ∞/NaN from a stale heartbeat delta.
+        if count > info.devices_pushed {
+            let dt = now.duration_since(info.last_push).as_secs_f64();
+            if dt > 1e-3 && info.pushes > 0 {
+                info.rate_dps = Some((count - info.devices_pushed) as f64 / dt);
+            }
+        }
         info.range_start = start;
         info.devices_pushed = info.devices_pushed.max(count);
         info.pushes += 1;
         info.bytes += bytes;
         info.done |= done;
-        info.last_push = Instant::now();
+        info.last_push = now;
+    }
+
+    /// Attach a shard's self-reported telemetry (the optional
+    /// `telemetry` field of a push). Bookkeeping only — never touches
+    /// campaign state.
+    pub fn note_telemetry(&mut self, shard: &str, telemetry: ShardTelemetry) {
+        if let Some(info) = self.shards.get_mut(shard) {
+            info.telemetry = Some(telemetry);
+        }
+    }
+
+    /// Campaign-wide devices/sec: the sum of every live (not done, not
+    /// stale) shard's best rate estimate.
+    pub fn throughput_dps(&self) -> f64 {
+        // fold, not sum: f64's Sum identity is -0.0, which would print
+        // as "-0.000" on /metrics when no shard is live.
+        self.shards
+            .values()
+            .filter(|i| !i.done && i.last_push.elapsed().as_secs_f64() < STALE_AFTER_SECS)
+            .filter_map(ShardInfo::best_rate_dps)
+            .fold(0.0, |acc, r| acc + r)
+    }
+
+    /// Estimated seconds until the whole population is covered, from
+    /// the live view and the current throughput. `None` when no live
+    /// shard has a usable rate (all stalled, done, or too young) — the
+    /// caller renders "unknown" instead of dividing by zero.
+    pub fn eta_secs(&self) -> Option<f64> {
+        if self.complete() {
+            return Some(0.0);
+        }
+        let rate = self.throughput_dps();
+        if rate <= 1e-9 {
+            return None;
+        }
+        let remaining = self.spec.devices.saturating_sub(self.devices_view());
+        Some(remaining as f64 / rate)
     }
 
     /// The live view: the merged prefix plus every buffered slice, in

@@ -21,6 +21,7 @@
 //! [`IngestError`] variant whose `code` travels back on the wire.
 
 use obs::Json;
+use wire::telemetry::ShardTelemetry;
 
 /// A typed rejection of one push. The daemon answers with the
 /// [`IngestError::code`] and message; the campaign state it holds is
@@ -140,6 +141,10 @@ pub struct Push {
     pub done: bool,
     /// The embedded campaign-state document.
     pub state: Json,
+    /// Live engine telemetry riding this push, if the shard sent any.
+    /// Optional on the wire: pushes from older clients parse with
+    /// `None` and are handled identically.
+    pub telemetry: Option<ShardTelemetry>,
 }
 
 /// Build the wire document for one push.
@@ -149,6 +154,20 @@ pub fn push_doc(shard: &str, done: bool, state: &Json) -> Json {
     doc.set("shard", shard);
     doc.set("final", done);
     doc.set("state", state.clone());
+    doc
+}
+
+/// Build the wire document for one push carrying live telemetry.
+pub fn push_doc_with_telemetry(
+    shard: &str,
+    done: bool,
+    state: &Json,
+    telemetry: Option<&ShardTelemetry>,
+) -> Json {
+    let mut doc = push_doc(shard, done, state);
+    if let Some(t) = telemetry {
+        doc.set("telemetry", t.to_json());
+    }
     doc
 }
 
@@ -180,7 +199,15 @@ pub fn parse_push(payload: &[u8]) -> Result<Push, IngestError> {
         .get("state")
         .cloned()
         .ok_or_else(|| IngestError::BadFrame("missing `state` field".to_string()))?;
-    Ok(Push { shard, done, state })
+    // Telemetry is advisory; anything malformed degrades to defaults
+    // rather than rejecting the push (the state is what matters).
+    let telemetry = doc.get("telemetry").map(ShardTelemetry::from_json);
+    Ok(Push {
+        shard,
+        done,
+        state,
+        telemetry,
+    })
 }
 
 /// Build the wire document for an ack.
@@ -218,6 +245,30 @@ mod tests {
         assert_eq!(
             p.state.get("format").and_then(Json::as_str),
             Some("acutemon-fleet-campaign-state")
+        );
+        assert!(p.telemetry.is_none(), "no telemetry field → None");
+    }
+
+    #[test]
+    fn telemetry_rides_the_push_optionally() {
+        let state = Json::object();
+        let t = ShardTelemetry {
+            devices_per_sec: 123.5,
+            workers: 2,
+            per_worker_devices: vec![7, 5],
+            queue_depth: 3,
+            phase_self_ns: vec![("des".to_string(), 42)],
+        };
+        let doc = push_doc_with_telemetry("0/2", false, &state, Some(&t));
+        let p = parse_push(doc.to_string().as_bytes()).unwrap();
+        assert_eq!(p.telemetry, Some(t));
+
+        // Without telemetry the document is byte-compatible with the
+        // old protocol.
+        let plain = push_doc_with_telemetry("0/2", false, &state, None);
+        assert_eq!(
+            plain.to_string(),
+            push_doc("0/2", false, &state).to_string()
         );
     }
 

@@ -217,3 +217,65 @@ fn overlapping_and_out_of_bounds_slices_are_rejected() {
     assert!(ack.complete);
     assert_eq!(ingest.snapshot_pretty(), expected_json(&spec));
 }
+
+/// Devices/sec derives from consecutive push deltas, the ~zero-Δt and
+/// non-advancing cases keep the previous estimate instead of dividing
+/// by a stale heartbeat delta, and the campaign ETA follows the summed
+/// live-shard rate.
+#[test]
+fn push_delta_rate_drives_eta_and_guards_division_by_zero() {
+    let spec = spec();
+    let mut ingest = Ingest::new(spec.clone());
+
+    // First push: nothing to delta against yet.
+    ingest
+        .push("0/1", &slice_state(&spec, 0, 10), false, 0)
+        .unwrap();
+    assert!(ingest.shards()["0/1"].rate_dps.is_none());
+    assert!(ingest.eta_secs().is_none(), "no usable rate yet");
+    assert_eq!(ingest.throughput_dps(), 0.0);
+
+    // A duplicate in (effectively) the same instant advances nothing;
+    // the guard keeps the estimate rather than producing inf/NaN.
+    ingest
+        .push("0/1", &slice_state(&spec, 0, 10), false, 0)
+        .unwrap();
+    assert!(ingest.shards()["0/1"].rate_dps.is_none());
+
+    // An advancing push after measurable time yields a finite rate,
+    // which makes the campaign ETA computable.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    ingest
+        .push("0/1", &slice_state(&spec, 0, 30), false, 0)
+        .unwrap();
+    let rate = ingest.shards()["0/1"].rate_dps.expect("delta-derived rate");
+    assert!(rate.is_finite() && rate > 0.0, "{rate}");
+    let eta = ingest.eta_secs().expect("live shard with a rate");
+    assert!(eta.is_finite() && eta > 0.0, "{eta}");
+
+    // Self-reported telemetry attaches to the shard and acts as the
+    // rate fallback for shards the daemon has not yet delta'd.
+    let t = wire::telemetry::ShardTelemetry {
+        devices_per_sec: 500.0,
+        queue_depth: 2,
+        ..Default::default()
+    };
+    ingest.note_telemetry("0/1", t);
+    assert_eq!(
+        ingest.shards()["0/1"]
+            .telemetry
+            .as_ref()
+            .unwrap()
+            .queue_depth,
+        2
+    );
+
+    // Completion: done shards leave the throughput sum and the ETA
+    // pins to zero.
+    ingest
+        .push("0/1", &slice_state(&spec, 0, 60), true, 0)
+        .unwrap();
+    assert!(ingest.complete());
+    assert_eq!(ingest.eta_secs(), Some(0.0));
+    assert_eq!(ingest.throughput_dps(), 0.0, "done shards don't count");
+}

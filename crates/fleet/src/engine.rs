@@ -28,8 +28,9 @@ use std::time::Instant;
 
 use obs::{Json, ToJson};
 
+use crate::profile::{CampaignProfile, StratumCost};
 use crate::report::{CampaignReport, CampaignStateError, Collector};
-use crate::shard::{run_device, DevicePartial};
+use crate::shard::{run_device_prof, DevicePartial};
 use crate::spec::CampaignSpec;
 
 /// Wall-clock throughput of one engine run. Kept out of the campaign
@@ -47,6 +48,9 @@ pub struct RunStats {
     pub probes: u64,
     /// High-water mark of the collector's reorder buffer.
     pub reorder_peak: usize,
+    /// The run's self-profile, present when
+    /// [`RunOptions::profiler`] was enabled.
+    pub profile: Option<CampaignProfile>,
 }
 
 impl RunStats {
@@ -90,13 +94,45 @@ pub struct CheckpointPolicy {
 pub struct ProgressSink {
     /// Devices between progress calls (must be ≥ 1).
     pub every: u64,
-    /// The hook: `(collector-so-far, done)`.
+    /// The hook: `(collector-so-far, live-telemetry, done)`.
     pub f: ProgressFn,
 }
 
-/// The [`ProgressSink`] callback: `(collector-so-far, done)`, shared
-/// across the collector thread and whoever registered it.
-pub type ProgressFn = std::sync::Arc<dyn Fn(&Collector, bool) + Send + Sync>;
+/// The [`ProgressSink`] callback: `(collector-so-far, live-telemetry,
+/// done)`, shared across the collector thread and whoever registered
+/// it.
+pub type ProgressFn = std::sync::Arc<dyn Fn(&Collector, &Progress, bool) + Send + Sync>;
+
+/// Live engine telemetry handed to every [`ProgressSink`] call —
+/// throughput, per-worker progress, the reorder-buffer depth, and the
+/// self-profiler's phase split. Unlike the collector state, none of
+/// this is deterministic; it rides *next to* the campaign data, never
+/// inside it.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    /// Devices absorbed by this run so far.
+    pub devices_done: u64,
+    /// Devices this run will absorb in total.
+    pub devices_total: u64,
+    /// Wall-clock time since the run started.
+    pub elapsed: std::time::Duration,
+    /// Worker threads driving the run.
+    pub workers: usize,
+    /// Reorder-buffer depth at the time of the call.
+    pub queue_depth: usize,
+    /// Devices completed per worker thread, spawn order.
+    pub per_worker_devices: Vec<u64>,
+    /// Self-nanoseconds per engine phase (cross-thread, descending),
+    /// empty when the run is unprofiled.
+    pub phase_self_ns: Vec<(String, u64)>,
+}
+
+impl Progress {
+    /// Devices per wall-clock second over the run so far.
+    pub fn devices_per_sec(&self) -> f64 {
+        self.devices_done as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
 
 impl std::fmt::Debug for ProgressSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -120,6 +156,12 @@ pub struct RunOptions {
     /// daemon). Not called after a halt: a halted run's tail is
     /// recomputed on resume, exactly like after a real kill.
     pub progress: Option<ProgressSink>,
+    /// Self-profiler. Enabled, the run attributes wall-clock and
+    /// allocation cost per engine phase and returns a
+    /// [`CampaignProfile`] in [`RunStats::profile`]; the default
+    /// disabled profiler costs one branch per guard and keeps the
+    /// campaign JSON byte-identical to an uninstrumented build.
+    pub profiler: obs::Profiler,
 }
 
 fn write_checkpoint(cp: &CheckpointPolicy, state: &Json) {
@@ -156,33 +198,85 @@ fn run_range(
     let mut reorder_peak = 0usize;
     let mut probes_run = 0u64;
     let mut halted = false;
+    let prof = &opts.profiler;
+    // Live progress accounting (one relaxed increment per device) and,
+    // when profiling, per-stratum wall-cost accumulators.
+    let per_worker: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let stratum_ns: Vec<AtomicU64> = spec.classes.iter().map(|_| AtomicU64::new(0)).collect();
+    let stratum_devices: Vec<AtomicU64> = spec.classes.iter().map(|_| AtomicU64::new(0)).collect();
+    let progress_meta = |queue_depth: usize, next_expected: u64| Progress {
+        devices_done: next_expected - start_index,
+        devices_total: end - start_index,
+        elapsed: start.elapsed(),
+        workers,
+        queue_depth,
+        per_worker_devices: per_worker
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        phase_self_ns: if prof.is_enabled() {
+            prof.snapshot()
+                .flat_self_ns()
+                .into_iter()
+                .map(|(name, ns)| (name.to_string(), ns))
+                .collect()
+        } else {
+            Vec::new()
+        },
+    };
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let absorbed = &absorbed;
             let stop = &stop;
-            scope.spawn(move || loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= end {
-                    break;
-                }
-                // Backpressure window: stay within `window` devices of
-                // the collector so the reorder buffer is bounded even
-                // when a slow low-index device holds up absorption.
-                while i >= absorbed.load(Ordering::Acquire) + window {
+            let prof = prof.clone();
+            let per_worker = &per_worker;
+            let stratum_ns = &stratum_ns;
+            let stratum_devices = &stratum_devices;
+            scope.spawn(move || {
+                prof.set_thread_label(&format!("worker-{w}"));
+                let _root = prof.phase("worker");
+                loop {
                     if stop.load(Ordering::Relaxed) {
-                        return;
+                        break;
                     }
-                    std::thread::yield_now();
-                }
-                let partial = run_device(spec, i);
-                if tx.send(partial).is_err() {
-                    break;
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= end {
+                        break;
+                    }
+                    // Backpressure window: stay within `window` devices of
+                    // the collector so the reorder buffer is bounded even
+                    // when a slow low-index device holds up absorption.
+                    if i >= absorbed.load(Ordering::Acquire) + window {
+                        let _bp = prof.phase("backpressure");
+                        while i >= absorbed.load(Ordering::Acquire) + window {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                    let t0 = if prof.is_enabled() {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    let partial = {
+                        let _rd = prof.phase("run_device");
+                        run_device_prof(spec, i, &prof)
+                    };
+                    if let Some(t0) = t0 {
+                        stratum_ns[partial.class]
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        stratum_devices[partial.class].fetch_add(1, Ordering::Relaxed);
+                    }
+                    per_worker[w].fetch_add(1, Ordering::Relaxed);
+                    let _tx = prof.phase("send");
+                    if tx.send(partial).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -190,12 +284,20 @@ fn run_range(
         // errors out when the last one exits.
         drop(tx);
 
+        prof.set_thread_label("collector");
+        let collect_root = prof.phase("collect");
         // In-order absorption through a reorder buffer, so the merged
         // registry (order-sensitive sample reservoirs) is independent
         // of completion order.
         let mut pending: BTreeMap<u64, DevicePartial> = BTreeMap::new();
         let mut expect = start_index;
-        while let Ok(p) = rx.recv() {
+        loop {
+            let received = {
+                let _rw = prof.phase("recv_wait");
+                rx.recv()
+            };
+            let Ok(p) = received else { break };
+            let _ab = prof.phase("absorb");
             pending.insert(p.index, p);
             reorder_peak = reorder_peak.max(pending.len());
             while let Some(p) = pending.remove(&expect) {
@@ -206,13 +308,15 @@ fn run_range(
                 if let Some(cp) = &opts.checkpoint {
                     let done = expect - start_index;
                     if cp.every > 0 && done.is_multiple_of(cp.every) {
+                        let _cp = prof.phase("checkpoint");
                         write_checkpoint(cp, &collector.state_json());
                     }
                 }
                 if let Some(ps) = &opts.progress {
                     let done = expect - start_index;
                     if ps.every > 0 && done.is_multiple_of(ps.every) && expect < end {
-                        (ps.f)(&collector, false);
+                        let _pg = prof.phase("progress");
+                        (ps.f)(&collector, &progress_meta(pending.len(), expect), false);
                     }
                 }
                 if let Some(h) = opts.halt_after_devices {
@@ -227,6 +331,7 @@ fn run_range(
                 break;
             }
         }
+        drop(collect_root);
         // Dropping the receiver unblocks any worker parked in `send`;
         // discarded partials past the halt point are recomputed by the
         // resumed run, exactly like after a real kill.
@@ -243,17 +348,37 @@ fn run_range(
 
     if !halted {
         if let Some(ps) = &opts.progress {
-            (ps.f)(&collector, true);
+            (ps.f)(&collector, &progress_meta(0, collector.next_index()), true);
         }
     }
 
     let wall = start.elapsed();
+    let profile = if prof.is_enabled() {
+        Some(CampaignProfile {
+            snapshot: prof.snapshot(),
+            wall_ns: wall.as_nanos() as u64,
+            threads: workers + 1,
+            strata: spec
+                .classes
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| StratumCost {
+                    name: c.name.to_string(),
+                    devices: stratum_devices[ci].load(Ordering::Relaxed),
+                    wall_ns: stratum_ns[ci].load(Ordering::Relaxed),
+                })
+                .collect(),
+        })
+    } else {
+        None
+    };
     let stats = RunStats {
         workers,
         wall,
         devices: collector.next_index() - start_index,
         probes: probes_run,
         reorder_peak,
+        profile,
     };
     (collector, stats, halted)
 }
@@ -500,13 +625,75 @@ mod tests {
     fn halted_run_reports_no_campaign() {
         let spec = CampaignSpec::heterogeneous(13, 16).with_probes(1);
         let opts = RunOptions {
-            checkpoint: None,
             halt_after_devices: Some(5),
-            progress: None,
+            ..RunOptions::default()
         };
         let (report, stats) = run_campaign_opts(&spec, 3, &opts);
         assert!(report.is_none());
         assert_eq!(stats.devices, 5);
+    }
+
+    #[test]
+    fn profiled_run_attributes_cost_and_keeps_json_identical() {
+        let spec = CampaignSpec::heterogeneous(7, 12).with_probes(1);
+        let (plain, _) = run_campaign(&spec, 2);
+        let opts = RunOptions {
+            profiler: obs::Profiler::new(),
+            ..RunOptions::default()
+        };
+        let (profiled, stats) = run_campaign_opts(&spec, 2, &opts);
+        // Determinism contract: profiling must not leak into the report.
+        assert_eq!(
+            plain.to_json().to_string_pretty(),
+            profiled.unwrap().to_json().to_string_pretty()
+        );
+        let profile = stats.profile.expect("profiler enabled");
+        assert_eq!(profile.threads, 3);
+        let folded = profile.folded();
+        for phase in [
+            "worker;run_device;des",
+            "worker;run_device;setup",
+            "collect",
+        ] {
+            assert!(folded.contains(phase), "missing {phase} in:\n{folded}");
+        }
+        // Per-stratum costs cover every simulated device exactly once.
+        assert_eq!(profile.strata.iter().map(|s| s.devices).sum::<u64>(), 12);
+        assert!(profile.attributed_fraction() > 0.0);
+        // An unprofiled run carries no profile.
+        let (_, stats) = run_campaign(&spec, 2);
+        assert!(stats.profile.is_none());
+    }
+
+    #[test]
+    fn progress_meta_reports_throughput_and_phase_split() {
+        use std::sync::Mutex;
+        let spec = CampaignSpec::heterogeneous(3, 10).with_probes(1);
+        let seen: std::sync::Arc<Mutex<Vec<Progress>>> =
+            std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = seen.clone();
+        let opts = RunOptions {
+            profiler: obs::Profiler::new(),
+            progress: Some(ProgressSink {
+                every: 4,
+                f: std::sync::Arc::new(move |_c, meta, _done| {
+                    sink_seen.lock().unwrap().push(meta.clone());
+                }),
+            }),
+            ..RunOptions::default()
+        };
+        let (report, _) = run_campaign_opts(&spec, 2, &opts);
+        assert!(report.is_some());
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty());
+        let last = seen.last().unwrap();
+        assert_eq!(last.devices_done, 10);
+        assert_eq!(last.devices_total, 10);
+        assert_eq!(last.per_worker_devices.len(), 2);
+        assert_eq!(last.per_worker_devices.iter().sum::<u64>(), 10);
+        assert!(last.devices_per_sec() > 0.0);
+        let phases: Vec<&str> = last.phase_self_ns.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(phases.contains(&"des"), "{phases:?}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod profile;
 pub mod report;
 pub mod shard;
 pub mod spec;
@@ -46,13 +47,14 @@ pub mod spec;
 pub use engine::{
     available_parallelism, partition_range, render_scaling, resume_campaign, run_campaign,
     run_campaign_opts, run_partition, run_partition_opts, scaling_table, CheckpointPolicy,
-    ProgressFn, ProgressSink, RunOptions, RunStats, ScalingRow,
+    Progress, ProgressFn, ProgressSink, RunOptions, RunStats, ScalingRow,
 };
+pub use profile::{CampaignProfile, StratumCost};
 pub use report::{
     merge_partials, CampaignReport, CampaignStateError, Collector, StratumReport,
     CAMPAIGN_STATE_FORMAT, CAMPAIGN_STATE_VERSION,
 };
-pub use shard::{run_device, DevicePartial};
+pub use shard::{run_device, run_device_prof, DevicePartial};
 pub use spec::{
     splitmix64, CalibrationSweep, CampaignSpec, DeviceClass, DiurnalSchedule, Radio, RttDist, Tool,
 };

@@ -99,11 +99,22 @@ fn empty_partial(index: u64, class: usize) -> DevicePartial {
 /// Pure in `(spec, index)`: the same pair always produces the same
 /// partial, on any worker thread.
 pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
+    run_device_prof(spec, index, &obs::Profiler::disabled())
+}
+
+/// [`run_device`] with self-profiling: wall-clock cost splits into
+/// `setup` (testbed + app construction), `des` (the discrete-event run,
+/// under which simcore's `sim.*` phases nest), and `fold` (record
+/// harvest + sketch/snapshot fold). The partial returned is
+/// byte-identical whether `prof` is enabled or disabled — profiling
+/// observes the host, never the simulation.
+pub fn run_device_prof(spec: &CampaignSpec, index: u64, prof: &obs::Profiler) -> DevicePartial {
     let class_idx = spec.class_of(index);
     let class = &spec.classes[class_idx];
     let mut partial = empty_partial(index, class_idx);
     let seed = spec.device_seed(index);
     let k = spec.probes_per_device;
+    let setup = prof.phase("setup");
 
     let mut profile = class.profile.clone();
     if let Some(ticks) = class.sdio_idletime {
@@ -142,6 +153,7 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
             let mut tb = Testbed::build(cfg);
             let reg = Registry::new();
             tb.attach_metrics(&reg);
+            tb.sim.set_profiler(prof);
             let app = match class.tool {
                 Tool::AcuteMon => {
                     let mut am = acutemon::AcuteMonConfig::new(addr::SERVER, k);
@@ -172,7 +184,12 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
                     idx
                 }
             };
-            tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+            drop(setup);
+            {
+                let _des = prof.phase("des");
+                tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+            }
+            let _fold = prof.phase("fold");
             let index = tb.capture_index();
             let records: Vec<RttRecord> = match class.tool {
                 Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(app).records.clone(),
@@ -199,6 +216,7 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
             let mut tb = CellTestbed::build(cfg);
             let reg = Registry::new();
             tb.sim.set_metrics(&reg);
+            tb.sim.set_profiler(prof);
             let app = match class.tool {
                 Tool::AcuteMon => {
                     let idx = tb.install_app(
@@ -221,7 +239,12 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
                     idx
                 }
             };
-            tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+            drop(setup);
+            {
+                let _des = prof.phase("des");
+                tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+            }
+            let _fold = prof.phase("fold");
             let records: Vec<RttRecord> = match class.tool {
                 Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(app).records.clone(),
                 Tool::SparsePing => tb.app::<PingApp>(app).records.clone(),

@@ -38,7 +38,7 @@ fn resume_from_every_checkpoint_is_byte_identical() {
                 every: 1,
             }),
             halt_after_devices: Some(halt),
-            progress: None,
+            ..RunOptions::default()
         };
         let (report, stats) = run_campaign_opts(&spec, 3, &opts);
         assert!(report.is_none(), "halted run must not produce a report");
@@ -77,7 +77,7 @@ fn double_kill_double_resume_is_byte_identical() {
             every: 1,
         }),
         halt_after_devices: Some(n),
-        progress: None,
+        ..RunOptions::default()
     };
     let (r, _) = run_campaign_opts(&spec, 2, &halt(5));
     assert!(r.is_none());

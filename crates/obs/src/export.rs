@@ -74,6 +74,12 @@ pub fn prometheus(snap: &Snapshot) -> String {
         header(&mut out, &n, &h.name, "histogram");
         let mut cum = 0u64;
         for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            // Non-finite explicit bounds fold into the trailing +Inf
+            // series (a literal `le="inf"`/`le="NaN"` is nonconformant
+            // and would duplicate the +Inf bucket).
+            if !bound.is_finite() {
+                continue;
+            }
             cum += count;
             let _ = writeln!(
                 out,
@@ -231,6 +237,59 @@ mod tests {
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
         assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn prometheus_histogram_exposition_is_conformant() {
+        // The full shape the text-format spec requires of a histogram
+        // family: HELP + TYPE once, every `_bucket` with an `le`
+        // label, a `+Inf` bucket equal to `_count`, and `_sum`.
+        let text = prometheus(&sample_registry().snapshot());
+        let fam = "phone_sdio_wake_latency_ms";
+        assert_eq!(text.matches(&format!("# TYPE {fam} histogram")).count(), 1);
+        assert_eq!(text.matches(&format!("# HELP {fam} ")).count(), 1);
+        let buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("{fam}_bucket")))
+            .collect();
+        assert!(buckets.iter().all(|l| l.contains("{le=\"")), "{buckets:?}");
+        assert_eq!(
+            buckets.last().unwrap(),
+            &"phone_sdio_wake_latency_ms_bucket{le=\"+Inf\"} 3"
+        );
+        assert!(text.contains(&format!("{fam}_sum ")), "{text}");
+        assert!(text.contains(&format!("{fam}_count 3")), "{text}");
+        // _sum precedes _count, after all buckets (spec ordering).
+        let pos = |needle: &str| text.find(needle).unwrap();
+        assert!(pos("_bucket{le=\"+Inf\"}") < pos(&format!("{fam}_sum")));
+        assert!(pos(&format!("{fam}_sum")) < pos(&format!("{fam}_count")));
+    }
+
+    #[test]
+    fn prometheus_folds_nonfinite_bounds_into_inf_bucket() {
+        // A histogram declared with an explicit infinite upper bound
+        // must not render `le="inf"` — the overflow rolls into the
+        // single canonical `+Inf` series.
+        let r = Registry::new();
+        let h = r.histogram("weird.bounds", &[1.0, f64::INFINITY]);
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        let text = prometheus(&r.snapshot());
+        assert!(!text.contains("le=\"inf\""), "{text}");
+        assert!(!text.contains("le=\"NaN\""), "{text}");
+        assert_eq!(text.matches("weird_bounds_bucket{le=\"+Inf\"}").count(), 1);
+        assert!(text.contains("weird_bounds_bucket{le=\"1\"} 1"), "{text}");
+        assert!(
+            text.contains("weird_bounds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("weird_bounds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
     }
 
     #[test]

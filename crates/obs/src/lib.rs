@@ -16,6 +16,9 @@
 //! - [`trace::Tracer`] — per-probe causal spans with parent/child
 //!   links and typed attributes; finished traces render as waterfalls
 //!   and export as Chrome `trace_event` JSON.
+//! - [`prof`] — self-profiling: wall-clock + allocation cost per
+//!   *engine* phase (as opposed to simulated time), with folded-stack
+//!   and Chrome-trace exporters and a zero-cost disabled path.
 //! - [`export`] — JSON-lines and Prometheus-style text exporters over a
 //!   [`metrics::Snapshot`].
 //! - [`log`] — a tiny leveled stderr logger (`obs::info!`, `obs::warn!`,
@@ -39,6 +42,7 @@ pub mod export;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod prof;
 pub mod span;
 pub mod trace;
 
@@ -48,6 +52,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, SnapshotStateError,
     SNAPSHOT_STATE_VERSION,
 };
+pub use prof::{MergedNode, ProfNode, ProfPhase, ProfSnapshot, ProfSpan, Profiler, ThreadProf};
 pub use span::SpanTimer;
 pub use trace::{
     build_trace_tree, render_waterfall, AttrValue, SamplePolicy, SamplingStats, SpanId, SpanNode,

@@ -1,0 +1,152 @@
+//! Allocation guarantees of `obs::prof`, asserted with the *product*
+//! counting allocator ([`obs::prof::CountingAlloc`]) installed as this
+//! binary's global allocator — the same hook the `repro` binary
+//! installs for per-phase allocation attribution. Separate binary from
+//! `noop_alloc.rs` because a process has exactly one global allocator.
+//!
+//! Contracts pinned here:
+//!
+//! 1. the disabled path allocates **zero** bytes (so instrumented hot
+//!    paths cost nothing when nobody profiles),
+//! 2. enabled steady-state guards allocate nothing once the phase tree
+//!    and timeline are warm,
+//! 3. allocations made inside a phase are attributed to that phase's
+//!    self counters, not to its quiet siblings.
+
+use obs::prof::{thread_alloc_counts, CountingAlloc};
+use obs::Profiler;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while running `f`.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let (before, _) = thread_alloc_counts();
+    f();
+    let (after, _) = thread_alloc_counts();
+    after - before
+}
+
+#[test]
+fn disabled_profiler_allocates_nothing() {
+    let p = Profiler::disabled();
+    // Touch the API once outside the measured window.
+    {
+        let _g = p.phase("warmup");
+    }
+    let n = allocs_during(|| {
+        for _ in 0..10_000 {
+            let _a = p.phase("sim.push");
+            let _b = p.phase("sim.pop");
+        }
+        let _ = p.is_enabled();
+        let _ = p.elapsed_ns();
+        p.set_thread_label("ignored");
+    });
+    assert_eq!(n, 0, "disabled profiler must not allocate, saw {n} allocs");
+}
+
+#[test]
+fn enabled_steady_state_guards_allocate_nothing() {
+    let p = Profiler::new();
+    // Warm: register the thread slot, intern the nodes, give the phase
+    // stack and the (pre-sized) timeline their capacity.
+    for _ in 0..64 {
+        let _a = p.phase("outer");
+        let _b = p.phase("inner");
+    }
+    let n = allocs_during(|| {
+        for _ in 0..1_000 {
+            let _a = p.phase("outer");
+            let _b = p.phase("inner");
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state enabled guards must not allocate, saw {n} allocs"
+    );
+}
+
+#[test]
+fn phase_allocations_are_attributed_to_the_allocating_phase() {
+    let p = Profiler::new();
+    // Warm both phases so profiler-internal allocations are done.
+    for _ in 0..8 {
+        let _a = p.phase("alloc_heavy");
+        drop(_a);
+        let _b = p.phase("quiet");
+    }
+    let snap_before = p.snapshot();
+    let heavy_before = find(&snap_before, "alloc_heavy");
+    let quiet_before = find(&snap_before, "quiet");
+
+    {
+        let _g = p.phase("alloc_heavy");
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        std::hint::black_box(&v);
+    }
+    {
+        let _g = p.phase("quiet");
+        std::hint::black_box(());
+    }
+
+    let snap = p.snapshot();
+    let heavy = find(&snap, "alloc_heavy");
+    let quiet = find(&snap, "quiet");
+    assert!(
+        heavy.0 > heavy_before.0,
+        "alloc_heavy should gain ≥1 attributed alloc"
+    );
+    assert!(
+        heavy.1 >= heavy_before.1 + 4096,
+        "alloc_heavy should gain ≥4096 attributed bytes, had {} now {}",
+        heavy_before.1,
+        heavy.1
+    );
+    assert_eq!(
+        quiet, quiet_before,
+        "quiet phase must not be charged for the sibling's allocations"
+    );
+}
+
+#[test]
+fn nested_allocations_split_self_and_total() {
+    let p = Profiler::new();
+    for _ in 0..8 {
+        let _a = p.phase("parent");
+        let _b = p.phase("child");
+    }
+    {
+        let _a = p.phase("parent");
+        let boxed_outer = Box::new([0u8; 100]);
+        std::hint::black_box(&boxed_outer);
+        {
+            let _b = p.phase("child");
+            let boxed_inner = Box::new([0u8; 2000]);
+            std::hint::black_box(&boxed_inner);
+        }
+    }
+    let snap = p.snapshot();
+    let t = &snap.threads[0];
+    let parent = t.nodes.iter().find(|n| n.name == "parent").unwrap();
+    let child = t.nodes.iter().find(|n| n.name == "child").unwrap();
+    assert!(child.self_alloc_bytes >= 2000);
+    assert!(parent.alloc_bytes >= child.alloc_bytes + 100);
+    assert!(
+        parent.self_alloc_bytes >= 100 && parent.self_alloc_bytes < parent.alloc_bytes,
+        "parent self bytes ({}) must exclude the child's ({})",
+        parent.self_alloc_bytes,
+        parent.alloc_bytes
+    );
+}
+
+fn find(snap: &obs::ProfSnapshot, name: &str) -> (u64, u64) {
+    for t in &snap.threads {
+        for n in &t.nodes {
+            if n.name == name {
+                return (n.self_allocs, n.self_alloc_bytes);
+            }
+        }
+    }
+    (0, 0)
+}

@@ -29,6 +29,10 @@ struct SimMetrics {
     events: Counter,
     /// `sim.queue_depth` — current future-event-list length.
     queue_depth: Gauge,
+    /// `sim.queue_depth_peak` — high-water mark of the future event
+    /// list over the sim's lifetime (deterministic: a pure function of
+    /// the workload, unlike wall-clock telemetry).
+    queue_peak: Gauge,
     /// `sim.advance_ns` — total simulated time advanced, in ns. Together
     /// with `sim.wall_ns` this yields sim-time advance per wall-second.
     advance_ns: Counter,
@@ -44,6 +48,7 @@ impl SimMetrics {
         SimMetrics {
             events: reg.counter("sim.events_processed"),
             queue_depth: reg.gauge("sim.queue_depth"),
+            queue_peak: reg.gauge("sim.queue_depth_peak"),
             advance_ns: reg.counter("sim.advance_ns"),
             wall_ns: reg.counter("sim.wall_ns"),
             timers_set: reg.counter("sim.timers_set"),
@@ -144,14 +149,22 @@ struct Inner<M> {
     stop: bool,
     events_processed: u64,
     metrics: SimMetrics,
+    prof: obs::Profiler,
+    queue_peak: usize,
 }
 
 impl<M> Inner<M> {
     fn push(&mut self, at: SimTime, entry: Entry<M>) {
+        let _p = self.prof.phase("sim.push");
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, entry });
-        self.metrics.queue_depth.set(self.heap.len() as i64);
+        let depth = self.heap.len();
+        self.metrics.queue_depth.set(depth as i64);
+        if depth > self.queue_peak {
+            self.queue_peak = depth;
+            self.metrics.queue_peak.set(depth as i64);
+        }
     }
 }
 
@@ -219,6 +232,7 @@ impl<'a, M> Ctx<'a, M> {
     /// Cancel a pending timer. Cancelling an already-fired or
     /// already-cancelled timer is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
+        let _p = self.inner.prof.phase("sim.timer_cancel");
         if self.inner.cancelled.insert(id.0) {
             self.inner.metrics.timers_cancelled.inc();
         }
@@ -278,6 +292,8 @@ impl<M: 'static> Sim<M> {
                 stop: false,
                 events_processed: 0,
                 metrics: SimMetrics::default(),
+                prof: obs::Profiler::disabled(),
+                queue_peak: 0,
             },
             started: false,
         }
@@ -310,6 +326,15 @@ impl<M: 'static> Sim<M> {
     /// The causal span tracer.
     pub fn tracer(&self) -> &obs::Tracer {
         &self.inner.tracer
+    }
+
+    /// Install a self-profiler (replacing the default disabled one).
+    /// The engine's hot paths then attribute wall-clock cost to
+    /// `sim.push` / `sim.pop` / `sim.dispatch` / `sim.timer_cancel`
+    /// phases, nested under whatever phase the caller has open. With
+    /// the default disabled profiler every guard is a free no-op.
+    pub fn set_profiler(&mut self, prof: &obs::Profiler) {
+        self.inner.prof = prof.clone();
     }
 
     /// Add a node; returns its id. Ids are assigned sequentially.
@@ -390,7 +415,11 @@ impl<M: 'static> Sim<M> {
             return false;
         }
         loop {
-            let Some(sched) = self.inner.heap.pop() else {
+            let popped = {
+                let _p = self.inner.prof.phase("sim.pop");
+                self.inner.heap.pop()
+            };
+            let Some(sched) = popped else {
                 return false;
             };
             debug_assert!(sched.at >= self.inner.now, "event from the past");
@@ -400,11 +429,13 @@ impl<M: 'static> Sim<M> {
                         continue; // cancelled; try the next event
                     }
                     self.advance_to(sched.at);
+                    let _p = self.inner.prof.phase("sim.dispatch");
                     self.dispatch_timer(node, tag);
                     return !self.inner.stop;
                 }
                 Entry::Msg { from, to, msg } => {
                     self.advance_to(sched.at);
+                    let _p = self.inner.prof.phase("sim.dispatch");
                     self.dispatch_message(from, to, msg);
                     return !self.inner.stop;
                 }
@@ -805,5 +836,35 @@ mod tests {
         // 4ms of event-driven advance + 6ms idle advance to the deadline.
         assert_eq!(snap.counter("sim.advance_ns"), Some(10_000_000));
         assert_eq!(snap.gauge("sim.queue_depth"), Some(0));
+        // All 5 injections were queued before the run drained them.
+        assert_eq!(snap.gauge("sim.queue_depth_peak"), Some(5));
+    }
+
+    #[test]
+    fn profiler_attributes_event_loop_phases() {
+        struct TimerJuggler;
+        impl Node<u32> for TimerJuggler {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, _: u32) {
+                let keep = ctx.set_timer(SimDuration::from_millis(1), 1);
+                let kill = ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.cancel_timer(kill);
+                let _ = keep;
+            }
+        }
+        let prof = obs::Profiler::new();
+        let mut sim = Sim::new(0);
+        sim.set_profiler(&prof);
+        let n = sim.add_node(Box::new(TimerJuggler));
+        sim.inject(n, n, SimTime::from_millis(1), 0);
+        sim.run_until_idle(100);
+        let snap = prof.snapshot();
+        let flat: Vec<&str> = snap.flat_self_ns().iter().map(|(n, _)| *n).collect();
+        for want in ["sim.push", "sim.pop", "sim.dispatch", "sim.timer_cancel"] {
+            assert!(flat.contains(&want), "missing phase {want}: {flat:?}");
+        }
+        // The timer set/cancel happened during dispatch, so those
+        // phases nest under sim.dispatch in the folded view.
+        assert!(snap.folded().contains("sim.dispatch;sim.push"));
+        assert!(snap.folded().contains("sim.dispatch;sim.timer_cancel"));
     }
 }

@@ -14,7 +14,10 @@
 //!   checksums, and parsers that verify them;
 //! * [`PcapWriter`]: export of sniffer captures as standard pcap files;
 //! * [`framing`]: length-prefixed message frames for the collector
-//!   daemon's push protocol.
+//!   daemon's push protocol;
+//! * [`telemetry`]: the optional live shard-telemetry document
+//!   (throughput, per-worker rates, profiling phase split) that rides
+//!   collector pushes.
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,7 @@ pub mod framing;
 mod msg;
 mod packet;
 pub mod pcap;
+pub mod telemetry;
 
 pub use addr::{Ip, Mac, ParseIpError};
 pub use frame::{Frame, FrameKind};
