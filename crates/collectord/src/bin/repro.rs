@@ -8,11 +8,12 @@
 //!       [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //!       [--partition i/k] [--fleet-halt-after N]
 //!       [--push-to ADDR] [--push-every N]
-//!       [--listen ADDR] [--http ADDR]
+//!       [--listen ADDR] [--http ADDR] [--state-dir DIR]
+//!       [--chaos-seed S] [--chaos-kills N]
 //!       [--bench-baseline FILE] [--bench-candidate FILE] [--bench-factor F]
 //!       [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|
 //!        seeds|ablations|faults|telemetry|waterfall|fleet|
-//!        fleet-merge|collectord|profile|bench-snapshot|bench-gate|all]...
+//!        fleet-merge|collectord|chaos|profile|bench-snapshot|bench-gate|all]...
 //! ```
 //!
 //! Each experiment prints its table/figure to stdout and writes the raw
@@ -55,7 +56,16 @@
 //! daemon itself: a push listener on `--listen` (default
 //! `127.0.0.1:9310`) and an HTTP server on `--http` (default
 //! `127.0.0.1:9311`) serving `/` (dashboard), `/snapshot`, `/status`,
-//! `/metrics`, and `/healthz`.
+//! `/metrics`, and `/healthz`. With `--state-dir DIR` the daemon is
+//! crash-safe: every accepted push is journaled to `DIR` *before* it
+//! is acked, SIGTERM/SIGINT flush a final `snapshot.json`, and a
+//! restarted daemon recovers the full ingest state — `/snapshot` after
+//! recovery is byte-identical to a never-killed run. `repro chaos`
+//! soak-tests exactly that: a 2-partition campaign pushes through
+//! seeded wire faults ([`wire::chaos`]) into a `--state-dir` daemon
+//! that is SIGKILLed and restarted `--chaos-kills` times mid-campaign,
+//! and the run fails unless the recovered `/snapshot` matches the
+//! single-process `fleet.json` byte for byte.
 
 use std::path::{Path, PathBuf};
 
@@ -91,6 +101,9 @@ struct Options {
     push_every: u64,
     listen: String,
     http: String,
+    state_dir: Option<PathBuf>,
+    chaos_seed: u64,
+    chaos_kills: u32,
     bench_baseline: PathBuf,
     bench_candidate: Option<PathBuf>,
     bench_factor: f64,
@@ -128,6 +141,9 @@ fn parse_args() -> Options {
         push_every: 64,
         listen: "127.0.0.1:9310".to_string(),
         http: "127.0.0.1:9311".to_string(),
+        state_dir: None,
+        chaos_seed: 7,
+        chaos_kills: 2,
         bench_baseline: PathBuf::from("baselines/BENCH_2.json"),
         bench_candidate: None,
         bench_factor: 10.0,
@@ -225,6 +241,25 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--listen needs host:port"))
             }
             "--http" => opts.http = args.next().unwrap_or_else(|| die("--http needs host:port")),
+            "--state-dir" => {
+                opts.state_dir = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| die("--state-dir needs a path")),
+                )
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--chaos-seed needs a number"))
+            }
+            "--chaos-kills" => {
+                opts.chaos_kills = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--chaos-kills needs a number"))
+            }
             "--bench-baseline" => {
                 opts.bench_baseline = args
                     .next()
@@ -272,12 +307,14 @@ fn parse_args() -> Options {
                      [--checkpoint FILE] [--checkpoint-every N] \
                      [--resume FILE] [--partition i/k] [--fleet-halt-after N] \
                      [--push-to ADDR] [--push-every N] \
-                     [--listen ADDR] [--http ADDR] \
+                     [--listen ADDR] [--http ADDR] [--state-dir DIR] \
+                     [--chaos-seed S] [--chaos-kills N] \
                      [--bench-baseline FILE] [--bench-candidate FILE] \
                      [--bench-factor F] \
                      [table1|table2|table3|table4|table5|fig3|fig7|fig8|fig9|\
                      seeds|ablations|faults|telemetry|waterfall|fleet|\
-                     fleet-merge|collectord|profile|bench-snapshot|bench-gate|all]...\n\
+                     fleet-merge|collectord|chaos|profile|bench-snapshot|\
+                     bench-gate|all]...\n\
                      \n\
                      --trace-out FILE    write the waterfall session's spans as\n\
                      \u{20}                    Chrome trace_event JSON (chrome://tracing)\n\
@@ -296,6 +333,11 @@ fn parse_args() -> Options {
                      \u{20}                    devices (default 64)\n\
                      --listen ADDR       collectord push listener (127.0.0.1:9310)\n\
                      --http ADDR         collectord HTTP server (127.0.0.1:9311)\n\
+                     --state-dir DIR     collectord: journal accepted pushes to DIR\n\
+                     \u{20}                    (persist-before-ack) and recover the full\n\
+                     \u{20}                    ingest state from it on restart\n\
+                     --chaos-seed S      chaos: fault-injection schedule seed (7)\n\
+                     --chaos-kills N     chaos: daemon kill/restart cycles (2)\n\
                      \n\
                      fleet-merge A B ... folds partition partials back into\n\
                      fleet.json (run with the partitions' --seed and\n\
@@ -304,7 +346,18 @@ fn parse_args() -> Options {
                      collectord runs the streaming collector daemon for the\n\
                      campaign given by --seed/--fleet-devices; shards connect\n\
                      with --push-to, and /snapshot serves the live campaign\n\
-                     JSON (byte-identical to fleet.json once complete).\n\
+                     JSON (byte-identical to fleet.json once complete). With\n\
+                     --state-dir the daemon is crash-safe: acked pushes are\n\
+                     journaled first, SIGTERM/SIGINT flush a final snapshot,\n\
+                     and a restart recovers everything.\n\
+                     \n\
+                     chaos runs the crash-safety soak: a 2-partition campaign\n\
+                     pushes (with seeded wire faults severing connections)\n\
+                     into a --state-dir daemon that is SIGKILLed and\n\
+                     restarted --chaos-kills times mid-run, plus once more\n\
+                     after completion; exits non-zero unless the recovered\n\
+                     /snapshot is byte-identical to the single-process\n\
+                     fleet.json.\n\
                      \n\
                      profile runs a self-profiled fleet campaign\n\
                      (--seed/--fleet-devices/--fleet-workers), prints the\n\
@@ -335,7 +388,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() {
         opts.experiments.push("all".to_string());
     }
-    const KNOWN: [&str; 21] = [
+    const KNOWN: [&str; 22] = [
         "table1",
         "table2",
         "table3",
@@ -353,6 +406,7 @@ fn parse_args() -> Options {
         "fleet",
         "fleet-merge",
         "collectord",
+        "chaos",
         "profile",
         "bench-snapshot",
         "bench-gate",
@@ -387,6 +441,9 @@ fn write_raw(dir: &Path, file: &str, contents: String) {
 }
 
 /// Run the collector daemon forever: push listener + HTTP server.
+/// With `--state-dir` the daemon journals accepted pushes
+/// (persist-before-ack), recovers from the journal on startup, and
+/// flushes a final snapshot on SIGTERM/SIGINT.
 fn run_collectord(opts: &Options) -> ! {
     let spec = fleet::CampaignSpec::heterogeneous(opts.seed, opts.fleet_devices);
     info!(
@@ -401,7 +458,34 @@ fn run_collectord(opts: &Options) -> ! {
         .unwrap_or_else(|e| die(&format!("collectord: bind {}: {e}", opts.listen)));
     let http = std::net::TcpListener::bind(&opts.http)
         .unwrap_or_else(|e| die(&format!("collectord: bind {}: {e}", opts.http)));
-    let daemon = collectord::Daemon::new(spec);
+    let daemon = match &opts.state_dir {
+        Some(dir) => {
+            info!("collectord: journaling ingest state to {}", dir.display());
+            let store = collectord::Store::open(dir).unwrap_or_else(|e| {
+                die(&format!("collectord: --state-dir {}: {e}", dir.display()))
+            });
+            collectord::Daemon::with_store(spec, store)
+                .unwrap_or_else(|e| die(&format!("collectord: journal recovery failed: {e}")))
+        }
+        None => collectord::Daemon::new(spec),
+    };
+    // SIGTERM/SIGINT: flush the journal (plus a rendered snapshot.json)
+    // and exit cleanly instead of dying mid-write.
+    collectord::signals::install();
+    let flusher = daemon.clone();
+    std::thread::spawn(move || loop {
+        if collectord::signals::terminated() {
+            info!("collectord: termination signal — flushing journal ...");
+            match flusher.flush() {
+                Ok(()) => std::process::exit(0),
+                Err(e) => {
+                    error!("collectord: shutdown flush failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
     let ingest_daemon = daemon.clone();
     std::thread::spawn(move || ingest_daemon.serve_ingest(ingest));
     daemon.serve_http(http);
@@ -436,10 +520,15 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
             "streaming partial state to collectord at {addr} every {} devices ...",
             opts.push_every
         );
-        std::sync::Mutex::new(
-            collectord::PushClient::connect(addr, &shard)
-                .unwrap_or_else(|e| die(&format!("--push-to {addr}: {e}"))),
-        )
+        // Reconnecting client: transient failures (daemon restarting,
+        // dropped connections) are retried with seeded backoff; typed
+        // daemon rejections fail fast below. Safe because pushes are
+        // cumulative and the daemon's ingest is idempotent.
+        std::sync::Mutex::new(collectord::ResilientPushClient::new(
+            addr,
+            &shard,
+            collectord::RetryPolicy::new(spec.seed ^ (i << 8) ^ k),
+        ))
     });
     let client = std::sync::Arc::new(client);
     let run_opts = fleet::RunOptions {
@@ -455,12 +544,23 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
                     }
                     if let Some(c) = client.as_ref() {
                         let telemetry = shard_telemetry(progress);
-                        if let Err(e) = c.lock().unwrap().push_with_telemetry(
+                        match c.lock().unwrap().push_with_telemetry(
                             collector,
                             false,
                             Some(&telemetry),
                         ) {
-                            warn!("fleet: mid-run push failed (continuing): {e}");
+                            Ok(collectord::Delivery::Delivered(_)) => {}
+                            Ok(collectord::Delivery::Dropped { attempts }) => warn!(
+                                "fleet: mid-run push dropped after {attempts} attempts \
+                                 (degraded mode — campaign continues, next push covers \
+                                 the same devices)"
+                            ),
+                            // A typed, non-retryable daemon rejection:
+                            // the push itself is wrong (spec mismatch,
+                            // overlap, ...) and every retry would fail
+                            // identically. Transient I/O never lands
+                            // here — the client retries it internally.
+                            Err(e) => die(&format!("fleet: daemon rejected push: {e}")),
                         }
                     }
                 }),
@@ -470,20 +570,35 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
     };
     let (collector, stats) = fleet::run_partition_opts(spec, workers, i, k, &run_opts);
     if let Some(c) = client.as_ref() {
-        let ack = c
-            .lock()
-            .unwrap()
-            .push(&collector, true)
-            .unwrap_or_else(|e| die(&format!("fleet: final push failed: {e}")));
+        let mut c = c.lock().unwrap();
+        let ack = match c.push(&collector, true) {
+            Ok(collectord::Delivery::Delivered(ack)) => ack,
+            Ok(collectord::Delivery::Dropped { .. }) => {
+                unreachable!("final pushes exhaust their budget as Err, never Dropped")
+            }
+            Err(e) if !e.is_retryable() => die(&format!(
+                "fleet: daemon rejected final push (not retryable): {e}"
+            )),
+            Err(e) => die(&format!(
+                "fleet: final push failed after {} attempts (transient I/O — is the \
+                 daemon reachable?): {e}",
+                collectord::RetryPolicy::new(0).max_final_attempts
+            )),
+        };
+        let pstats = c.stats();
         println!(
-            "partition {i}/{k}: final push {} ({} devices absorbed daemon-side{})",
+            "partition {i}/{k}: final push {} ({} devices absorbed daemon-side{}); \
+             {} pushes delivered, {} dropped, {} reconnects",
             ack.outcome.status(),
             ack.devices_absorbed,
             if ack.complete {
                 ", campaign complete"
             } else {
                 ""
-            }
+            },
+            pstats.delivered,
+            pstats.dropped,
+            pstats.reconnects,
         );
     }
     println!(
@@ -497,6 +612,236 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
         &format!("fleet.partial-{i}-of-{k}.json"),
         collector.state_json().to_string_pretty(),
     );
+}
+
+/// Minimal HTTP GET for the chaos soak: returns the 200 response body,
+/// or `None` when the daemon is unreachable (e.g. mid-restart).
+fn http_get(addr: &str, path: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect_timeout(
+        &addr.parse().ok()?,
+        std::time::Duration::from_millis(500),
+    )
+    .ok()?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok()?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .ok()?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).ok()?;
+    let (head, body) = buf.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_string())
+}
+
+/// The wire-level crash-safety soak: run a 2-partition campaign whose
+/// shards push through seeded fault-injecting connections
+/// ([`wire::chaos`]) into a `--state-dir` collectord child that is
+/// SIGKILLed and restarted `--chaos-kills` times mid-campaign (at
+/// deterministic progress thresholds) plus once more after completion,
+/// so the final `/snapshot` comes purely from journal recovery. Exits
+/// non-zero unless that snapshot is byte-identical to the
+/// single-process `fleet.json`.
+fn run_chaos(opts: &Options) -> ! {
+    let spec = fleet::CampaignSpec::heterogeneous(opts.seed, opts.fleet_devices);
+    let workers = opts
+        .fleet_workers
+        .unwrap_or_else(fleet::available_parallelism);
+    let state_dir = opts
+        .state_dir
+        .clone()
+        .unwrap_or_else(|| opts.out.join("chaos-state"));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    info!(
+        "chaos: computing the expected single-process report ({} devices) ...",
+        spec.devices
+    );
+    let (expected_report, _) = fleet::run_campaign(&spec, workers);
+    let expected = expected_report.to_json().to_string_pretty();
+    write_raw(&opts.out, "fleet.json", expected.clone());
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let spawn_daemon = || {
+        std::process::Command::new(&exe)
+            .args([
+                "collectord",
+                "--seed",
+                &opts.seed.to_string(),
+                "--fleet-devices",
+                &opts.fleet_devices.to_string(),
+                "--listen",
+                &opts.listen,
+                "--http",
+                &opts.http,
+                "--state-dir",
+                state_dir.to_str().expect("utf-8 state dir"),
+                "--quiet",
+            ])
+            .spawn()
+            .unwrap_or_else(|e| die(&format!("chaos: spawning the daemon failed: {e}")))
+    };
+    let wait_healthy = || {
+        for _ in 0..100 {
+            if http_get(&opts.http, "/healthz").is_some_and(|b| b.starts_with("ok")) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        die("chaos: daemon did not become healthy within 10 s");
+    };
+    let mut child = spawn_daemon();
+    wait_healthy();
+    info!(
+        "chaos: daemon up (pid {}); starting 2 shard partitions with seeded wire faults ...",
+        child.id()
+    );
+
+    // Shard threads: each runs its half of the campaign and pushes
+    // cumulative state through a resilient client whose connections are
+    // severed by seeded write-side resets — every connection dies after
+    // a few KB, so reconnect/resend is exercised constantly, on top of
+    // the daemon kills.
+    let shards: Vec<_> = (0..2u64)
+        .map(|i| {
+            let spec = spec.clone();
+            let addr = opts.listen.clone();
+            let push_every = opts.push_every;
+            let chaos_seed = opts.chaos_seed;
+            std::thread::spawn(move || {
+                let shard = format!("{i}/2");
+                let policy = collectord::RetryPolicy {
+                    base: std::time::Duration::from_millis(50),
+                    cap: std::time::Duration::from_millis(800),
+                    max_attempts: 3,
+                    // The final push must outlast a daemon restart; a
+                    // mid-run push can afford to be dropped instead.
+                    max_final_attempts: 100,
+                    seed: chaos_seed ^ i,
+                };
+                // Cut each connection only after it could have carried
+                // at least one full cumulative state frame (roughly
+                // 1 KB/device): resets then land between or inside
+                // *later* pushes, so reconnect/resend is exercised
+                // constantly but delivery always stays possible.
+                let min_cut = 4096 + spec.devices * 1024;
+                let client = collectord::ResilientPushClient::new(&addr, &shard, policy)
+                    .with_chaos(chaos_seed.wrapping_add(i * 1000), min_cut, min_cut);
+                let client = std::sync::Arc::new(std::sync::Mutex::new(client));
+                let cb = client.clone();
+                let run_opts = fleet::RunOptions {
+                    progress: Some(fleet::ProgressSink {
+                        every: push_every,
+                        f: std::sync::Arc::new(move |collector, _progress, done| {
+                            if done {
+                                return;
+                            }
+                            // Dropped is fine (degraded mode); only a
+                            // non-retryable rejection fails the soak.
+                            if let Err(e) = cb.lock().unwrap().push(collector, false) {
+                                panic!("chaos shard: non-retryable rejection: {e}");
+                            }
+                        }),
+                    }),
+                    ..fleet::RunOptions::default()
+                };
+                let (collector, _) = fleet::run_partition_opts(&spec, 1, i, 2, &run_opts);
+                match client.lock().unwrap().push(&collector, true) {
+                    Ok(collectord::Delivery::Delivered(_)) => {}
+                    Ok(collectord::Delivery::Dropped { .. }) => {
+                        unreachable!("final pushes never drop")
+                    }
+                    Err(e) => panic!("chaos shard {shard}: final push failed: {e}"),
+                }
+                let stats = client.lock().unwrap().stats();
+                stats
+            })
+        })
+        .collect();
+
+    // Kill schedule: SIGKILL + restart each time the daemon's live view
+    // crosses devices·j/(kills+1) — progress-based, so the schedule is
+    // the same shape regardless of machine speed.
+    let devices = spec.devices;
+    let kills = opts.chaos_kills as u64;
+    let mut next_kill = 1u64;
+    while !shards.iter().all(|h| h.is_finished()) {
+        if next_kill <= kills {
+            let threshold = devices * next_kill / (kills + 1);
+            let view = http_get(&opts.http, "/status")
+                .and_then(|b| obs::Json::parse(&b).ok())
+                .and_then(|j| j.get("devices_view").and_then(|v| v.as_f64()))
+                .map(|v| v as u64);
+            if let Some(v) = view.filter(|&v| v >= threshold) {
+                info!(
+                    "chaos: kill #{next_kill}/{kills} at view {v} (threshold {threshold}) \
+                     — SIGKILL + restart"
+                );
+                let _ = child.kill();
+                let _ = child.wait();
+                child = spawn_daemon();
+                wait_healthy();
+                next_kill += 1;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let mut stats = Vec::new();
+    for h in shards {
+        match h.join() {
+            Ok(s) => stats.push(s),
+            Err(_) => die("chaos: a shard thread failed (see panic above)"),
+        }
+    }
+
+    // One more kill *after* completion: the verified snapshot must come
+    // purely from journal recovery, with no shard left to re-push.
+    info!("chaos: campaign pushed; final SIGKILL + restart to verify pure-journal recovery ...");
+    let _ = child.kill();
+    let _ = child.wait();
+    child = spawn_daemon();
+    wait_healthy();
+    let status = http_get(&opts.http, "/status")
+        .and_then(|b| obs::Json::parse(&b).ok())
+        .unwrap_or_else(|| die("chaos: /status unreachable after the final restart"));
+    let complete = matches!(status.get("complete"), Some(obs::Json::Bool(true)));
+    let recovered = status
+        .get("recovery")
+        .and_then(|r| r.get("merged_devices"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0) as u64;
+    let snapshot = http_get(&opts.http, "/snapshot")
+        .unwrap_or_else(|| die("chaos: /snapshot unreachable after the final restart"));
+    write_raw(&opts.out, "chaos_snapshot.json", snapshot.clone());
+    let _ = child.kill();
+    let _ = child.wait();
+
+    for (i, s) in stats.iter().enumerate() {
+        println!(
+            "chaos: shard {i}/2: {} pushes delivered, {} dropped (degraded), {} reconnects",
+            s.delivered, s.dropped, s.reconnects
+        );
+    }
+    println!(
+        "chaos: {} kill/restart cycles; final recovery restored {recovered} merged devices",
+        kills + 1
+    );
+    if !complete {
+        error!("chaos: recovered daemon does not report a complete campaign");
+        std::process::exit(1);
+    }
+    if snapshot != expected {
+        error!(
+            "chaos: recovered /snapshot differs from the single-process fleet.json \
+             (saved as {})",
+            opts.out.join("chaos_snapshot.json").display()
+        );
+        std::process::exit(1);
+    }
+    println!("chaos: recovered /snapshot is byte-identical to the single-process fleet.json.");
+    std::process::exit(0);
 }
 
 /// Run a self-profiled fleet campaign and report where the engine's
@@ -640,6 +985,9 @@ fn main() {
 
     if opts.experiments.iter().any(|e| e == "collectord") {
         run_collectord(&opts);
+    }
+    if opts.experiments.iter().any(|e| e == "chaos") {
+        run_chaos(&opts);
     }
     if wants("table1") {
         let t = table1::run();

@@ -1,7 +1,9 @@
 //! The shard-side push client: connect once, push cumulative campaign
-//! state, read the typed ack. Used by `repro fleet --push-to` and by
-//! the end-to-end tests.
+//! state, read the typed ack. Used by `repro fleet --push-to` (via the
+//! reconnecting [`crate::resilient`] wrapper) and by the end-to-end
+//! tests.
 
+use std::io::{Read, Write};
 use std::net::TcpStream;
 
 use fleet::Collector;
@@ -27,6 +29,26 @@ pub enum PushError {
         /// Human-readable rejection message.
         message: String,
     },
+}
+
+impl PushError {
+    /// Whether retrying the same push (after reconnecting) can
+    /// plausibly succeed.
+    ///
+    /// Transport failures — a dead connection, a torn frame, an
+    /// unintelligible reply — are transient: pushes are cumulative and
+    /// the daemon's ingest is idempotent, so a blind re-send is always
+    /// safe. Typed daemon rejections are permanent *unless* the daemon
+    /// itself says otherwise: `storage` (journal write failed) and
+    /// `conn-timeout` clear on their own, while `spec-mismatch`,
+    /// `overlap`, `range-out-of-bounds`, `bad-state`, and `bad-frame`
+    /// mean the push is wrong and every retry would fail identically.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PushError::Io(_) | PushError::Frame(_) | PushError::BadReply(_) => true,
+            PushError::Rejected { code, .. } => code == "storage" || code == "conn-timeout",
+        }
+    }
 }
 
 impl std::fmt::Display for PushError {
@@ -57,21 +79,33 @@ impl From<FrameError> for PushError {
 }
 
 /// One persistent push connection to a collector daemon.
-pub struct PushClient {
-    stream: TcpStream,
+///
+/// Generic over the byte stream so tests (and the chaos harness) can
+/// splice a fault-injecting [`wire::chaos::ChaosStream`] between the
+/// protocol and the socket; production code uses the [`TcpStream`]
+/// default.
+pub struct PushClient<S: Read + Write = TcpStream> {
+    stream: S,
     shard: String,
 }
 
-impl PushClient {
+impl PushClient<TcpStream> {
     /// Connect to the daemon's ingest listener at `addr`
     /// (`host:port`), identifying as `shard` (conventionally `"i/k"`).
     pub fn connect(addr: &str, shard: &str) -> Result<PushClient, PushError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(PushClient {
+        Ok(PushClient::from_stream(stream, shard))
+    }
+}
+
+impl<S: Read + Write> PushClient<S> {
+    /// Wrap an already-established byte stream as a push client.
+    pub fn from_stream(stream: S, shard: &str) -> PushClient<S> {
+        PushClient {
             stream,
             shard: shard.to_string(),
-        })
+        }
     }
 
     /// Push one cumulative campaign-state partial. `done` marks the

@@ -5,7 +5,7 @@
 
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fleet::CampaignSpec;
 use obs::{info, warn, Json, Registry};
@@ -15,6 +15,12 @@ use crate::dashboard;
 use crate::http::{read_request, respond};
 use crate::ingest::{Ingest, ShardInfo};
 use crate::protocol::{ack_doc, error_doc, parse_push, IngestError, PushOutcome};
+use crate::store::{Store, StoreError};
+
+/// Default ingest-connection read/write timeout: generous enough for a
+/// slow shard's largest state push, small enough that half-open or
+/// stalled connections don't pin daemon threads forever.
+pub const DEFAULT_INGEST_TIMEOUT: Duration = Duration::from_secs(60);
 
 struct Inner {
     ingest: Mutex<Ingest>,
@@ -27,22 +33,60 @@ struct Inner {
 #[derive(Clone)]
 pub struct Daemon {
     inner: Arc<Inner>,
+    ingest_timeout: Duration,
 }
 
 impl Daemon {
     /// A daemon expecting campaign `spec`.
     pub fn new(spec: CampaignSpec) -> Daemon {
+        Daemon::from_ingest(Ingest::new(spec))
+    }
+
+    /// A daemon journaling to (and recovered from) `store`: whatever
+    /// state the journal holds for `spec` is restored before the first
+    /// push, and every accepted push is persisted before it is acked.
+    pub fn with_store(spec: CampaignSpec, store: Store) -> Result<Daemon, StoreError> {
+        Ok(Daemon::from_ingest(Ingest::with_store(spec, store)?))
+    }
+
+    fn from_ingest(ingest: Ingest) -> Daemon {
         let registry = Registry::new();
         registry
             .gauge("collectord.devices.expected")
-            .set(spec.devices as i64);
+            .set(ingest.spec().devices as i64);
+        if let Some(rec) = ingest.recovery() {
+            registry
+                .gauge("collectord.recovered.devices")
+                .set(rec.merged_devices as i64);
+            registry
+                .gauge("collectord.recovered.slices")
+                .set(rec.slices_loaded as i64);
+        }
         Daemon {
             inner: Arc::new(Inner {
-                ingest: Mutex::new(Ingest::new(spec)),
+                ingest: Mutex::new(ingest),
                 registry,
                 started: Instant::now(),
             }),
+            ingest_timeout: DEFAULT_INGEST_TIMEOUT,
         }
+    }
+
+    /// Override the per-connection ingest read/write timeout
+    /// ([`DEFAULT_INGEST_TIMEOUT`]). A connection that stalls past it —
+    /// idle, half-open, or torn mid-frame — is counted
+    /// (`collectord_conn_timeout_total`) and dropped; resilient clients
+    /// reconnect and re-push.
+    pub fn with_ingest_timeout(mut self, timeout: Duration) -> Daemon {
+        self.ingest_timeout = timeout;
+        self
+    }
+
+    /// Flush the full ingest state (merged prefix, buffered slices, a
+    /// rendered `snapshot.json`) to the journal — the SIGTERM/SIGINT
+    /// shutdown path. A no-op without a store.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.inner.ingest.lock().unwrap().flush_to_store()
     }
 
     /// The daemon's own metrics registry (ingest counters, batch
@@ -101,10 +145,29 @@ impl Daemon {
 
     fn handle_push_conn(&self, mut stream: TcpStream) {
         let reg = &self.inner.registry;
+        // A shard that stalls mid-frame (or a half-open connection that
+        // will never send another byte) must not pin this thread
+        // forever: bound every read and write.
+        let _ = stream.set_read_timeout(Some(self.ingest_timeout));
+        let _ = stream.set_write_timeout(Some(self.ingest_timeout));
         loop {
             let payload = match read_frame(&mut stream) {
                 Ok(p) => p,
                 Err(FrameError::Closed) => return,
+                Err(FrameError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    // Tell the peer why before hanging up, best-effort
+                    // (it may be long gone).
+                    warn!("collectord: ingest connection timed out; dropping it");
+                    reg.counter("collectord.conn_timeout").inc();
+                    let doc = error_doc(&IngestError::ConnTimeout);
+                    let _ = write_frame(&mut stream, doc.to_string().as_bytes());
+                    return;
+                }
                 Err(e) => {
                     warn!("collectord: dropping push connection: {e}");
                     reg.counter("collectord.ingest.errors").inc();
@@ -177,7 +240,23 @@ impl Daemon {
             return;
         }
         let _ = match req.path.as_str() {
-            "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+            "/healthz" => {
+                // First line stays exactly "ok" (probe compatibility);
+                // recovery provenance rides the following lines.
+                let body = {
+                    let ingest = self.inner.ingest.lock().unwrap();
+                    match ingest.recovery() {
+                        Some(rec) if rec.recovered_anything() => format!(
+                            "ok\nrecovered merged_devices={} slices_loaded={} \
+                             slices_discarded={}\n",
+                            rec.merged_devices, rec.slices_loaded, rec.slices_discarded
+                        ),
+                        Some(_) => "ok\nrecovered nothing (journal was empty)\n".to_string(),
+                        None => "ok\n".to_string(),
+                    }
+                };
+                respond(&mut stream, 200, "text/plain", &body)
+            }
             "/snapshot" => {
                 let body = self.inner.ingest.lock().unwrap().snapshot_pretty();
                 respond(&mut stream, 200, "application/json", &body)
@@ -256,6 +335,9 @@ impl Daemon {
         doc.set("devices_per_sec", ingest.throughput_dps());
         if let Some(eta) = ingest.eta_secs() {
             doc.set("eta_secs", eta);
+        }
+        if let Some(rec) = ingest.recovery() {
+            doc.set("recovery", rec.to_json());
         }
         doc.set("shards", shards);
         doc

@@ -29,6 +29,7 @@ use obs::Json;
 use wire::telemetry::ShardTelemetry;
 
 use crate::protocol::{Ack, IngestError, PushOutcome};
+use crate::store::{RecoveryInfo, Store, StoreError};
 
 /// Shards whose last heartbeat is older than this are excluded from
 /// throughput and ETA math: a stalled shard's historical rate says
@@ -91,6 +92,17 @@ pub struct Ingest {
     pending: BTreeMap<u64, Pending>,
     /// Per-shard-label bookkeeping.
     shards: BTreeMap<String, ShardInfo>,
+    /// Optional on-disk journal: accepted pushes persist here *before*
+    /// they are acked, so an acked push survives a daemon kill.
+    store: Option<Store>,
+    /// What recovery restored, when this ingest came from a journal.
+    recovery: Option<RecoveryInfo>,
+    /// Set when a journal write failed after in-memory state already
+    /// changed. While set, *every* push (even an idempotent duplicate)
+    /// must first re-sync the full journal before it may be acked —
+    /// otherwise a duplicate's ack would claim durability the disk
+    /// never delivered.
+    dirty: bool,
 }
 
 impl Ingest {
@@ -103,7 +115,104 @@ impl Ingest {
             absorbed: Vec::new(),
             pending: BTreeMap::new(),
             shards: BTreeMap::new(),
+            store: None,
+            recovery: None,
+            dirty: false,
         }
+    }
+
+    /// An ingest journaling to (and recovered from) `store`. Whatever
+    /// the journal holds for `spec` — the merged prefix, its
+    /// absorbed-slice ledger, buffered slices — is restored first;
+    /// contiguous final slices that became foldable are compacted
+    /// immediately. Every subsequent accepted push is persisted before
+    /// it is acked.
+    pub fn with_store(spec: CampaignSpec, store: Store) -> Result<Ingest, StoreError> {
+        let recovered = store.recover(&spec)?;
+        let merged = recovered.merged.unwrap_or_else(|| Collector::new(&spec));
+        let mut pending = BTreeMap::new();
+        for s in recovered.slices {
+            pending.insert(
+                s.start,
+                Pending {
+                    collector: s.collector,
+                    done: s.done,
+                },
+            );
+        }
+        let mut ingest = Ingest {
+            spec,
+            merged,
+            absorbed: recovered.absorbed,
+            pending,
+            shards: BTreeMap::new(),
+            store: Some(store),
+            recovery: Some(recovered.info),
+            dirty: false,
+        };
+        // Buffered finals that are contiguous with the restored prefix
+        // fold now, exactly as they would have on the next push.
+        let folded = ingest.drain();
+        ingest.persist(None, &folded)?;
+        Ok(ingest)
+    }
+
+    /// Recovery provenance, when this ingest was restored from a
+    /// journal (surfaced on `/status` and `/healthz`).
+    pub fn recovery(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
+    }
+
+    /// Persist the journal side of one accepted push (or of recovery
+    /// compaction, with `pushed_start = None`): the merged prefix when
+    /// the frontier advanced, the pushed slice if it is still buffered,
+    /// and the removal of every slice file the drain folded.
+    fn persist(&self, pushed_start: Option<u64>, folded: &[u64]) -> Result<(), StoreError> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        if !folded.is_empty() {
+            store.write_merged(&self.merged, &self.absorbed)?;
+        }
+        if let Some(start) = pushed_start {
+            if let Some(p) = self.pending.get(&start) {
+                store.write_slice(&p.collector, p.done)?;
+            }
+        }
+        for &s in folded {
+            store.remove_slice(s)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the whole journal from in-memory state — the recovery
+    /// path for a previously failed incremental write. Slice files for
+    /// slices that folded since are left behind; restart-recovery
+    /// discards anything behind the merged frontier anyway.
+    fn resync_store(&mut self) -> Result<(), StoreError> {
+        if let Some(store) = &self.store {
+            store.write_merged(&self.merged, &self.absorbed)?;
+            for p in self.pending.values() {
+                store.write_slice(&p.collector, p.done)?;
+            }
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Flush everything to the journal (merged prefix, every buffered
+    /// slice, and a rendered `snapshot.json`) — the SIGTERM/SIGINT
+    /// shutdown path. A no-op without a store.
+    pub fn flush_to_store(&self) -> Result<(), StoreError> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        store.write_merged(&self.merged, &self.absorbed)?;
+        for p in self.pending.values() {
+            store.write_slice(&p.collector, p.done)?;
+        }
+        store.write_raw("snapshot.json", &self.snapshot_pretty())?;
+        Ok(())
     }
 
     /// The campaign this ingest expects.
@@ -146,6 +255,14 @@ impl Ingest {
         done: bool,
         bytes: u64,
     ) -> Result<Ack, IngestError> {
+        // A previous journal write failed *after* in-memory state had
+        // already changed. Until the journal is whole again no push may
+        // be acked — not even an idempotent Duplicate, whose ack would
+        // otherwise claim a durability the disk never delivered.
+        if self.dirty {
+            self.resync_store()
+                .map_err(|e| IngestError::Storage(e.to_string()))?;
+        }
         let c = Collector::from_state_json(state).map_err(|e| IngestError::BadState(e.0))?;
         c.verify_spec(&self.spec)
             .map_err(|e| IngestError::SpecMismatch(e.0))?;
@@ -161,7 +278,14 @@ impl Ingest {
 
         let outcome = self.classify_and_store(start, count, c, done)?;
         if matches!(outcome, PushOutcome::Absorbed | PushOutcome::Buffered) {
-            self.drain();
+            let folded = self.drain();
+            // Durability before acknowledgement: if the journal cannot
+            // hold the push, the shard gets a retryable `storage` error
+            // and re-sends its cumulative state later.
+            if let Err(e) = self.persist(Some(start), &folded) {
+                self.dirty = true;
+                return Err(IngestError::Storage(e.to_string()));
+            }
         }
         self.note_shard(shard, start, count, done, bytes);
 
@@ -262,7 +386,11 @@ impl Ingest {
     }
 
     /// Fold every contiguous final slice at the merged frontier.
-    fn drain(&mut self) {
+    /// Returns the `range_start` of each slice folded, so the journal
+    /// can compact them (rewrite `merged.json`, drop their slice
+    /// files).
+    fn drain(&mut self) -> Vec<u64> {
+        let mut folded = Vec::new();
         while let Some(p) = self.pending.get(&self.merged.next_index()) {
             if !p.done {
                 break;
@@ -274,7 +402,9 @@ impl Ingest {
                 .absorb_state(&p.collector)
                 .expect("contiguous final slice always folds");
             self.absorbed.push((start, count));
+            folded.push(start);
         }
+        folded
     }
 
     fn note_shard(&mut self, shard: &str, start: u64, count: u64, done: bool, bytes: u64) {

@@ -19,6 +19,13 @@
 //!
 //! Everything is `std`-only: hand-rolled HTTP ([`http`]), the obs JSON
 //! tree on the wire, `TcpListener` + thread-per-connection serving.
+//!
+//! The control plane is **crash-safe**: with `--state-dir` the daemon
+//! journals every accepted push to disk *before* acking it ([`store`])
+//! and recovers the full ingest state machine on restart; push clients
+//! wrap the wire protocol in seeded reconnect/backoff loops
+//! ([`resilient`]); and [`wire::chaos`] + `repro chaos` exercise the
+//! whole loop under injected faults and daemon kills.
 
 #![deny(missing_docs)]
 
@@ -28,8 +35,13 @@ pub mod dashboard;
 pub mod http;
 pub mod ingest;
 pub mod protocol;
+pub mod resilient;
+pub mod signals;
+pub mod store;
 
 pub use client::{PushClient, PushError};
 pub use daemon::Daemon;
 pub use ingest::{Ingest, ShardInfo};
 pub use protocol::{Ack, IngestError, Push, PushOutcome};
+pub use resilient::{Delivery, PushStats, ResilientPushClient, RetryPolicy};
+pub use store::{RecoveryInfo, Store, StoreError};

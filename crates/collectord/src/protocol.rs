@@ -52,6 +52,14 @@ pub enum IngestError {
         /// Devices the pushed slice covers.
         devices: u64,
     },
+    /// The daemon could not journal the push durably (`--state-dir`
+    /// write failed). Retryable: the shard's next cumulative push
+    /// covers the same devices.
+    Storage(String),
+    /// The connection sat idle (or mid-frame) past the daemon's ingest
+    /// read/write timeout and was dropped. Retryable: reconnect and
+    /// re-push.
+    ConnTimeout,
 }
 
 impl IngestError {
@@ -63,7 +71,17 @@ impl IngestError {
             IngestError::SpecMismatch(_) => "spec-mismatch",
             IngestError::RangeOutOfBounds { .. } => "range-out-of-bounds",
             IngestError::Overlap { .. } => "overlap",
+            IngestError::Storage(_) => "storage",
+            IngestError::ConnTimeout => "conn-timeout",
         }
+    }
+
+    /// Whether a client should retry after this rejection. Transient
+    /// daemon-side conditions (journal write failure, idle-timeout
+    /// disconnect) clear on their own; everything else means the push
+    /// itself is wrong and a re-send can only fail identically.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, IngestError::Storage(_) | IngestError::ConnTimeout)
     }
 }
 
@@ -86,6 +104,10 @@ impl std::fmt::Display for IngestError {
                 "device slice starting at {start} ({devices} devices) overlaps \
                  an already-ingested slice"
             ),
+            IngestError::Storage(m) => write!(f, "ingest journal write failed: {m}"),
+            IngestError::ConnTimeout => {
+                write!(f, "ingest connection timed out waiting for a frame")
+            }
         }
     }
 }

@@ -205,3 +205,39 @@ fn telemetry_surfaces_on_metrics_status_and_dashboard() {
     // Queue depth from self-reported telemetry.
     assert!(html.contains("<th>queue</th>"), "{html}");
 }
+
+/// A client that connects and then goes silent mid-frame must not pin
+/// an ingest thread forever: the configured read timeout fires, the
+/// connection is dropped, and the `collectord_conn_timeout_total`
+/// counter records it.
+#[test]
+fn stalled_ingest_connection_times_out_and_is_counted() {
+    let spec = spec();
+    let ingest = TcpListener::bind("127.0.0.1:0").unwrap();
+    let http = TcpListener::bind("127.0.0.1:0").unwrap();
+    let push_addr = ingest.local_addr().unwrap().to_string();
+    let http_addr = http.local_addr().unwrap().to_string();
+    let daemon = Daemon::new(spec).with_ingest_timeout(std::time::Duration::from_millis(100));
+    let d = daemon.clone();
+    std::thread::spawn(move || d.serve_ingest(ingest));
+    let d = daemon.clone();
+    std::thread::spawn(move || d.serve_http(http));
+
+    // Half a length prefix, then silence: the daemon is now blocked in
+    // the middle of a frame read until its timeout rescues the thread.
+    let mut s = TcpStream::connect(&push_addr).unwrap();
+    s.write_all(&[0x00, 0x00]).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (_, metrics) = get(&http_addr, "/metrics");
+        if metrics.contains("collectord_conn_timeout_total 1") {
+            assert!(metrics.contains("# TYPE collectord_conn_timeout_total counter"));
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timeout counter never appeared:\n{metrics}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end behaviour of [`ResilientPushClient`]: reconnect-and-
+//! resend across severed connections, degraded mode for mid-run pushes
+//! when the daemon is unreachable, immediate short-circuit on typed
+//! non-retryable rejections, and delivery straight through injected
+//! wire chaos.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use collectord::{Daemon, Delivery, ResilientPushClient, RetryPolicy};
+use fleet::{run_partition, CampaignSpec};
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::heterogeneous(7, 40).with_probes(2)
+}
+
+/// A retry policy tuned for tests: near-instant backoff, few attempts.
+fn fast_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(5),
+        max_attempts: 2,
+        max_final_attempts: 6,
+        seed,
+    }
+}
+
+/// The client survives a connection the server accepts and immediately
+/// drops: it reconnects and resends, and the push still lands.
+#[test]
+fn reconnects_after_severed_connection() {
+    let spec = spec();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let daemon = Daemon::new(spec.clone());
+    let d = daemon.clone();
+    std::thread::spawn(move || {
+        // First connection: accepted, then slammed shut mid-handshake.
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+        // Every later connection is served normally.
+        d.serve_ingest(listener);
+    });
+
+    let (c0, _) = run_partition(&spec, 1, 0, 1);
+    let mut client = ResilientPushClient::new(&addr, "0/1", fast_policy(11));
+    match client.push(&c0, true).unwrap() {
+        Delivery::Delivered(ack) => assert!(ack.complete),
+        Delivery::Dropped { .. } => panic!("final push must not be dropped"),
+    }
+    let stats = client.stats();
+    assert_eq!(stats.delivered, 1);
+    assert!(
+        stats.reconnects >= 1,
+        "severed first connection must force a reconnect: {stats:?}"
+    );
+}
+
+/// With no daemon listening at all, a mid-run push degrades (dropped
+/// after the mid-run budget, campaign continues) while a final push
+/// exhausts its larger budget and surfaces a retryable error.
+#[test]
+fn degraded_mode_drops_midrun_pushes_but_fails_finals() {
+    let spec = spec();
+    // Grab an ephemeral port, then release it: nothing listens there.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+
+    let (c0, _) = run_partition(&spec, 1, 0, 1);
+    let mut client = ResilientPushClient::new(&dead_addr, "0/1", fast_policy(12));
+
+    match client.push(&c0, false).unwrap() {
+        Delivery::Dropped { attempts } => assert_eq!(attempts, 2, "mid-run budget"),
+        Delivery::Delivered(_) => panic!("nothing is listening"),
+    }
+    assert_eq!(client.stats().dropped, 1);
+
+    let err = client.push(&c0, true).unwrap_err();
+    assert!(
+        err.is_retryable(),
+        "pure I/O failure stays retryable: {err}"
+    );
+    assert_eq!(client.stats().delivered, 0);
+}
+
+/// A typed daemon rejection (spec fingerprint mismatch) is not
+/// retryable: the client short-circuits on the first attempt instead of
+/// burning its backoff budget against a deterministic refusal.
+#[test]
+fn typed_rejection_short_circuits_without_retries() {
+    let spec = spec();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let daemon = Daemon::new(spec.clone());
+    let d = daemon.clone();
+    std::thread::spawn(move || d.serve_ingest(listener));
+
+    // A collector from a *different* campaign: wrong fingerprint.
+    let other = CampaignSpec::heterogeneous(99, 40).with_probes(2);
+    let (alien, _) = run_partition(&other, 1, 0, 1);
+    let mut client = ResilientPushClient::new(&addr, "0/1", fast_policy(13));
+    let err = client.push(&alien, true).unwrap_err();
+    assert!(
+        !err.is_retryable(),
+        "spec mismatch must not be retried: {err}"
+    );
+    let stats = client.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.reconnects, 0, "no reconnect loop on a typed refusal");
+}
+
+/// Chaos splice: every connection the client opens is wrapped in a
+/// seeded [`wire::chaos::ChaosStream`] that tears it down after a bounded
+/// byte budget. Repeated pushes through the churn all deliver, and the
+/// schedule forces at least one real reconnect.
+#[test]
+fn delivers_through_seeded_connection_chaos() {
+    let spec = spec();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let daemon = Daemon::new(spec.clone());
+    let d = daemon.clone();
+    std::thread::spawn(move || d.serve_ingest(listener));
+
+    let (c0, _) = run_partition(&spec, 1, 0, 1);
+    // Cut floor comfortably above one 40-device state frame, so each
+    // connection can always carry at least one full push before dying.
+    let policy = RetryPolicy {
+        max_final_attempts: 20,
+        ..fast_policy(14)
+    };
+    let mut client =
+        ResilientPushClient::new(&addr, "0/1", policy).with_chaos(99, 64 * 1024, 64 * 1024);
+
+    let mut delivered = 0;
+    for _ in 0..10 {
+        match client.push(&c0, true).unwrap() {
+            Delivery::Delivered(ack) => {
+                assert!(ack.complete);
+                delivered += 1;
+            }
+            Delivery::Dropped { .. } => panic!("final pushes must deliver"),
+        }
+        if client.stats().reconnects >= 1 && delivered >= 2 {
+            break;
+        }
+    }
+    let stats = client.stats();
+    assert!(delivered >= 2, "{stats:?}");
+    assert!(
+        stats.reconnects >= 1,
+        "chaos cuts must have severed at least one connection: {stats:?}"
+    );
+}

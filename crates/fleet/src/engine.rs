@@ -164,12 +164,26 @@ pub struct RunOptions {
     pub profiler: obs::Profiler,
 }
 
+/// Atomically persist `doc` at `path`: write to a sibling `.tmp` file,
+/// fsync, then rename over the destination. A kill — or a power cut,
+/// thanks to the fsync — at any instant leaves either the previous
+/// file or the new one, never a torn in-between. This is the
+/// durability discipline behind resume checkpoints; the collector
+/// daemon's ingest journal reuses it verbatim.
+pub fn atomic_write_json(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(doc.to_string_pretty().as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
 fn write_checkpoint(cp: &CheckpointPolicy, state: &Json) {
-    let tmp = cp.path.with_extension("json.tmp");
-    let body = state.to_string_pretty();
-    if let Err(e) =
-        std::fs::write(&tmp, body.as_bytes()).and_then(|()| std::fs::rename(&tmp, &cp.path))
-    {
+    if let Err(e) = atomic_write_json(&cp.path, state) {
         panic!("failed to write checkpoint {}: {e}", cp.path.display());
     }
 }

@@ -15,6 +15,9 @@
 //! * [`PcapWriter`]: export of sniffer captures as standard pcap files;
 //! * [`framing`]: length-prefixed message frames for the collector
 //!   daemon's push protocol;
+//! * [`chaos`]: a deterministic fault-injecting stream wrapper (torn
+//!   frames, partial I/O, stalls, resets at byte offsets) for
+//!   crash-safety testing on both ends of the push protocol;
 //! * [`telemetry`]: the optional live shard-telemetry document
 //!   (throughput, per-worker rates, profiling phase split) that rides
 //!   collector pushes.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod chaos;
 pub mod codec;
 mod frame;
 pub mod framing;
