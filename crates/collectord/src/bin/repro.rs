@@ -5,6 +5,7 @@
 //! repro [--k N] [--seed S] [--out DIR] [--metrics-json] [--metrics-text]
 //!       [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet]
 //!       [--fleet-devices N] [--fleet-workers W]
+//!       [--queue heap|wheel] [--multiplex M]
 //!       [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //!       [--partition i/k] [--fleet-halt-after N]
 //!       [--push-to ADDR] [--push-every N]
@@ -92,6 +93,8 @@ struct Options {
     trace_spans: Option<PathBuf>,
     fleet_devices: u64,
     fleet_workers: Option<usize>,
+    queue: simcore::QueueKind,
+    multiplex: Option<u64>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: u64,
     resume: Option<PathBuf>,
@@ -132,6 +135,8 @@ fn parse_args() -> Options {
         trace_spans: None,
         fleet_devices: 10_000,
         fleet_workers: None,
+        queue: simcore::QueueKind::default(),
+        multiplex: None,
         checkpoint: None,
         checkpoint_every: 64,
         resume: None,
@@ -184,6 +189,20 @@ fn parse_args() -> Options {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| die("--fleet-workers needs a number")),
+                )
+            }
+            "--queue" => {
+                opts.queue = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queue needs 'heap' or 'wheel'"))
+            }
+            "--multiplex" => {
+                opts.multiplex = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--multiplex needs a positive device count")),
                 )
             }
             "--checkpoint" => {
@@ -304,6 +323,7 @@ fn parse_args() -> Options {
                      [--metrics-json] [--metrics-text] \
                      [--trace-out FILE] [--trace-spans FILE] [-v] [--quiet] \
                      [--fleet-devices N] [--fleet-workers W] \
+                     [--queue heap|wheel] [--multiplex M] \
                      [--checkpoint FILE] [--checkpoint-every N] \
                      [--resume FILE] [--partition i/k] [--fleet-halt-after N] \
                      [--push-to ADDR] [--push-every N] \
@@ -321,6 +341,12 @@ fn parse_args() -> Options {
                      --trace-spans FILE  write the same spans as JSON-lines\n\
                      --fleet-devices N   fleet campaign population (default 10000)\n\
                      --fleet-workers W   worker threads (default: CPU count)\n\
+                     --queue heap|wheel  event-queue backend for fleet/profile\n\
+                     \u{20}                    runs (default wheel; both backends\n\
+                     \u{20}                    produce byte-identical campaign JSON)\n\
+                     --multiplex M       interleave M devices per worker claim\n\
+                     \u{20}                    by next-event time (default: one\n\
+                     \u{20}                    device at a time; JSON is identical)\n\
                      --checkpoint FILE   write an atomic fleet resume checkpoint\n\
                      \u{20}                    every --checkpoint-every devices (default 64)\n\
                      --resume FILE       resume a killed fleet campaign from its\n\
@@ -566,6 +592,8 @@ fn run_fleet_partition(opts: &Options, spec: &fleet::CampaignSpec, workers: usiz
                 }),
             }
         }),
+        queue: opts.queue,
+        multiplex: opts.multiplex,
         ..fleet::RunOptions::default()
     };
     let (collector, stats) = fleet::run_partition_opts(spec, workers, i, k, &run_opts);
@@ -855,11 +883,17 @@ fn run_profile(opts: &Options) {
         .unwrap_or_else(fleet::available_parallelism);
     let spec = fleet::CampaignSpec::heterogeneous(opts.seed, opts.fleet_devices);
     info!(
-        "profiling fleet campaign: {} devices × {} probes on {workers} workers ...",
-        spec.devices, spec.probes_per_device
+        "profiling fleet campaign: {} devices × {} probes on {workers} workers \
+         ({} queue, multiplex {}) ...",
+        spec.devices,
+        spec.probes_per_device,
+        opts.queue,
+        opts.multiplex.unwrap_or(1)
     );
     let run_opts = fleet::RunOptions {
         profiler: obs::Profiler::new(),
+        queue: opts.queue,
+        multiplex: opts.multiplex,
         ..fleet::RunOptions::default()
     };
     let (report, mut stats) = fleet::run_campaign_opts(&spec, workers, &run_opts);
@@ -916,11 +950,11 @@ fn read_bench(path: &Path) -> Vec<(String, f64)> {
 }
 
 /// Compare candidate bench medians against the committed baseline. The
-/// `obs_tracer_*` and `obs_prof_*` scenarios gate (they are tight,
-/// allocation-free inner loops whose cost is what the tracer and
-/// profiler budgets promised); everything else is reported
-/// informationally — full experiments vary too much across machines to
-/// gate on.
+/// `obs_tracer_*`, `obs_prof_*`, and `simcore_queue_*` scenarios gate
+/// (they are tight, allocation-free inner loops whose cost is what the
+/// tracer, profiler, and scheduler budgets promised); everything else
+/// is reported informationally — full experiments vary too much across
+/// machines to gate on.
 fn run_bench_gate(opts: &Options) {
     let candidate_path = opts.bench_candidate.clone().unwrap_or_else(|| {
         die("bench-gate needs --bench-candidate FILE (from a bench-snapshot run)")
@@ -928,7 +962,7 @@ fn run_bench_gate(opts: &Options) {
     let baseline = read_bench(&opts.bench_baseline);
     let candidate = read_bench(&candidate_path);
     info!(
-        "bench-gate: {} vs baseline {} (factor {}x on obs_tracer_* / obs_prof_*)",
+        "bench-gate: {} vs baseline {} (factor {}x on obs_tracer_* / obs_prof_* / simcore_queue_*)",
         candidate_path.display(),
         opts.bench_baseline.display(),
         opts.bench_factor
@@ -948,7 +982,9 @@ fn run_bench_gate(opts: &Options) {
         } else {
             1.0
         };
-        let gated = name.starts_with("obs_tracer_") || name.starts_with("obs_prof_");
+        let gated = name.starts_with("obs_tracer_")
+            || name.starts_with("obs_prof_")
+            || name.starts_with("simcore_queue_");
         let fails = gated && ratio > opts.bench_factor;
         println!(
             "{:<28} {:>12.0}ns {:>12.0}ns {:>7.2}x  {}",
@@ -976,7 +1012,7 @@ fn run_bench_gate(opts: &Options) {
         }
         std::process::exit(1);
     }
-    println!("\nbench-gate: tracer and profiler budgets hold.");
+    println!("\nbench-gate: tracer, profiler, and scheduler budgets hold.");
 }
 
 fn main() {
@@ -1183,6 +1219,8 @@ fn main() {
                 every: opts.checkpoint_every,
             }),
             halt_after_devices: opts.fleet_halt_after,
+            queue: opts.queue,
+            multiplex: opts.multiplex,
             ..fleet::RunOptions::default()
         };
 
@@ -1331,6 +1369,46 @@ fn main() {
             let spec = fleet::CampaignSpec::heterogeneous(BENCH_SEED, 8).with_probes(2);
             fleet::run_campaign(&spec, 2)
         });
+        h.bench("fleet_campaign_8dev_mux4", || {
+            let spec = fleet::CampaignSpec::heterogeneous(BENCH_SEED, 8).with_probes(2);
+            let run = fleet::RunOptions {
+                multiplex: Some(4),
+                ..fleet::RunOptions::default()
+            };
+            fleet::run_campaign_opts(&spec, 2, &run)
+        });
+        // The scheduler's raw push/pop cost, heap vs. wheel: bursts of
+        // 64 timers with mixed sub-window offsets, fully drained each
+        // iteration. `base` advances monotonically across iterations so
+        // the wheel exercises its real cursor-advance path instead of
+        // the behind-cursor fast path.
+        {
+            use simcore::sched::{EventQueue, HeapQueue, WheelQueue};
+            fn queue_churn<Q: EventQueue<u64>>(q: &mut Q, base: &mut u64) -> u64 {
+                let mut acc = 0u64;
+                for i in 0..64u64 {
+                    q.push(
+                        simcore::SimTime::from_nanos(*base + i * 3_000 + (i % 7) * 11),
+                        i,
+                    );
+                }
+                while let Some((t, v)) = q.pop() {
+                    acc ^= t.as_nanos().wrapping_add(v);
+                }
+                *base += 64 * 3_000;
+                acc
+            }
+            let mut heap_q: HeapQueue<u64> = HeapQueue::new();
+            let mut heap_base = 0u64;
+            h.bench("simcore_queue_push_pop_heap", || {
+                queue_churn(&mut heap_q, &mut heap_base)
+            });
+            let mut wheel_q: WheelQueue<u64> = WheelQueue::new();
+            let mut wheel_base = 0u64;
+            h.bench("simcore_queue_push_pop_wheel", || {
+                queue_churn(&mut wheel_q, &mut wheel_base)
+            });
+        }
         // The tracer's enabled-path cost, next to the no-op guard in
         // crates/obs/tests/noop_alloc.rs: a 3-span probe workload with
         // sampling on (kept) and off (sampled out).

@@ -5,11 +5,19 @@
 //!
 //! Memory is bounded end to end by an explicit backpressure window: a
 //! worker may not *start* device `i` until the collector has absorbed
-//! device `i − window` (`window = 2·workers + 4`), so the reorder
-//! buffer holds at most `window` partials even when per-device runtimes
-//! are wildly heterogeneous (lognormal path RTTs, cross-traffic
-//! strata). The channel bound additionally keeps finished-but-unmerged
-//! partials from piling up when the collector itself lags.
+//! device `i − window` (`window = (2·workers + 4) · M`, where `M` is
+//! the [`RunOptions::multiplex`] group size, 1 by default), so the
+//! reorder buffer holds at most `window` partials even when per-device
+//! runtimes are wildly heterogeneous (lognormal path RTTs,
+//! cross-traffic strata). The channel bound additionally keeps
+//! finished-but-unmerged partials from piling up when the collector
+//! itself lags.
+//!
+//! With `multiplex = Some(M)`, workers claim *groups* of `M`
+//! contiguous device indices and run them through
+//! [`crate::multiplex::run_group`] — M cheap simulations interleaved
+//! by next-event time on one thread — which amortises claim/send
+//! overhead while leaving the campaign JSON byte-identical.
 //!
 //! The same inner loop powers three entry points that all produce
 //! byte-identical JSON:
@@ -28,9 +36,10 @@ use std::time::Instant;
 
 use obs::{Json, ToJson};
 
+use crate::multiplex;
 use crate::profile::{CampaignProfile, StratumCost};
 use crate::report::{CampaignReport, CampaignStateError, Collector};
-use crate::shard::{run_device_prof, DevicePartial};
+use crate::shard::{run_device_with, DevicePartial};
 use crate::spec::CampaignSpec;
 
 /// Wall-clock throughput of one engine run. Kept out of the campaign
@@ -162,6 +171,17 @@ pub struct RunOptions {
     /// disabled profiler costs one branch per guard and keeps the
     /// campaign JSON byte-identical to an uninstrumented build.
     pub profiler: obs::Profiler,
+    /// Event-queue backend for every device simulation. Both backends
+    /// produce byte-identical campaign JSON (the scheduler contract);
+    /// the timer wheel (default) is the fast one.
+    pub queue: simcore::QueueKind,
+    /// Run `M` devices per worker claim, interleaved by next-event
+    /// time (`None`/`Some(1)` = one device per claim). Multiplexing
+    /// amortises per-device claim/send overhead for cheap devices; the
+    /// campaign JSON stays byte-identical either way. The
+    /// backpressure window and channel bound scale by `M`, so
+    /// collector memory stays `O(workers · M)`.
+    pub multiplex: Option<u64>,
 }
 
 /// Atomically persist `doc` at `path`: write to a sibling `.tmp` file,
@@ -201,13 +221,18 @@ fn run_range(
 ) -> (Collector, RunStats, bool) {
     let workers = workers.max(1);
     let start_index = collector.next_index();
-    let window = (workers as u64) * 2 + 4;
+    // Devices per worker claim (1 = classic per-device dispatch; >1 =
+    // the multiplexed group driver). Window and channel scale with the
+    // group size so a whole group always fits in flight.
+    let group = opts.multiplex.unwrap_or(1).max(1);
+    let window = ((workers as u64) * 2 + 4) * group;
     let next = AtomicU64::new(start_index);
     let absorbed = AtomicU64::new(start_index);
     let stop = AtomicBool::new(false);
+    let queue = opts.queue;
     // Small bound: enough to decouple workers from the collector's
-    // merge cost, small enough that memory stays O(workers).
-    let (tx, rx) = mpsc::sync_channel::<DevicePartial>(workers * 2);
+    // merge cost, small enough that memory stays O(workers · group).
+    let (tx, rx) = mpsc::sync_channel::<DevicePartial>(workers * 2 * group as usize);
     let start = Instant::now();
     let mut reorder_peak = 0usize;
     let mut probes_run = 0u64;
@@ -256,40 +281,60 @@ fn run_range(
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let i = next.fetch_add(group, Ordering::Relaxed);
                     if i >= end {
                         break;
                     }
+                    let hi = (i + group).min(end);
                     // Backpressure window: stay within `window` devices of
                     // the collector so the reorder buffer is bounded even
                     // when a slow low-index device holds up absorption.
-                    if i >= absorbed.load(Ordering::Acquire) + window {
+                    // The whole claim [i, hi) must fit.
+                    if hi > absorbed.load(Ordering::Acquire) + window {
                         let _bp = prof.phase("backpressure");
-                        while i >= absorbed.load(Ordering::Acquire) + window {
+                        while hi > absorbed.load(Ordering::Acquire) + window {
                             if stop.load(Ordering::Relaxed) {
                                 return;
                             }
                             std::thread::yield_now();
                         }
                     }
-                    let t0 = if prof.is_enabled() {
-                        Some(Instant::now())
+                    if group == 1 {
+                        let t0 = if prof.is_enabled() {
+                            Some(Instant::now())
+                        } else {
+                            None
+                        };
+                        let partial = {
+                            let _rd = prof.phase("run_device");
+                            run_device_with(spec, i, &prof, queue)
+                        };
+                        if let Some(t0) = t0 {
+                            stratum_ns[partial.class]
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            stratum_devices[partial.class].fetch_add(1, Ordering::Relaxed);
+                        }
+                        per_worker[w].fetch_add(1, Ordering::Relaxed);
+                        let _tx = prof.phase("send");
+                        if tx.send(partial).is_err() {
+                            break;
+                        }
                     } else {
-                        None
-                    };
-                    let partial = {
-                        let _rd = prof.phase("run_device");
-                        run_device_prof(spec, i, &prof)
-                    };
-                    if let Some(t0) = t0 {
-                        stratum_ns[partial.class]
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        stratum_devices[partial.class].fetch_add(1, Ordering::Relaxed);
-                    }
-                    per_worker[w].fetch_add(1, Ordering::Relaxed);
-                    let _tx = prof.phase("send");
-                    if tx.send(partial).is_err() {
-                        break;
+                        let batch = {
+                            let _rd = prof.phase("run_group");
+                            multiplex::run_group(spec, i..hi, &prof, queue)
+                        };
+                        for (partial, ns) in batch {
+                            if prof.is_enabled() {
+                                stratum_ns[partial.class].fetch_add(ns, Ordering::Relaxed);
+                                stratum_devices[partial.class].fetch_add(1, Ordering::Relaxed);
+                            }
+                            per_worker[w].fetch_add(1, Ordering::Relaxed);
+                            let _tx = prof.phase("send");
+                            if tx.send(partial).is_err() {
+                                return;
+                            }
+                        }
                     }
                 }
             });

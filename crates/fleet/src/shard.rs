@@ -11,7 +11,7 @@ use am_stats::QuantileSketch;
 use measure::{PingApp, PingConfig, RecordSet, RttRecord};
 use obs::Registry;
 use phone::RuntimeKind;
-use simcore::{LatencyDist, SimDuration};
+use simcore::{LatencyDist, QueueKind, SimDuration, SimTime};
 use testbed::{addr, breakdowns, CellTestbed, CellTestbedConfig, Testbed, TestbedConfig};
 
 use crate::spec::{CampaignSpec, Radio, Tool};
@@ -109,153 +109,239 @@ pub fn run_device(spec: &CampaignSpec, index: u64) -> DevicePartial {
 /// byte-identical whether `prof` is enabled or disabled — profiling
 /// observes the host, never the simulation.
 pub fn run_device_prof(spec: &CampaignSpec, index: u64, prof: &obs::Profiler) -> DevicePartial {
-    let class_idx = spec.class_of(index);
-    let class = &spec.classes[class_idx];
-    let mut partial = empty_partial(index, class_idx);
-    let seed = spec.device_seed(index);
-    let k = spec.probes_per_device;
-    let setup = prof.phase("setup");
+    run_device_with(spec, index, prof, QueueKind::default())
+}
 
-    let mut profile = class.profile.clone();
-    if let Some(ticks) = class.sdio_idletime {
-        profile.bus.idletime = ticks;
-    }
-    if let Some(tip) = class.tip_ms {
-        profile.psm_timeout = LatencyDist::fixed(tip);
-    }
-    // Population knobs drawn once per device, all pure in (spec, index):
-    // its path RTT from the stratum's distribution, whether its
-    // time-of-day puts it in the diurnal busy window, and its §4.2.2
-    // (dpre, db) calibration grid point.
-    let path_rtt_ms = spec.path_rtt_of(index);
-    let cross_traffic = spec.cross_traffic_of(index);
-    let calibration = spec.calibration_of(index);
+/// [`run_device_prof`] with an explicit event-queue backend. The
+/// partial is byte-identical across backends (the scheduler contract —
+/// see ARCHITECTURE.md § Scheduler).
+pub fn run_device_with(
+    spec: &CampaignSpec,
+    index: u64,
+    prof: &obs::Profiler,
+    queue: QueueKind,
+) -> DevicePartial {
+    let mut sim = DeviceSim::new(spec, index, prof, queue);
+    sim.run_until(SimTime::ZERO + spec.horizon);
+    sim.finish()
+}
 
-    match class.radio {
-        Radio::Wifi => {
-            let mut cfg = TestbedConfig::new(seed, profile, path_rtt_ms);
-            // One lossless sniffer: full dn coverage at minimum cost.
-            cfg.sniffers = 1;
-            cfg.sniffer_loss = 0.0;
-            cfg.listen_interval_override = class.listen_interval;
-            if let Some(ms) = class.beacon_interval_ms {
-                cfg = cfg.with_beacon_interval(SimDuration::from_ms_f64(ms));
-            }
-            if let Some(plan) = class.faults.clone() {
-                cfg = cfg.with_wifi_faults(plan.with_seed(spec.fault_seed(index)));
-            }
-            if cross_traffic {
-                cfg.cross_traffic = true;
-                // Busy the whole session: the schedule models *which*
-                // devices contend, not an in-session on/off pattern.
-                cfg.cross_stop = simcore::SimTime::ZERO + spec.horizon;
-            }
-            let mut tb = Testbed::build(cfg);
-            let reg = Registry::new();
-            tb.attach_metrics(&reg);
-            tb.sim.set_profiler(prof);
-            let app = match class.tool {
-                Tool::AcuteMon => {
-                    let mut am = acutemon::AcuteMonConfig::new(addr::SERVER, k);
-                    if let Some((dpre_ms, db_ms)) = calibration {
-                        am.dpre = SimDuration::from_ms_f64(dpre_ms);
-                        am.db = SimDuration::from_ms_f64(db_ms);
-                    }
-                    if class.faults.is_some() {
-                        // Lossy stratum: bounded retries with a short
-                        // timeout, as the fault sweep does.
-                        am = am
-                            .with_retries(3)
-                            .with_retry_backoff(SimDuration::from_millis(30));
-                        am.probe_timeout = SimDuration::from_millis(300);
-                    }
-                    let idx = tb.install_app(
-                        Box::new(acutemon::AcuteMonApp::new(am)),
-                        RuntimeKind::Native,
-                    );
-                    tb.app_mut::<acutemon::AcuteMonApp>(idx)
-                        .attach_metrics(&reg);
-                    idx
-                }
-                Tool::SparsePing => {
-                    let cfg = PingConfig::new(addr::SERVER, k, SimDuration::from_secs(1));
-                    let idx = tb.install_app(Box::new(PingApp::new(cfg)), RuntimeKind::Native);
-                    tb.app_mut::<PingApp>(idx).attach_metrics(&reg);
-                    idx
-                }
-            };
-            drop(setup);
-            {
-                let _des = prof.phase("des");
-                tb.run_until(simcore::SimTime::ZERO + spec.horizon);
-            }
-            let _fold = prof.phase("fold");
-            let index = tb.capture_index();
-            let records: Vec<RttRecord> = match class.tool {
-                Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(app).records.clone(),
-                Tool::SparsePing => tb.app::<PingApp>(app).records.clone(),
-            };
-            let bds = breakdowns(&records, tb.phone_node().ledger(), &index);
-            harvest(&mut partial, &records, Some(&bds));
-            partial.obs = reg.snapshot();
-            strip_wall_clock(&mut partial.obs);
+/// Which testbed flavour a [`DeviceSim`] drives.
+enum Rig {
+    Wifi(Testbed),
+    Cell(CellTestbed),
+}
+
+/// One device's simulation, resumable in slices of simulated time.
+///
+/// This is [`run_device`] split into its phases so the multiplex
+/// driver can interleave many cheap devices on one worker:
+/// construction is the `setup` profiler phase, each [`run_until`]
+/// slice is a `des` phase, and [`finish`] advances to the horizon and
+/// folds the `fold` phase. Because the engine's `run_until` advances
+/// telemetry by exact deltas, a device run in any sequence of slices
+/// produces a [`DevicePartial`] byte-identical to a single
+/// full-horizon run.
+///
+/// [`run_until`]: DeviceSim::run_until
+/// [`finish`]: DeviceSim::finish
+pub(crate) struct DeviceSim {
+    rig: Rig,
+    app: usize,
+    tool: Tool,
+    reg: Registry,
+    partial: DevicePartial,
+    horizon: SimTime,
+    prof: obs::Profiler,
+}
+
+impl DeviceSim {
+    /// Build the testbed and app for device `index` (the `setup`
+    /// profiler phase).
+    pub(crate) fn new(
+        spec: &CampaignSpec,
+        index: u64,
+        prof: &obs::Profiler,
+        queue: QueueKind,
+    ) -> DeviceSim {
+        let class_idx = spec.class_of(index);
+        let class = &spec.classes[class_idx];
+        let partial = empty_partial(index, class_idx);
+        let seed = spec.device_seed(index);
+        let k = spec.probes_per_device;
+        let _setup = prof.phase("setup");
+
+        let mut profile = class.profile.clone();
+        if let Some(ticks) = class.sdio_idletime {
+            profile.bus.idletime = ticks;
         }
-        Radio::Lte | Radio::Umts => {
-            let mut cfg = match class.radio {
-                Radio::Lte => CellTestbedConfig::lte(seed, profile, path_rtt_ms),
-                _ => CellTestbedConfig::umts(seed, profile, path_rtt_ms),
-            };
-            if let Some(plan) = class.faults.clone() {
-                cfg = cfg.with_bearer_faults(plan.with_seed(spec.fault_seed(index)));
-            }
-            let mut am_cfg = cfg.acutemon_profile(k);
-            if let Some((dpre_ms, db_ms)) = calibration {
-                am_cfg.dpre = SimDuration::from_ms_f64(dpre_ms);
-                am_cfg.db = SimDuration::from_ms_f64(db_ms);
-            }
-            let mut tb = CellTestbed::build(cfg);
-            let reg = Registry::new();
-            tb.sim.set_metrics(&reg);
-            tb.sim.set_profiler(prof);
-            let app = match class.tool {
-                Tool::AcuteMon => {
-                    let idx = tb.install_app(
-                        Box::new(acutemon::AcuteMonApp::new(am_cfg)),
-                        RuntimeKind::Native,
-                    );
-                    tb.sim
-                        .node_mut::<phone::PhoneNode>(tb.phone)
-                        .app_mut::<acutemon::AcuteMonApp>(idx)
-                        .attach_metrics(&reg);
-                    idx
+        if let Some(tip) = class.tip_ms {
+            profile.psm_timeout = LatencyDist::fixed(tip);
+        }
+        // Population knobs drawn once per device, all pure in (spec, index):
+        // its path RTT from the stratum's distribution, whether its
+        // time-of-day puts it in the diurnal busy window, and its §4.2.2
+        // (dpre, db) calibration grid point.
+        let path_rtt_ms = spec.path_rtt_of(index);
+        let cross_traffic = spec.cross_traffic_of(index);
+        let calibration = spec.calibration_of(index);
+        let reg = Registry::new();
+
+        let (rig, app) = match class.radio {
+            Radio::Wifi => {
+                let mut cfg = TestbedConfig::new(seed, profile, path_rtt_ms).with_queue(queue);
+                // One lossless sniffer: full dn coverage at minimum cost.
+                cfg.sniffers = 1;
+                cfg.sniffer_loss = 0.0;
+                cfg.listen_interval_override = class.listen_interval;
+                if let Some(ms) = class.beacon_interval_ms {
+                    cfg = cfg.with_beacon_interval(SimDuration::from_ms_f64(ms));
                 }
-                Tool::SparsePing => {
-                    let ping = PingConfig::new(tb.server_ip(), k, SimDuration::from_secs(1));
-                    let idx = tb.install_app(Box::new(PingApp::new(ping)), RuntimeKind::Native);
-                    tb.sim
-                        .node_mut::<phone::PhoneNode>(tb.phone)
-                        .app_mut::<PingApp>(idx)
-                        .attach_metrics(&reg);
-                    idx
+                if let Some(plan) = class.faults.clone() {
+                    cfg = cfg.with_wifi_faults(plan.with_seed(spec.fault_seed(index)));
                 }
-            };
-            drop(setup);
-            {
-                let _des = prof.phase("des");
-                tb.run_until(simcore::SimTime::ZERO + spec.horizon);
+                if cross_traffic {
+                    cfg.cross_traffic = true;
+                    // Busy the whole session: the schedule models *which*
+                    // devices contend, not an in-session on/off pattern.
+                    cfg.cross_stop = SimTime::ZERO + spec.horizon;
+                }
+                let mut tb = Testbed::build(cfg);
+                tb.attach_metrics(&reg);
+                tb.sim.set_profiler(prof);
+                let app = match class.tool {
+                    Tool::AcuteMon => {
+                        let mut am = acutemon::AcuteMonConfig::new(addr::SERVER, k);
+                        if let Some((dpre_ms, db_ms)) = calibration {
+                            am.dpre = SimDuration::from_ms_f64(dpre_ms);
+                            am.db = SimDuration::from_ms_f64(db_ms);
+                        }
+                        if class.faults.is_some() {
+                            // Lossy stratum: bounded retries with a short
+                            // timeout, as the fault sweep does.
+                            am = am
+                                .with_retries(3)
+                                .with_retry_backoff(SimDuration::from_millis(30));
+                            am.probe_timeout = SimDuration::from_millis(300);
+                        }
+                        let idx = tb.install_app(
+                            Box::new(acutemon::AcuteMonApp::new(am)),
+                            RuntimeKind::Native,
+                        );
+                        tb.app_mut::<acutemon::AcuteMonApp>(idx)
+                            .attach_metrics(&reg);
+                        idx
+                    }
+                    Tool::SparsePing => {
+                        let cfg = PingConfig::new(addr::SERVER, k, SimDuration::from_secs(1));
+                        let idx = tb.install_app(Box::new(PingApp::new(cfg)), RuntimeKind::Native);
+                        tb.app_mut::<PingApp>(idx).attach_metrics(&reg);
+                        idx
+                    }
+                };
+                (Rig::Wifi(tb), app)
             }
-            let _fold = prof.phase("fold");
-            let records: Vec<RttRecord> = match class.tool {
-                Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(app).records.clone(),
-                Tool::SparsePing => tb.app::<PingApp>(app).records.clone(),
-            };
-            // No sniffers on the bearer: dn/overhead stay empty.
-            harvest(&mut partial, &records, None);
-            partial.obs = reg.snapshot();
-            strip_wall_clock(&mut partial.obs);
+            Radio::Lte | Radio::Umts => {
+                let mut cfg = match class.radio {
+                    Radio::Lte => CellTestbedConfig::lte(seed, profile, path_rtt_ms),
+                    _ => CellTestbedConfig::umts(seed, profile, path_rtt_ms),
+                };
+                cfg = cfg.with_queue(queue);
+                if let Some(plan) = class.faults.clone() {
+                    cfg = cfg.with_bearer_faults(plan.with_seed(spec.fault_seed(index)));
+                }
+                let mut am_cfg = cfg.acutemon_profile(k);
+                if let Some((dpre_ms, db_ms)) = calibration {
+                    am_cfg.dpre = SimDuration::from_ms_f64(dpre_ms);
+                    am_cfg.db = SimDuration::from_ms_f64(db_ms);
+                }
+                let mut tb = CellTestbed::build(cfg);
+                tb.sim.set_metrics(&reg);
+                tb.sim.set_profiler(prof);
+                let app = match class.tool {
+                    Tool::AcuteMon => {
+                        let idx = tb.install_app(
+                            Box::new(acutemon::AcuteMonApp::new(am_cfg)),
+                            RuntimeKind::Native,
+                        );
+                        tb.sim
+                            .node_mut::<phone::PhoneNode>(tb.phone)
+                            .app_mut::<acutemon::AcuteMonApp>(idx)
+                            .attach_metrics(&reg);
+                        idx
+                    }
+                    Tool::SparsePing => {
+                        let ping = PingConfig::new(tb.server_ip(), k, SimDuration::from_secs(1));
+                        let idx = tb.install_app(Box::new(PingApp::new(ping)), RuntimeKind::Native);
+                        tb.sim
+                            .node_mut::<phone::PhoneNode>(tb.phone)
+                            .app_mut::<PingApp>(idx)
+                            .attach_metrics(&reg);
+                        idx
+                    }
+                };
+                (Rig::Cell(tb), app)
+            }
+        };
+        DeviceSim {
+            rig,
+            app,
+            tool: class.tool,
+            reg,
+            partial,
+            horizon: SimTime::ZERO + spec.horizon,
+            prof: prof.clone(),
         }
     }
-    partial
+
+    /// Timestamp of this device's next pending event, if any.
+    pub(crate) fn next_time(&mut self) -> Option<SimTime> {
+        match &mut self.rig {
+            Rig::Wifi(tb) => tb.sim.peek_time(),
+            Rig::Cell(tb) => tb.sim.peek_time(),
+        }
+    }
+
+    /// Run every event up to `deadline` (clamped to the horizon) and
+    /// advance the clock there.
+    pub(crate) fn run_until(&mut self, deadline: SimTime) {
+        let deadline = deadline.min(self.horizon);
+        let _des = self.prof.phase("des");
+        match &mut self.rig {
+            Rig::Wifi(tb) => tb.run_until(deadline),
+            Rig::Cell(tb) => tb.run_until(deadline),
+        }
+    }
+
+    /// Advance to the horizon, harvest the records, and fold the
+    /// device's partial (the `fold` profiler phase).
+    pub(crate) fn finish(mut self) -> DevicePartial {
+        self.run_until(self.horizon);
+        let _fold = self.prof.phase("fold");
+        let mut partial = self.partial;
+        match self.rig {
+            Rig::Wifi(tb) => {
+                let capture = tb.capture_index();
+                let records: Vec<RttRecord> = match self.tool {
+                    Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(self.app).records.clone(),
+                    Tool::SparsePing => tb.app::<PingApp>(self.app).records.clone(),
+                };
+                let bds = breakdowns(&records, tb.phone_node().ledger(), &capture);
+                harvest(&mut partial, &records, Some(&bds));
+            }
+            Rig::Cell(tb) => {
+                let records: Vec<RttRecord> = match self.tool {
+                    Tool::AcuteMon => tb.app::<acutemon::AcuteMonApp>(self.app).records.clone(),
+                    Tool::SparsePing => tb.app::<PingApp>(self.app).records.clone(),
+                };
+                // No sniffers on the bearer: dn/overhead stay empty.
+                harvest(&mut partial, &records, None);
+            }
+        }
+        partial.obs = self.reg.snapshot();
+        strip_wall_clock(&mut partial.obs);
+        partial
+    }
 }
 
 #[cfg(test)]

@@ -11,12 +11,11 @@
 //! instantiates it with `wire::Msg`.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
 use obs::{Counter, Gauge, Registry};
 
 use crate::rng::DetRng;
+use crate::sched::{EventHandle, EventQueue, Queue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -74,6 +73,11 @@ impl NodeId {
 }
 
 /// Handle for a pending timer, used to cancel it.
+///
+/// Wraps the scheduler's generational [`EventHandle`]: once the timer
+/// fires or is cancelled the handle goes stale, so cancelling it again
+/// (or cancelling after the slot was reused by a later event) is a
+/// guaranteed no-op rather than a lookup in a tombstone set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
@@ -110,39 +114,12 @@ pub trait Node<M>: AsAny {
 
 enum Entry<M> {
     Msg { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, tag: u64 },
-}
-
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    entry: Entry<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    // Reversed so the BinaryHeap becomes a min-heap on (at, seq).
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+    Timer { node: NodeId, tag: u64 },
 }
 
 struct Inner<M> {
     now: SimTime,
-    heap: BinaryHeap<Scheduled<M>>,
-    seq: u64,
-    next_timer: u64,
-    cancelled: HashSet<u64>,
+    queue: Queue<Entry<M>>,
     rng: DetRng,
     trace: Trace,
     tracer: obs::Tracer,
@@ -154,17 +131,16 @@ struct Inner<M> {
 }
 
 impl<M> Inner<M> {
-    fn push(&mut self, at: SimTime, entry: Entry<M>) {
+    fn push(&mut self, at: SimTime, entry: Entry<M>) -> EventHandle {
         let _p = self.prof.phase("sim.push");
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Scheduled { at, seq, entry });
-        let depth = self.heap.len();
+        let handle = self.queue.push(at, entry);
+        let depth = self.queue.len();
         self.metrics.queue_depth.set(depth as i64);
         if depth > self.queue_peak {
             self.queue_peak = depth;
             self.metrics.queue_peak.set(depth as i64);
         }
+        handle
     }
 }
 
@@ -214,26 +190,18 @@ impl<'a, M> Ctx<'a, M> {
     /// Arrange for [`Node::on_timer`] to be called on this node after
     /// `delay`, carrying `tag`. Returns a handle that can cancel it.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(self.inner.next_timer);
-        self.inner.next_timer += 1;
         let at = self.inner.now + delay;
-        self.inner.push(
-            at,
-            Entry::Timer {
-                node: self.me,
-                id,
-                tag,
-            },
-        );
+        let handle = self.inner.push(at, Entry::Timer { node: self.me, tag });
         self.inner.metrics.timers_set.inc();
-        id
+        TimerId(handle.to_bits())
     }
 
     /// Cancel a pending timer. Cancelling an already-fired or
-    /// already-cancelled timer is a no-op.
+    /// already-cancelled timer is a no-op (the generational handle has
+    /// gone stale by then).
     pub fn cancel_timer(&mut self, id: TimerId) {
         let _p = self.inner.prof.phase("sim.timer_cancel");
-        if self.inner.cancelled.insert(id.0) {
+        if self.inner.queue.cancel(EventHandle::from_bits(id.0)) {
             self.inner.metrics.timers_cancelled.inc();
         }
     }
@@ -276,16 +244,22 @@ pub struct Sim<M> {
 }
 
 impl<M: 'static> Sim<M> {
-    /// Create an empty simulation with the given RNG seed.
+    /// Create an empty simulation with the given RNG seed and the
+    /// default event-queue backend ([`QueueKind::Wheel`]).
     pub fn new(seed: u64) -> Self {
+        Sim::new_with_queue(seed, QueueKind::default())
+    }
+
+    /// Create an empty simulation with an explicit event-queue
+    /// backend. Both backends pop in identical `(at, seq)` order, so
+    /// runs are byte-identical across backends; `Wheel` is O(1)
+    /// amortized where `Heap` pays O(log n) per operation.
+    pub fn new_with_queue(seed: u64, queue: QueueKind) -> Self {
         Sim {
             nodes: Vec::new(),
             inner: Inner {
                 now: SimTime::ZERO,
-                heap: BinaryHeap::new(),
-                seq: 0,
-                next_timer: 0,
-                cancelled: HashSet::new(),
+                queue: Queue::new(queue),
                 rng: DetRng::new(seed),
                 trace: Trace::disabled(),
                 tracer: obs::Tracer::disabled(),
@@ -297,6 +271,11 @@ impl<M: 'static> Sim<M> {
             },
             started: false,
         }
+    }
+
+    /// Which event-queue backend this simulation runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.inner.queue.kind()
     }
 
     /// Install a trace sink (replacing the default disabled one).
@@ -414,33 +393,23 @@ impl<M: 'static> Sim<M> {
         if self.inner.stop {
             return false;
         }
-        loop {
-            let popped = {
-                let _p = self.inner.prof.phase("sim.pop");
-                self.inner.heap.pop()
-            };
-            let Some(sched) = popped else {
-                return false;
-            };
-            debug_assert!(sched.at >= self.inner.now, "event from the past");
-            match sched.entry {
-                Entry::Timer { node, id, tag } => {
-                    if self.inner.cancelled.remove(&id.0) {
-                        continue; // cancelled; try the next event
-                    }
-                    self.advance_to(sched.at);
-                    let _p = self.inner.prof.phase("sim.dispatch");
-                    self.dispatch_timer(node, tag);
-                    return !self.inner.stop;
-                }
-                Entry::Msg { from, to, msg } => {
-                    self.advance_to(sched.at);
-                    let _p = self.inner.prof.phase("sim.dispatch");
-                    self.dispatch_message(from, to, msg);
-                    return !self.inner.stop;
-                }
-            }
+        // The queue reaps cancelled (tombstoned) events internally, so
+        // a successful pop is always a live event.
+        let popped = {
+            let _p = self.inner.prof.phase("sim.pop");
+            self.inner.queue.pop()
+        };
+        let Some((at, entry)) = popped else {
+            return false;
+        };
+        debug_assert!(at >= self.inner.now, "event from the past");
+        self.advance_to(at);
+        let _p = self.inner.prof.phase("sim.dispatch");
+        match entry {
+            Entry::Timer { node, tag } => self.dispatch_timer(node, tag),
+            Entry::Msg { from, to, msg } => self.dispatch_message(from, to, msg),
         }
+        !self.inner.stop
     }
 
     /// Advance the clock to an event's timestamp and account for it.
@@ -453,7 +422,7 @@ impl<M: 'static> Sim<M> {
         self.inner
             .metrics
             .queue_depth
-            .set(self.inner.heap.len() as i64);
+            .set(self.inner.queue.len() as i64);
     }
 
     fn dispatch_message(&mut self, from: NodeId, to: NodeId, msg: M) {
@@ -539,22 +508,11 @@ impl<M: 'static> Sim<M> {
         self.run_until(deadline);
     }
 
-    /// Timestamp of the next live (non-cancelled) event.
+    /// Timestamp of the next live (non-cancelled) event. Reaps any
+    /// tombstoned timers off the front so the peek is accurate in
+    /// either backend.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled timers off the top so the peek is accurate.
-        while let Some(top) = self.inner.heap.peek() {
-            if let Entry::Timer { id, .. } = &top.entry {
-                if self.inner.cancelled.contains(&id.0) {
-                    let popped = self.inner.heap.pop().expect("peeked entry exists");
-                    if let Entry::Timer { id, .. } = popped.entry {
-                        self.inner.cancelled.remove(&id.0);
-                    }
-                    continue;
-                }
-            }
-            return Some(top.at);
-        }
-        None
+        self.inner.queue.peek_time()
     }
 }
 

@@ -10,9 +10,13 @@
 //!   drift, total ordering, bit-identical reruns.
 //! * **Deterministic event list** ([`Sim`]): ties at equal timestamps break
 //!   by insertion sequence.
+//! * **Two event-queue backends** ([`QueueKind`]): a hierarchical timer
+//!   wheel (default, O(1) amortized) and the reference binary heap, both
+//!   popping in byte-identical `(at, seq)` order — see [`sched`].
 //! * **Cancellable timers** ([`TimerId`]): the SDIO demotion and PSM timeout
 //!   state machines constantly reset their timers on activity; cancellation
-//!   is lazy (a tombstone set) so resets are O(log n).
+//!   tombstones the event's arena slot and the queue reaps it lazily, so
+//!   resets are O(1).
 //! * **Seeded randomness** ([`DetRng`], [`LatencyDist`]): every stochastic
 //!   model parameter is an explicit distribution.
 //! * **Structured tracing** ([`Trace`]): category-filtered, bounded.
@@ -42,10 +46,12 @@
 
 mod engine;
 mod rng;
+pub mod sched;
 mod time;
 mod trace;
 
 pub use engine::{AsAny, Ctx, Node, NodeId, Sim, TimerId};
 pub use rng::{DetRng, LatencyDist};
+pub use sched::QueueKind;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

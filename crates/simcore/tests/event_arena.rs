@@ -1,0 +1,127 @@
+//! Event-arena lifecycle guarantees, measured under the real global
+//! allocator: slot reuse after free, generational stale-handle
+//! rejection (at the arena and through the engine's `TimerId`), and a
+//! zero-allocation steady state for both queue backends.
+
+use simcore::sched::{EventArena, EventQueue, HeapQueue, WheelQueue};
+use simcore::{Ctx, Node, NodeId, Sim, SimDuration, SimTime};
+
+#[global_allocator]
+static ALLOC: obs::prof::CountingAlloc = obs::prof::CountingAlloc;
+
+#[test]
+fn arena_reuses_freed_slots_without_growing() {
+    let mut arena: EventArena<[u64; 4]> = EventArena::new();
+    let mut handles: Vec<_> = (0..64).map(|i| arena.insert([i; 4])).collect();
+    let high_water = arena.capacity();
+    // Free and reinsert many times over: capacity must not move.
+    for round in 0..100u64 {
+        for h in handles.drain(..) {
+            arena.take(h);
+        }
+        handles.extend((0..64).map(|i| arena.insert([round + i; 4])));
+        assert_eq!(arena.capacity(), high_water);
+    }
+    assert_eq!(arena.live(), 64);
+}
+
+#[test]
+fn stale_timer_handle_cannot_cancel_a_reused_slot() {
+    /// Fires `first`, then sets `second` in the freed slot and tries
+    /// to cancel it with the stale handle of `first`.
+    struct Reuser {
+        first: Option<simcore::TimerId>,
+        fired: Vec<u64>,
+    }
+    impl Node<u32> for Reuser {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            self.first = Some(ctx.set_timer(SimDuration::from_millis(1), 1));
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, tag: u64) {
+            self.fired.push(tag);
+            if tag == 1 {
+                // The queue is now empty, so this timer reuses the
+                // arena slot `first` occupied (with a new generation).
+                let _second = ctx.set_timer(SimDuration::from_millis(1), 2);
+                // Cancelling through the stale handle must be a no-op.
+                ctx.cancel_timer(self.first.expect("set on start"));
+            }
+        }
+    }
+    let reg = obs::Registry::new();
+    let mut sim = Sim::new(0);
+    sim.set_metrics(&reg);
+    let n = sim.add_node(Box::new(Reuser {
+        first: None,
+        fired: vec![],
+    }));
+    sim.run_until(SimTime::from_millis(10));
+    assert_eq!(sim.node::<Reuser>(n).fired, vec![1, 2]);
+    // The stale cancel was rejected, so nothing was ever cancelled.
+    assert_eq!(reg.snapshot().counter("sim.timers_cancelled"), Some(0));
+    assert_eq!(reg.snapshot().counter("sim.timers_set"), Some(2));
+}
+
+/// One churn cycle: push a burst with mixed sub-window delays, cancel
+/// a third of them, drain everything. Returns the new base time.
+/// `scratch` is caller-owned so the cycle itself performs no
+/// allocations once its capacity is warm.
+fn churn<Q: EventQueue<u64>>(
+    q: &mut Q,
+    base: u64,
+    scratch: &mut Vec<simcore::sched::EventHandle>,
+) -> u64 {
+    scratch.clear();
+    for i in 0..32u64 {
+        // One event per 4.096 µs tick (plus sub-tick jitter), 32 ticks
+        // per cycle. The stride below keeps the whole schedule exactly
+        // tick-periodic, so after one full level-2 revolution of
+        // warmup every wheel bucket the steady state can touch has
+        // already seen its worst-case occupancy.
+        let at = base + i * 4_096 + (i % 5) * 61;
+        scratch.push(q.push(SimTime::from_nanos(at), i));
+    }
+    for i in (0..scratch.len()).step_by(3) {
+        q.cancel(scratch[i]);
+    }
+    while q.pop().is_some() {}
+    assert!(q.is_empty());
+    base + 32 * 4_096
+}
+
+fn assert_zero_alloc_steady_state<Q: EventQueue<u64>>(q: &mut Q, label: &str) {
+    // Warm up: grow arena, free list, and queue buckets to the
+    // workload's high-water mark. For the wheel this must sweep the
+    // full level-0/1/2 slot rings — the 32-tick cycle stride makes the
+    // slot pattern periodic every 8192 cycles (one level-2 revolution,
+    // 1.07 s simulated), and 10 000 warmup cycles cover a whole
+    // period, so measured cycles are phase-identical to warmed ones.
+    let mut scratch = Vec::new();
+    let mut base = 0u64;
+    for _ in 0..10_000 {
+        base = churn(q, base, &mut scratch);
+    }
+    let (allocs_before, bytes_before) = obs::prof::thread_alloc_counts();
+    for _ in 0..200 {
+        base = churn(q, base, &mut scratch);
+    }
+    let (allocs_after, bytes_after) = obs::prof::thread_alloc_counts();
+    assert_eq!(
+        (allocs_after - allocs_before, bytes_after - bytes_before),
+        (0, 0),
+        "{label}: steady-state churn (6400 pushes, 2200 cancels, 6400 pops) must not allocate",
+    );
+}
+
+#[test]
+fn heap_queue_steady_state_allocates_nothing() {
+    let mut q: HeapQueue<u64> = HeapQueue::new();
+    assert_zero_alloc_steady_state(&mut q, "heap");
+}
+
+#[test]
+fn wheel_queue_steady_state_allocates_nothing() {
+    let mut q: WheelQueue<u64> = WheelQueue::new();
+    assert_zero_alloc_steady_state(&mut q, "wheel");
+}
