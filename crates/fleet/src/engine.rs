@@ -39,7 +39,7 @@ use obs::{Json, ToJson};
 use crate::multiplex;
 use crate::profile::{CampaignProfile, StratumCost};
 use crate::report::{CampaignReport, CampaignStateError, Collector};
-use crate::shard::{run_device_with, DevicePartial};
+use crate::shard::{run_device_opts, DevicePartial, ShardOptions};
 use crate::spec::CampaignSpec;
 
 /// Wall-clock throughput of one engine run. Kept out of the campaign
@@ -171,10 +171,17 @@ pub struct RunOptions {
     /// disabled profiler costs one branch per guard and keeps the
     /// campaign JSON byte-identical to an uninstrumented build.
     pub profiler: obs::Profiler,
-    /// Event-queue backend for every device simulation. Both backends
+    /// Event-queue backend for every device simulation. All backends
     /// produce byte-identical campaign JSON (the scheduler contract);
     /// the timer wheel (default) is the fast one.
     pub queue: simcore::QueueKind,
+    /// Drive every cross-traffic datagram off its own timer instead of
+    /// the batched per-period fast path. The campaign JSON is
+    /// byte-identical either way (asserted by the fleet equivalence
+    /// tests and CI); the per-packet path exists as the reference
+    /// oracle and costs ~an order of magnitude more engine events on
+    /// congested strata.
+    pub cross_per_packet: bool,
     /// Run `M` devices per worker claim, interleaved by next-event
     /// time (`None`/`Some(1)` = one device per claim). Multiplexing
     /// amortises per-device claim/send overhead for cheap devices; the
@@ -229,7 +236,10 @@ fn run_range(
     let next = AtomicU64::new(start_index);
     let absorbed = AtomicU64::new(start_index);
     let stop = AtomicBool::new(false);
-    let queue = opts.queue;
+    let shard_opts = ShardOptions {
+        queue: opts.queue,
+        cross_per_packet: opts.cross_per_packet,
+    };
     // Small bound: enough to decouple workers from the collector's
     // merge cost, small enough that memory stays O(workers · group).
     let (tx, rx) = mpsc::sync_channel::<DevicePartial>(workers * 2 * group as usize);
@@ -307,7 +317,7 @@ fn run_range(
                         };
                         let partial = {
                             let _rd = prof.phase("run_device");
-                            run_device_with(spec, i, &prof, queue)
+                            run_device_opts(spec, i, &prof, shard_opts)
                         };
                         if let Some(t0) = t0 {
                             stratum_ns[partial.class]
@@ -322,7 +332,7 @@ fn run_range(
                     } else {
                         let batch = {
                             let _rd = prof.phase("run_group");
-                            multiplex::run_group(spec, i..hi, &prof, queue)
+                            multiplex::run_group(spec, i..hi, &prof, shard_opts)
                         };
                         for (partial, ns) in batch {
                             if prof.is_enabled() {

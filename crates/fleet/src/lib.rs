@@ -55,7 +55,9 @@ pub use report::{
     merge_partials, CampaignReport, CampaignStateError, Collector, StratumReport,
     CAMPAIGN_STATE_FORMAT, CAMPAIGN_STATE_VERSION,
 };
-pub use shard::{run_device, run_device_prof, run_device_with, DevicePartial};
+pub use shard::{
+    run_device, run_device_opts, run_device_prof, run_device_with, DevicePartial, ShardOptions,
+};
 pub use spec::{
     splitmix64, CalibrationSweep, CampaignSpec, DeviceClass, DiurnalSchedule, Radio, RttDist, Tool,
 };

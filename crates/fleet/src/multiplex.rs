@@ -18,9 +18,9 @@
 //! `multiplexed_campaign_report_is_byte_identical` in
 //! `tests/determinism.rs`).
 
-use simcore::{QueueKind, SimDuration, SimTime};
+use simcore::{SimDuration, SimTime};
 
-use crate::shard::{DevicePartial, DeviceSim};
+use crate::shard::{DevicePartial, DeviceSim, ShardOptions};
 use crate::spec::CampaignSpec;
 
 /// How far past its next event a device may run before the driver
@@ -39,7 +39,7 @@ pub fn run_group(
     spec: &CampaignSpec,
     range: std::ops::Range<u64>,
     prof: &obs::Profiler,
-    queue: QueueKind,
+    opts: ShardOptions,
 ) -> Vec<(DevicePartial, u64)> {
     let horizon = SimTime::ZERO + spec.horizon;
     let n = (range.end - range.start) as usize;
@@ -47,7 +47,7 @@ pub fn run_group(
     let mut spent_ns = vec![0u64; n];
     for (slot, index) in range.enumerate() {
         let t0 = std::time::Instant::now();
-        sims.push(DeviceSim::new(spec, index, prof, queue));
+        sims.push(DeviceSim::new(spec, index, prof, opts));
         spent_ns[slot] += t0.elapsed().as_nanos() as u64;
     }
 
@@ -118,7 +118,7 @@ mod tests {
             let mut start = 0u64;
             while start < 12 {
                 let end = (start + m).min(12);
-                for (p, _ns) in run_group(&spec, start..end, &prof, QueueKind::default()) {
+                for (p, _ns) in run_group(&spec, start..end, &prof, ShardOptions::default()) {
                     col.absorb(&p);
                 }
                 start = end;

@@ -82,19 +82,25 @@ impl CampaignProfile {
     }
 
     /// The attribution table: the merged phase tree (time and
-    /// allocation, self/total) with an `(unattributed)` gap row, then
-    /// per-stratum device costs.
+    /// allocation, self/total, allocations per call) with an
+    /// `(unattributed)` gap row, then per-stratum device costs.
+    ///
+    /// The `allocs/call` column is the arena discipline's regression
+    /// canary: for the per-event phases (`sim.dispatch`, `sim.push`) a
+    /// call is one engine event, so any steady-state heap traffic on
+    /// the dispatch hot path shows up here as a non-zero per-event
+    /// rate.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let budget = self.budget_ns().max(1);
         out.push_str(&format!(
-            "{:<34} {:>10} {:>10} {:>10} {:>7} {:>10} {:>10}\n",
-            "phase", "calls", "total s", "self s", "self %", "allocs", "alloc MB"
+            "{:<34} {:>10} {:>10} {:>10} {:>7} {:>10} {:>10} {:>11}\n",
+            "phase", "calls", "total s", "self s", "self %", "allocs", "alloc MB", "allocs/call"
         ));
         for n in self.snapshot.merged() {
             let label = format!("{}{}", "  ".repeat(n.depth), n.name);
             out.push_str(&format!(
-                "{:<34} {:>10} {:>10.3} {:>10.3} {:>6.1}% {:>10} {:>10.1}\n",
+                "{:<34} {:>10} {:>10.3} {:>10.3} {:>6.1}% {:>10} {:>10.1} {:>11.3}\n",
                 label,
                 n.calls,
                 n.total_ns as f64 / 1e9,
@@ -102,6 +108,7 @@ impl CampaignProfile {
                 100.0 * n.self_ns as f64 / budget as f64,
                 n.self_allocs,
                 n.self_alloc_bytes as f64 / (1024.0 * 1024.0),
+                n.self_allocs as f64 / n.calls.max(1) as f64,
             ));
         }
         out.push_str(&format!(

@@ -73,12 +73,34 @@ fn harvest(
     }
 }
 
-/// Drop metrics that measure the *host* rather than the simulation
-/// (`sim.wall_ns` is wall-clock time spent inside the event loop):
-/// everything left in the snapshot is a pure function of the device
-/// seed, which is what makes the merged campaign JSON reproducible.
-fn strip_wall_clock(snap: &mut obs::Snapshot) {
-    snap.counters.retain(|(name, _)| name != "sim.wall_ns");
+/// Drop metrics that measure the *engine host* rather than the modelled
+/// network: the whole `sim.*` family (wall-clock time in the event
+/// loop, events processed, timers set/cancelled). Everything left in
+/// the snapshot is a pure function of the device seed *and the modelled
+/// behaviour alone*, which is what makes the merged campaign JSON
+/// byte-identical across queue backends and across the per-packet vs
+/// batched cross-traffic paths — those change how many engine events a
+/// run costs, never what the network does.
+fn strip_engine_metrics(snap: &mut obs::Snapshot) {
+    snap.counters.retain(|(name, _)| !name.starts_with("sim."));
+    snap.gauges.retain(|(name, _)| !name.starts_with("sim."));
+    snap.histograms.retain(|h| !h.name.starts_with("sim."));
+}
+
+/// Per-shard execution knobs, threaded from
+/// [`crate::RunOptions`] down to every device simulation. None of them
+/// affect the campaign JSON (that is the point — they trade host cost
+/// for nothing observable).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardOptions {
+    /// Event-queue backend (wheel by default; all backends produce
+    /// byte-identical partials).
+    pub queue: QueueKind,
+    /// `true` drives every cross-traffic datagram off its own timer
+    /// (the reference path); `false` (default) uses the batched fast
+    /// path — one timer per gap period — which emits the identical
+    /// packet stream with an order of magnitude fewer engine events.
+    pub cross_per_packet: bool,
 }
 
 fn empty_partial(index: u64, class: usize) -> DevicePartial {
@@ -121,7 +143,26 @@ pub fn run_device_with(
     prof: &obs::Profiler,
     queue: QueueKind,
 ) -> DevicePartial {
-    let mut sim = DeviceSim::new(spec, index, prof, queue);
+    run_device_opts(
+        spec,
+        index,
+        prof,
+        ShardOptions {
+            queue,
+            ..ShardOptions::default()
+        },
+    )
+}
+
+/// [`run_device_prof`] with full [`ShardOptions`]. The partial is
+/// byte-identical across every option combination.
+pub fn run_device_opts(
+    spec: &CampaignSpec,
+    index: u64,
+    prof: &obs::Profiler,
+    opts: ShardOptions,
+) -> DevicePartial {
+    let mut sim = DeviceSim::new(spec, index, prof, opts);
     sim.run_until(SimTime::ZERO + spec.horizon);
     sim.finish()
 }
@@ -162,7 +203,7 @@ impl DeviceSim {
         spec: &CampaignSpec,
         index: u64,
         prof: &obs::Profiler,
-        queue: QueueKind,
+        opts: ShardOptions,
     ) -> DeviceSim {
         let class_idx = spec.class_of(index);
         let class = &spec.classes[class_idx];
@@ -189,10 +230,16 @@ impl DeviceSim {
 
         let (rig, app) = match class.radio {
             Radio::Wifi => {
-                let mut cfg = TestbedConfig::new(seed, profile, path_rtt_ms).with_queue(queue);
+                let mut cfg = TestbedConfig::new(seed, profile, path_rtt_ms).with_queue(opts.queue);
                 // One lossless sniffer: full dn coverage at minimum cost.
                 cfg.sniffers = 1;
                 cfg.sniffer_loss = 0.0;
+                // Campaign analysis only ever queries probe packets, so
+                // the sniffer skips cross-traffic data frames — on a
+                // congested device that is one delivery per blaster
+                // datagram it no longer pays for.
+                cfg.sniffer_capture_cross = false;
+                cfg.cross_per_packet = opts.cross_per_packet;
                 cfg.listen_interval_override = class.listen_interval;
                 if let Some(ms) = class.beacon_interval_ms {
                     cfg = cfg.with_beacon_interval(SimDuration::from_ms_f64(ms));
@@ -246,7 +293,7 @@ impl DeviceSim {
                     Radio::Lte => CellTestbedConfig::lte(seed, profile, path_rtt_ms),
                     _ => CellTestbedConfig::umts(seed, profile, path_rtt_ms),
                 };
-                cfg = cfg.with_queue(queue);
+                cfg = cfg.with_queue(opts.queue);
                 if let Some(plan) = class.faults.clone() {
                     cfg = cfg.with_bearer_faults(plan.with_seed(spec.fault_seed(index)));
                 }
@@ -339,7 +386,7 @@ impl DeviceSim {
             }
         }
         partial.obs = self.reg.snapshot();
-        strip_wall_clock(&mut partial.obs);
+        strip_engine_metrics(&mut partial.obs);
         partial
     }
 }

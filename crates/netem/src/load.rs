@@ -29,6 +29,16 @@ pub struct LoadConfig {
     pub start: SimTime,
     /// When to stop.
     pub stop: SimTime,
+    /// Emission scheduling: `true` drives every datagram off its own
+    /// per-flow timer (one timer dispatch per packet — the reference
+    /// path); `false` uses the batched fast path, where a single timer
+    /// fires once per gap period and schedules the whole period's
+    /// datagrams (all flows) at their exact per-packet instants via
+    /// `send_at`. Packet ids, emission times, and emission order are
+    /// identical; the batched path just spends one timer dispatch per
+    /// period instead of one per packet. Campaign byte-identity between
+    /// the two is asserted by the fleet equivalence tests and CI.
+    pub per_packet: bool,
 }
 
 impl LoadConfig {
@@ -44,7 +54,15 @@ impl LoadConfig {
             payload: 1470,
             start: SimTime::ZERO,
             stop,
+            per_packet: true,
         }
+    }
+
+    /// Switch to the batched emission fast path (see
+    /// [`LoadConfig::per_packet`]).
+    pub fn batched(mut self) -> LoadConfig {
+        self.per_packet = false;
+        self
     }
 }
 
@@ -81,8 +99,20 @@ impl UdpBlasterNode {
         SimDuration::from_nanos((secs * 1e9) as u64)
     }
 
-    fn emit(&mut self, ctx: &mut Ctx<'_, Msg>, flow: u32) {
-        let packet = Packet {
+    /// Per-flow start offset within a gap period (flows are staggered
+    /// across one gap so the aggregate is a smooth CBR rather than
+    /// synchronized bursts). Offsets are distinct, so two flows never
+    /// emit at the same nanosecond — which is what lets the batched
+    /// path reproduce the per-packet emission order exactly.
+    fn offset(&self, flow: u32) -> SimDuration {
+        SimDuration::from_nanos(
+            self.gap().as_nanos() * u64::from(flow) / u64::from(self.cfg.flows.max(1)),
+        )
+    }
+
+    fn next_packet(&mut self, flow: u32) -> Packet {
+        self.sent += 1;
+        Packet {
             id: self.ids.next_id(),
             src: self.cfg.src,
             dst: self.cfg.dst,
@@ -93,24 +123,44 @@ impl UdpBlasterNode {
             },
             payload_len: self.cfg.payload,
             tag: PacketTag::CrossTraffic,
-        };
-        self.sent += 1;
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_, Msg>, flow: u32) {
+        let packet = self.next_packet(flow);
         ctx.send(self.via, SimDuration::ZERO, Msg::Wire(packet));
+    }
+
+    /// Batched fast path: called once per gap period at the period
+    /// start; schedules every flow's datagram for this period at its
+    /// exact per-packet instant. Flow offsets ascend, so ids are
+    /// assigned in emission-time order — the same id↔packet mapping
+    /// the per-packet path produces.
+    fn emit_period(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let period_start = ctx.now();
+        for flow in 0..self.cfg.flows {
+            let at = period_start + self.offset(flow);
+            if at >= self.cfg.stop {
+                break;
+            }
+            let packet = self.next_packet(flow);
+            ctx.send_at(self.via, at, Msg::Wire(packet));
+        }
     }
 }
 
 impl Node<Msg> for UdpBlasterNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let gap = self.gap();
-        for flow in 0..self.cfg.flows {
-            // Stagger flow starts across one gap so the aggregate is a
-            // smooth CBR rather than synchronized bursts.
-            let offset = SimDuration::from_nanos(
-                gap.as_nanos() * u64::from(flow) / u64::from(self.cfg.flows.max(1)),
-            );
-            let first = self.cfg.start + offset;
-            let delay = first.saturating_since(ctx.now());
-            ctx.set_timer(delay, u64::from(flow));
+        if self.cfg.per_packet {
+            for flow in 0..self.cfg.flows {
+                let first = self.cfg.start + self.offset(flow);
+                let delay = first.saturating_since(ctx.now());
+                ctx.set_timer(delay, u64::from(flow));
+            }
+        } else {
+            // Batched: one timer per gap period, firing at period start.
+            let delay = self.cfg.start.saturating_since(ctx.now());
+            ctx.set_timer(delay, 0);
         }
     }
 
@@ -122,9 +172,12 @@ impl Node<Msg> for UdpBlasterNode {
         if ctx.now() >= self.cfg.stop {
             return;
         }
-        let flow = tag as u32;
-        self.emit(ctx, flow);
         let gap = self.gap();
+        if self.cfg.per_packet {
+            self.emit(ctx, tag as u32);
+        } else {
+            self.emit_period(ctx);
+        }
         ctx.set_timer(gap, tag);
     }
 }
@@ -195,6 +248,53 @@ mod tests {
         assert!(c.first.unwrap() >= SimTime::from_millis(50));
         assert!(c.last.unwrap() <= SimTime::from_millis(101));
         assert!(c.n > 0);
+    }
+
+    /// Record of everything a sink can observe about an emission.
+    fn observed(per_packet: bool, start_ms: u64, stop_ms: u64) -> Vec<(SimTime, u64, u16, u64)> {
+        struct Recorder {
+            seen: Vec<(SimTime, u64, u16, u64)>,
+        }
+        impl Node<Msg> for Recorder {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+                if let Msg::Wire(p) = msg {
+                    let port = match p.l4 {
+                        wire::L4::Udp { src_port, .. } => src_port,
+                        _ => 0,
+                    };
+                    self.seen
+                        .push((ctx.now(), p.id, port, p.payload_len as u64));
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let sink = sim.add_node(Box::new(Recorder { seen: vec![] }));
+        let mut cfg = LoadConfig::paper_cross_traffic(
+            Ip::new(192, 168, 1, 101),
+            Ip::new(10, 0, 0, 2),
+            SimTime::from_millis(stop_ms),
+        );
+        cfg.start = SimTime::from_millis(start_ms);
+        cfg.per_packet = per_packet;
+        sim.add_node(Box::new(UdpBlasterNode::new(60, cfg, sink)));
+        sim.run_until(SimTime::from_secs(10));
+        sim.node::<Recorder>(sink).seen.clone()
+    }
+
+    #[test]
+    fn batched_emissions_are_identical_to_per_packet() {
+        // The batched path must reproduce the per-packet emission
+        // process exactly: same instants, same packet ids, same flow
+        // (src port) order — including around start/stop edges.
+        for (start_ms, stop_ms) in [(0, 200), (50, 103), (7, 8)] {
+            let reference = observed(true, start_ms, stop_ms);
+            let batched = observed(false, start_ms, stop_ms);
+            assert!(!reference.is_empty());
+            assert_eq!(
+                reference, batched,
+                "batched emission stream diverged (start={start_ms}ms stop={stop_ms}ms)"
+            );
+        }
     }
 
     #[test]

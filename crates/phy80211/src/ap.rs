@@ -125,6 +125,9 @@ pub struct ApNode {
     frame_ids: PacketIdGen,
     pkt_ids: PacketIdGen,
     in_flight: usize,
+    /// Reused drain buffer for [`ApNode::flush_buffered`], so releasing
+    /// a PS buffer allocates nothing once grown to its high-water mark.
+    flush_scratch: Vec<(SimTime, Packet)>,
     /// Public counters.
     pub stats: ApStats,
     metrics: ApMetrics,
@@ -143,6 +146,7 @@ impl ApNode {
             frame_ids: PacketIdGen::new(source),
             pkt_ids: PacketIdGen::new(source + 1),
             in_flight: 0,
+            flush_scratch: Vec::new(),
             stats: ApStats::default(),
             metrics: ApMetrics::default(),
         }
@@ -246,13 +250,15 @@ impl ApNode {
     }
 
     fn flush_buffered(&mut self, ctx: &mut Ctx<'_, Msg>, mac: Mac) {
-        let drained: Vec<(SimTime, Packet)> = self
-            .stations
-            .get_mut(&mac)
-            .map(|e| e.buffered.drain(..).collect())
-            .unwrap_or_default();
+        // Drain through the reused scratch buffer (detached from `self`
+        // so `tx_data` can borrow freely): no allocation at steady state.
+        let mut drained = std::mem::take(&mut self.flush_scratch);
+        drained.clear();
+        if let Some(e) = self.stations.get_mut(&mac) {
+            drained.extend(e.buffered.drain(..));
+        }
         let now = ctx.now();
-        for (enqueued, packet) in drained {
+        for &(enqueued, packet) in &drained {
             let waited_ms = now.saturating_since(enqueued).as_nanos() as f64 / 1e6;
             self.metrics.ps_buffer_wait_ms.observe(waited_ms);
             // The span covers exactly the interval the histogram observes,
@@ -273,6 +279,8 @@ impl ApNode {
             self.metrics.forwarded_down.inc();
             self.tx_data(ctx, mac, packet);
         }
+        drained.clear();
+        self.flush_scratch = drained;
     }
 
     fn gateway_uplink(&mut self, ctx: &mut Ctx<'_, Msg>, mut packet: Packet, from_mac: Mac) {
@@ -363,15 +371,16 @@ impl Node<Msg> for ApNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
         debug_assert_eq!(tag, TAG_BEACON);
         // U-APSD stations' delivery-enabled traffic is not advertised in
-        // the TIM; it waits for their trigger frames instead.
-        let tim: Vec<Mac> = self
+        // the TIM; it waits for their trigger frames instead. The TIM is
+        // built inline (`wire::Tim` is a fixed-capacity array) and
+        // sorted in place — the beacon tick stays off the heap.
+        let mut tim: wire::Tim = self
             .stations
             .iter()
             .filter(|(_, e)| !e.buffered.is_empty() && !e.uapsd)
             .map(|(m, _)| *m)
             .collect();
-        let mut tim = tim;
-        tim.sort(); // deterministic TIM order
+        tim.as_mut_slice().sort_unstable(); // deterministic TIM order
         let beacon = Frame::beacon(self.frame_ids.next_id(), self.cfg.mac, tim);
         ctx.send(self.medium, SimDuration::ZERO, Msg::MediumTx(beacon));
         self.stats.beacons += 1;

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use netem::{FaultPlan, FaultState, FaultVerdict};
 use obs::Registry;
 use simcore::{Ctx, Node, NodeId, SimDuration};
-use wire::{Frame, FrameKind, Msg};
+use wire::{Frame, FrameKind, Mac, Msg, PacketTag};
 
 use crate::config::MediumConfig;
 
@@ -44,6 +44,50 @@ struct PendingTx {
     frame: Frame,
     retries: u32,
     cw: u32,
+}
+
+/// How an attached node hears the channel.
+///
+/// On a real shared channel every radio physically receives every frame
+/// and filters in hardware; simulating that faithfully costs one event
+/// per (frame × listener). The delivery policy moves the hardware
+/// filter into the medium: a station that would discard a frame anyway
+/// never gets the event. This is the single biggest event-count lever
+/// on the dispatch hot path — under iPerf cross traffic the per-frame
+/// listener fan-out dominates the simulation's event budget.
+#[derive(Debug, Clone, Copy)]
+struct Listener {
+    node: NodeId,
+    /// `None`: promiscuous (hears every frame, like a monitor-mode
+    /// NIC). `Some(mac)`: hears only frames addressed to `mac` or to
+    /// broadcast — the receive-address filter of an associated station.
+    filter: Option<Mac>,
+    /// Whether this node transmits and consumes `TxDone` / `TxFailed`.
+    /// Stations whose MAC state machine ignores confirmations opt out
+    /// and the medium skips those events entirely.
+    feedback: bool,
+    /// Whether cross-traffic data frames (`PacketTag::CrossTraffic`)
+    /// are delivered. Fleet sniffers opt out: the capture index never
+    /// queries them, and at paper load they are ~97% of all frames.
+    cross_traffic: bool,
+}
+
+impl Listener {
+    fn hears(&self, frame: &Frame) -> bool {
+        if let Some(mac) = self.filter {
+            if frame.dst != mac && !frame.dst.is_broadcast() {
+                return false;
+            }
+        }
+        if !self.cross_traffic {
+            if let FrameKind::Data { packet, .. } = &frame.kind {
+                if packet.tag == PacketTag::CrossTraffic {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// Statistics the medium accumulates over a run.
@@ -73,9 +117,9 @@ pub struct MediumNode {
     /// Per-sender interface queue cap (drop-tail), frames.
     pub queue_cap: usize,
     /// All attached radios and sniffers; every completed frame is
-    /// delivered to each of them except the transmitter (receiver-side
-    /// filtering, as on a real shared channel).
-    listeners: Vec<NodeId>,
+    /// delivered to each listener whose policy hears it, except the
+    /// transmitter (see [`Listener`]).
+    listeners: Vec<Listener>,
     /// Per-sender queues, in first-seen order (deterministic).
     queues: Vec<(NodeId, VecDeque<PendingTx>)>,
     /// The frame that won contention (set while Deferring/Busy).
@@ -126,11 +170,62 @@ impl MediumNode {
         self.fault.as_ref().map(|f| f.stats)
     }
 
-    /// Attach a radio or sniffer; it will hear every frame it did not send.
+    /// Attach a radio or sniffer promiscuously: it hears every frame it
+    /// did not send and receives TX confirmations. The conservative
+    /// default — use [`MediumNode::attach_station`] /
+    /// [`MediumNode::attach_monitor`] when the receiver's filtering
+    /// policy is known, so the medium can skip events the receiver
+    /// would discard.
     pub fn attach(&mut self, node: NodeId) {
-        if !self.listeners.contains(&node) {
-            self.listeners.push(node);
+        self.attach_listener(Listener {
+            node,
+            filter: None,
+            feedback: true,
+            cross_traffic: true,
+        });
+    }
+
+    /// Attach an associated station with a receive-address filter: it
+    /// hears only frames addressed to `mac` or to broadcast. `feedback`
+    /// controls whether the medium sends it `TxDone` / `TxFailed` —
+    /// pass `false` for stations whose MAC state machine ignores TX
+    /// confirmations (the medium then skips those events entirely).
+    pub fn attach_station(&mut self, node: NodeId, mac: Mac, feedback: bool) {
+        self.attach_listener(Listener {
+            node,
+            filter: Some(mac),
+            feedback,
+            cross_traffic: true,
+        });
+    }
+
+    /// Attach a monitor-mode sniffer: promiscuous, never transmits (no
+    /// TX feedback). `cross_traffic: false` additionally skips
+    /// cross-traffic data frames — for captures whose consumers only
+    /// ever index probe/management frames.
+    pub fn attach_monitor(&mut self, node: NodeId, cross_traffic: bool) {
+        self.attach_listener(Listener {
+            node,
+            filter: None,
+            feedback: false,
+            cross_traffic,
+        });
+    }
+
+    fn attach_listener(&mut self, listener: Listener) {
+        match self.listeners.iter_mut().find(|l| l.node == listener.node) {
+            Some(existing) => *existing = listener,
+            None => self.listeners.push(listener),
         }
+    }
+
+    /// Whether `node` opted into TX confirmations (unattached senders
+    /// get them — the conservative default).
+    fn wants_feedback(&self, node: NodeId) -> bool {
+        self.listeners
+            .iter()
+            .find(|l| l.node == node)
+            .is_none_or(|l| l.feedback)
     }
 
     /// Total frames currently queued (excluding the one in service).
@@ -156,6 +251,7 @@ impl MediumNode {
 
     fn enqueue(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, frame: Frame) {
         let cap = self.queue_cap;
+        let feedback = self.wants_feedback(from);
         let queue = match self.queues.iter_mut().find(|(n, _)| *n == from) {
             Some((_, q)) => q,
             None => {
@@ -165,8 +261,10 @@ impl MediumNode {
         };
         if queue.len() >= cap {
             self.stats.dropped_queue_full += 1;
-            let frame_id = frame.id;
-            ctx.send(from, SimDuration::ZERO, Msg::TxFailed { frame_id });
+            if feedback {
+                let frame_id = frame.id;
+                ctx.send(from, SimDuration::ZERO, Msg::TxFailed { frame_id });
+            }
             return;
         }
         queue.push_back(PendingTx {
@@ -282,20 +380,25 @@ impl MediumNode {
             },
             _ => (1, SimDuration::ZERO),
         };
+        // The fan-out is the engine's hottest loop: `Frame` is `Copy`,
+        // so each delivery is a flat write into the scheduler's arena —
+        // no clone of the listener list, no per-listener heap traffic.
         for _ in 0..copies {
-            for &l in &self.listeners.clone() {
-                if l != tx.from {
-                    ctx.send(l, extra_delay, Msg::AirRx(tx.frame.clone()));
+            for l in &self.listeners {
+                if l.node != tx.from && l.hears(&tx.frame) {
+                    ctx.send(l.node, extra_delay, Msg::AirRx(tx.frame));
                 }
             }
         }
-        ctx.send(
-            tx.from,
-            SimDuration::ZERO,
-            Msg::TxDone {
-                frame_id: tx.frame.id,
-            },
-        );
+        if self.wants_feedback(tx.from) {
+            ctx.send(
+                tx.from,
+                SimDuration::ZERO,
+                Msg::TxDone {
+                    frame_id: tx.frame.id,
+                },
+            );
+        }
         self.state = State::Idle;
         self.maybe_defer(ctx);
     }
@@ -306,13 +409,15 @@ impl MediumNode {
         tx.cw = (tx.cw * 2 + 1).min(self.cfg.cw_max);
         if tx.retries > self.cfg.retry_limit {
             self.stats.dropped_retry += 1;
-            ctx.send(
-                tx.from,
-                SimDuration::ZERO,
-                Msg::TxFailed {
-                    frame_id: tx.frame.id,
-                },
-            );
+            if self.wants_feedback(tx.from) {
+                ctx.send(
+                    tx.from,
+                    SimDuration::ZERO,
+                    Msg::TxFailed {
+                        frame_id: tx.frame.id,
+                    },
+                );
+            }
         } else {
             // The frame keeps the channel-access token with its widened
             // contention window (binary exponential backoff).
@@ -607,6 +712,71 @@ mod tests {
         // No ACK airtime: a beacon of ~88 B at 6 Mbps ≈ 117 µs + preamble.
         let t = sim.node::<Radio>(a).done[0].0;
         assert!(t < SimTime::from_micros(400), "{t:?}");
+    }
+
+    #[test]
+    fn station_filter_delivers_only_addressed_and_broadcast() {
+        let mut sim = Sim::new(7);
+        let sta = sim.add_node(Box::new(Radio::new()));
+        let other = sim.add_node(Box::new(Radio::new()));
+        let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+        sim.node_mut::<MediumNode>(medium)
+            .attach_station(sta, Mac::local(5), false);
+        sim.node_mut::<MediumNode>(medium).attach(other);
+        // Addressed to the station, to someone else, and broadcast.
+        let to_sta = Frame::data(1, Mac::local(9), Mac::local(5), pkt(100), false);
+        let to_other = Frame::data(2, Mac::local(9), Mac::local(6), pkt(100), false);
+        let bcast = Frame::beacon(3, Mac::local(0), vec![]);
+        for f in [to_sta, to_other, bcast] {
+            sim.inject(other, medium, SimTime::ZERO, Msg::MediumTx(f));
+        }
+        sim.run_until_idle(1000);
+        let heard: Vec<u64> = sim.node::<Radio>(sta).heard.iter().map(|h| h.1).collect();
+        assert_eq!(heard, vec![1, 3], "filter must pass own-MAC + broadcast");
+    }
+
+    #[test]
+    fn feedback_opt_out_suppresses_tx_confirmations() {
+        let mut sim = Sim::new(7);
+        let quiet = sim.add_node(Box::new(Radio::new()));
+        let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+        sim.node_mut::<MediumNode>(medium)
+            .attach_station(quiet, Mac::local(5), false);
+        sim.node_mut::<MediumNode>(medium).queue_cap = 1;
+        for i in 0..5 {
+            let f = Frame::data(i, Mac::local(5), Mac::local(9), pkt(1400), false);
+            sim.inject(quiet, medium, SimTime::ZERO, Msg::MediumTx(f));
+        }
+        sim.run_until_idle(10_000);
+        let radio = sim.node::<Radio>(quiet);
+        assert!(radio.done.is_empty(), "TxDone suppressed for opted-out tx");
+        assert!(radio.failed.is_empty(), "TxFailed suppressed too");
+        // The channel behaved identically otherwise.
+        let st = &sim.node::<MediumNode>(medium).stats;
+        assert_eq!(st.delivered, 2);
+        assert_eq!(st.dropped_queue_full, 3);
+    }
+
+    #[test]
+    fn monitor_without_cross_traffic_skips_tagged_data() {
+        let mut sim = Sim::new(7);
+        let snif = sim.add_node(Box::new(Radio::new()));
+        let src = sim.add_node(Box::new(Radio::new()));
+        let medium = sim.add_node(Box::new(MediumNode::new(MediumConfig::default())));
+        sim.node_mut::<MediumNode>(medium)
+            .attach_monitor(snif, false);
+        sim.node_mut::<MediumNode>(medium).attach(src);
+        let mut cross = pkt(1400);
+        cross.tag = PacketTag::CrossTraffic;
+        let cross = Frame::data(1, Mac::local(2), Mac::local(0), cross, false);
+        let probe = Frame::data(2, Mac::local(1), Mac::local(0), pkt(100), false);
+        let beacon = Frame::beacon(3, Mac::local(0), vec![]);
+        for f in [cross, probe, beacon] {
+            sim.inject(src, medium, SimTime::ZERO, Msg::MediumTx(f));
+        }
+        sim.run_until_idle(1000);
+        let heard: Vec<u64> = sim.node::<Radio>(snif).heard.iter().map(|h| h.1).collect();
+        assert_eq!(heard, vec![2, 3], "cross-traffic data must be skipped");
     }
 
     #[test]

@@ -332,7 +332,12 @@ impl Node<Msg> for StaMacNode {
                 // Radio on: announce wake implicitly via the data frame's
                 // PM=0 bit and flush everything queued during turn-on.
                 let now = ctx.now();
-                for (enqueued, packet) in std::mem::take(&mut self.wake_queue) {
+                // Detach the queue while flushing (transmit_data needs
+                // `&mut self`), then hand the emptied buffer back so its
+                // capacity is reused — wakes allocate nothing at steady
+                // state.
+                let mut queued = std::mem::take(&mut self.wake_queue);
+                for &(enqueued, packet) in &queued {
                     let tracer = ctx.tracer();
                     if let Some(tc) = tracer.packet_ctx(packet.id) {
                         tracer.span(
@@ -346,6 +351,11 @@ impl Node<Msg> for StaMacNode {
                     }
                     self.transmit_data(ctx, packet);
                 }
+                queued.clear();
+                // Keep anything queued again mid-flush, then reuse the
+                // warm buffer.
+                queued.append(&mut self.wake_queue);
+                self.wake_queue = queued;
             }
             _ => unreachable!("unknown sta timer tag {tag}"),
         }

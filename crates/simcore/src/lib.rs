@@ -10,9 +10,13 @@
 //!   drift, total ordering, bit-identical reruns.
 //! * **Deterministic event list** ([`Sim`]): ties at equal timestamps break
 //!   by insertion sequence.
-//! * **Two event-queue backends** ([`QueueKind`]): a hierarchical timer
-//!   wheel (default, O(1) amortized) and the reference binary heap, both
-//!   popping in byte-identical `(at, seq)` order — see [`sched`].
+//! * **Interchangeable event-queue backends** ([`QueueKind`]): a
+//!   hierarchical timer wheel (default, O(1) amortized), the reference
+//!   binary heap, and a boxed-payload oracle, all popping in
+//!   byte-identical `(at, seq)` order — see [`sched`].
+//! * **Arena-resident payloads** ([`arena`]): event payloads live inline
+//!   in generational slots; the dispatch hot path moves `Copy` records
+//!   and handles, never boxes, and allocates nothing at steady state.
 //! * **Cancellable timers** ([`TimerId`]): the SDIO demotion and PSM timeout
 //!   state machines constantly reset their timers on activity; cancellation
 //!   tombstones the event's arena slot and the queue reaps it lazily, so
@@ -42,14 +46,16 @@
 //! assert_eq!(sim.node::<Counter>(counter).seen, 42);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod arena;
 mod engine;
 mod rng;
 pub mod sched;
 mod time;
 mod trace;
 
+pub use arena::{EventArena, EventHandle};
 pub use engine::{AsAny, Ctx, Node, NodeId, Sim, TimerId};
 pub use rng::{DetRng, LatencyDist};
 pub use sched::QueueKind;

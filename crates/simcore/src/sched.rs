@@ -1,35 +1,36 @@
 //! # sched — the event-scheduling core
 //!
-//! Two interchangeable future-event-list backends behind one
-//! [`EventQueue`] trait, plus the generational event arena they share:
+//! Interchangeable future-event-list backends behind one
+//! [`EventQueue`] trait, all storing payloads in the generational
+//! [`EventArena`] (see [`crate::arena`]):
 //!
 //! * [`HeapQueue`] — the classic `BinaryHeap` min-(at, seq) ordering,
 //!   kept as the reference implementation and parity oracle.
 //! * [`WheelQueue`] — a hierarchical timer wheel (4 levels × 64 slots,
 //!   2¹² ns = 4.096 µs granularity, `BTreeMap` overflow for far-future
 //!   events) with O(1) amortized push and pop.
+//! * [`BoxedQueue`] — the heap oracle with every payload heap-boxed:
+//!   the pre-arena representation, kept as a **test-only oracle** so
+//!   the zero-allocation dispatch path can be proven byte-identical to
+//!   the boxed path it replaced.
 //!
-//! Both backends implement the **same ordering contract**: events pop
+//! All backends implement the **same ordering contract**: events pop
 //! in strictly ascending `(at, seq)` order, where `seq` is the global
 //! insertion sequence number. Cancelled events are tombstoned in the
 //! arena and reaped lazily when their record surfaces, at the same
-//! point in the pop order in both backends, so queue-depth telemetry
+//! point in the pop order in every backend, so queue-depth telemetry
 //! and every campaign JSON byte downstream are backend-independent.
 //! See ARCHITECTURE.md § Scheduler for the ordering argument.
-//!
-//! Payloads live in an [`EventArena`]: a slab with generational slots,
-//! so the engine stops boxing every event, freed slots are reused
-//! without reallocation, and a stale [`EventHandle`] (slot reused
-//! since) is rejected instead of cancelling an unrelated event.
 
 use std::collections::{BTreeMap, BinaryHeap};
 use std::str::FromStr;
 
+pub use crate::arena::{EventArena, EventHandle};
 use crate::time::SimTime;
 
 /// Which future-event-list backend a simulation uses.
 ///
-/// Both backends produce byte-identical pop order (and therefore
+/// Every backend produces byte-identical pop order (and therefore
 /// byte-identical campaign JSON); `Wheel` is the default because its
 /// push/pop are O(1) amortized instead of O(log n).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +41,11 @@ pub enum QueueKind {
     /// backend, default since parity with the heap is property-tested.
     #[default]
     Wheel,
+    /// The heap oracle with heap-boxed payloads — the pre-arena
+    /// representation, kept so tests (and `repro profile`) can compare
+    /// the allocation-free dispatch path against the boxed path it
+    /// replaced. Never the right choice outside that comparison.
+    Boxed,
 }
 
 impl FromStr for QueueKind {
@@ -48,7 +54,10 @@ impl FromStr for QueueKind {
         match s {
             "heap" => Ok(QueueKind::Heap),
             "wheel" => Ok(QueueKind::Wheel),
-            other => Err(format!("unknown queue backend {other:?} (heap|wheel)")),
+            "boxed" => Ok(QueueKind::Boxed),
+            other => Err(format!(
+                "unknown queue backend {other:?} (heap|wheel|boxed)"
+            )),
         }
     }
 }
@@ -58,151 +67,8 @@ impl std::fmt::Display for QueueKind {
         f.write_str(match self {
             QueueKind::Heap => "heap",
             QueueKind::Wheel => "wheel",
+            QueueKind::Boxed => "boxed",
         })
-    }
-}
-
-/// Generational handle to an event stored in an [`EventArena`].
-///
-/// A handle is valid until the event it names is popped or cancelled;
-/// after the slot is reused the old handle's generation no longer
-/// matches and every operation on it is a no-op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle {
-    slot: u32,
-    generation: u32,
-}
-
-impl EventHandle {
-    /// Pack into a `u64` (used by the engine to embed handles in
-    /// `TimerId` without widening that type).
-    pub const fn to_bits(self) -> u64 {
-        ((self.generation as u64) << 32) | self.slot as u64
-    }
-
-    /// Unpack a handle previously packed with [`EventHandle::to_bits`].
-    pub const fn from_bits(bits: u64) -> EventHandle {
-        EventHandle {
-            slot: bits as u32,
-            generation: (bits >> 32) as u32,
-        }
-    }
-}
-
-enum Slot<T> {
-    /// Free; next reuse bumps the generation.
-    Vacant,
-    /// Holds a scheduled payload.
-    Live(T),
-    /// Cancelled before it surfaced; the queue record still exists and
-    /// will reap this slot when it pops.
-    Tombstone,
-}
-
-/// Slab allocator for event payloads with generational slots.
-///
-/// `insert` reuses freed slots (LIFO free list) so a steady-state
-/// push/pop workload allocates nothing once the arena has grown to the
-/// workload's high-water mark. Cancellation tombstones the slot — the
-/// payload drops immediately, but the slot is not reusable until the
-/// owning queue record surfaces and reaps it, which keeps exactly one
-/// record per slot in flight.
-pub struct EventArena<T> {
-    slots: Vec<(u32, Slot<T>)>,
-    free: Vec<u32>,
-    live: usize,
-}
-
-impl<T> Default for EventArena<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<T> EventArena<T> {
-    /// An empty arena.
-    pub fn new() -> EventArena<T> {
-        EventArena {
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-        }
-    }
-
-    /// Store a payload; returns its handle.
-    pub fn insert(&mut self, value: T) -> EventHandle {
-        self.live += 1;
-        if let Some(slot) = self.free.pop() {
-            let entry = &mut self.slots[slot as usize];
-            debug_assert!(matches!(entry.1, Slot::Vacant));
-            entry.1 = Slot::Live(value);
-            EventHandle {
-                slot,
-                generation: entry.0,
-            }
-        } else {
-            let slot = self.slots.len() as u32;
-            self.slots.push((0, Slot::Live(value)));
-            EventHandle {
-                slot,
-                generation: 0,
-            }
-        }
-    }
-
-    /// Remove and return the payload if the handle is current and the
-    /// slot is live; frees the slot either way when the handle is
-    /// current (a tombstoned slot is reaped to vacant). Stale handles
-    /// return `None` and touch nothing.
-    pub fn take(&mut self, h: EventHandle) -> Option<T> {
-        let entry = self.slots.get_mut(h.slot as usize)?;
-        if entry.0 != h.generation || matches!(entry.1, Slot::Vacant) {
-            return None;
-        }
-        let prev = std::mem::replace(&mut entry.1, Slot::Vacant);
-        entry.0 = entry.0.wrapping_add(1);
-        self.free.push(h.slot);
-        match prev {
-            Slot::Live(v) => {
-                self.live -= 1;
-                Some(v)
-            }
-            Slot::Tombstone => None,
-            Slot::Vacant => unreachable!(),
-        }
-    }
-
-    /// Tombstone a live event: drops the payload and returns `true`.
-    /// Stale handles and already-cancelled slots return `false`.
-    pub fn cancel(&mut self, h: EventHandle) -> bool {
-        let Some(entry) = self.slots.get_mut(h.slot as usize) else {
-            return false;
-        };
-        if entry.0 != h.generation || !matches!(entry.1, Slot::Live(_)) {
-            return false;
-        }
-        entry.1 = Slot::Tombstone;
-        self.live -= 1;
-        true
-    }
-
-    /// Whether the handle names a still-live (scheduled, not cancelled,
-    /// not yet popped) event.
-    pub fn is_live(&self, h: EventHandle) -> bool {
-        match self.slots.get(h.slot as usize) {
-            Some((generation, Slot::Live(_))) => *generation == h.generation,
-            _ => false,
-        }
-    }
-
-    /// Number of live (non-tombstoned) payloads.
-    pub fn live(&self) -> usize {
-        self.live
-    }
-
-    /// Total slots ever allocated (the high-water mark).
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
     }
 }
 
@@ -338,6 +204,57 @@ impl<T> EventQueue<T> for HeapQueue<T> {
     }
 }
 
+/// The boxed-payload oracle: [`HeapQueue`] with every payload behind a
+/// `Box` — one heap allocation on push, one free on pop, exactly the
+/// per-event cost profile the inline arena eliminated.
+///
+/// This backend exists to keep the old representation *runnable*: the
+/// byte-identity tests run the same campaign through [`WheelQueue`]
+/// (payloads inline in the arena) and `BoxedQueue` and assert the JSON
+/// matches, proving the arena changed where payloads live and nothing
+/// else. `repro profile --queue boxed` uses it to measure what
+/// per-event boxing costs.
+pub struct BoxedQueue<T> {
+    inner: HeapQueue<Box<T>>,
+}
+
+impl<T> Default for BoxedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BoxedQueue<T> {
+    /// An empty boxed-payload queue.
+    pub fn new() -> BoxedQueue<T> {
+        BoxedQueue {
+            inner: HeapQueue::new(),
+        }
+    }
+}
+
+impl<T> EventQueue<T> for BoxedQueue<T> {
+    fn push(&mut self, at: SimTime, payload: T) -> EventHandle {
+        self.inner.push(at, Box::new(payload))
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.inner.pop().map(|(at, boxed)| (at, *boxed))
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.inner.peek_time()
+    }
+
+    fn cancel(&mut self, h: EventHandle) -> bool {
+        self.inner.cancel(h)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
 /// log2 of the slot count per wheel level.
 const SLOT_BITS: u32 = 6;
 /// Slots per level.
@@ -355,6 +272,22 @@ struct Level {
     slots: Vec<Vec<Rec>>,
     /// Bit `s` set ⇔ `slots[s]` non-empty.
     occupied: u64,
+    /// Emptied bucket `Vec`s from this level, recycled into this
+    /// level's cold slots.
+    ///
+    /// The cursor walks 64 buckets per level and a full lap of the
+    /// coarser levels takes seconds to minutes of simulated time, so
+    /// "warm every bucket once" is not a realistic warm-up. Instead,
+    /// capacity follows the records: a drained bucket's `Vec` parks
+    /// here and the next cold slot on the same level adopts it. Pools
+    /// are per-level because bucket populations are level-homogeneous
+    /// (a coarse bucket covers a 64× longer window and holds ~64× the
+    /// records); one shared pool would keep handing fine-level
+    /// capacities to coarse buckets, which then regrow. With per-level
+    /// recycling a bounded in-flight population stops allocating once
+    /// each touched level's pool reaches its high-water capacity — the
+    /// zero-allocation steady-state contract (see [`crate::arena`]).
+    spare: Vec<Vec<Rec>>,
 }
 
 impl Level {
@@ -362,6 +295,7 @@ impl Level {
         Level {
             slots: (0..SLOTS).map(|_| Vec::new()).collect(),
             occupied: 0,
+            spare: Vec::new(),
         }
     }
 }
@@ -433,7 +367,15 @@ impl<T> WheelQueue<T> {
             let parent_shift = SLOT_BITS * (l as u32 + 1);
             if tick >> parent_shift == self.cur_tick >> parent_shift {
                 let slot = ((tick >> (SLOT_BITS * l as u32)) & (SLOTS as u64 - 1)) as usize;
-                level.slots[slot].push(rec);
+                let bucket = &mut level.slots[slot];
+                // Cold slot: adopt a recycled bucket so steady-state
+                // traffic reuses warm capacity instead of allocating.
+                if bucket.capacity() == 0 {
+                    if let Some(pooled) = level.spare.pop() {
+                        *bucket = pooled;
+                    }
+                }
+                bucket.push(rec);
                 level.occupied |= 1 << slot;
                 return;
             }
@@ -489,11 +431,12 @@ impl<T> WheelQueue<T> {
             self.cur_tick = cand;
             match source {
                 Source::Level(0, slot) => {
-                    // Due now: drain the whole bucket into `current`.
+                    // Due now: drain the whole bucket into `current`
+                    // and park its capacity in the recycling pool.
                     let mut batch = std::mem::take(&mut self.levels[0].slots[slot]);
                     self.levels[0].occupied &= !(1 << slot);
                     self.current.append(&mut batch);
-                    self.levels[0].slots[slot] = batch;
+                    self.levels[0].spare.push(batch);
                     self.current
                         .sort_unstable_by_key(|r| std::cmp::Reverse(r.key()));
                 }
@@ -506,7 +449,7 @@ impl<T> WheelQueue<T> {
                     for rec in batch.drain(..) {
                         self.insert_rec(rec);
                     }
-                    self.levels[l].slots[slot] = batch;
+                    self.levels[l].spare.push(batch);
                 }
                 Source::Overflow => {
                     let (_, batch) = self.overflow.pop_first().expect("scanned entry exists");
@@ -566,13 +509,15 @@ impl<T> EventQueue<T> for WheelQueue<T> {
     }
 }
 
-/// Enum dispatch over the two backends so the engine's hot path is a
+/// Enum dispatch over the backends so the engine's hot path is a
 /// match, not a vtable call.
 pub enum Queue<T> {
     /// Heap-backed (reference ordering).
     Heap(HeapQueue<T>),
     /// Wheel-backed (default).
     Wheel(WheelQueue<T>),
+    /// Boxed-payload oracle (test-only comparisons).
+    Boxed(BoxedQueue<T>),
 }
 
 impl<T> Queue<T> {
@@ -581,6 +526,7 @@ impl<T> Queue<T> {
         match kind {
             QueueKind::Heap => Queue::Heap(HeapQueue::new()),
             QueueKind::Wheel => Queue::Wheel(WheelQueue::new()),
+            QueueKind::Boxed => Queue::Boxed(BoxedQueue::new()),
         }
     }
 
@@ -589,6 +535,7 @@ impl<T> Queue<T> {
         match self {
             Queue::Heap(_) => QueueKind::Heap,
             Queue::Wheel(_) => QueueKind::Wheel,
+            Queue::Boxed(_) => QueueKind::Boxed,
         }
     }
 }
@@ -598,6 +545,7 @@ impl<T> EventQueue<T> for Queue<T> {
         match self {
             Queue::Heap(q) => q.push(at, payload),
             Queue::Wheel(q) => q.push(at, payload),
+            Queue::Boxed(q) => q.push(at, payload),
         }
     }
 
@@ -605,6 +553,7 @@ impl<T> EventQueue<T> for Queue<T> {
         match self {
             Queue::Heap(q) => q.pop(),
             Queue::Wheel(q) => q.pop(),
+            Queue::Boxed(q) => q.pop(),
         }
     }
 
@@ -612,6 +561,7 @@ impl<T> EventQueue<T> for Queue<T> {
         match self {
             Queue::Heap(q) => q.peek_time(),
             Queue::Wheel(q) => q.peek_time(),
+            Queue::Boxed(q) => q.peek_time(),
         }
     }
 
@@ -619,6 +569,7 @@ impl<T> EventQueue<T> for Queue<T> {
         match self {
             Queue::Heap(q) => q.cancel(h),
             Queue::Wheel(q) => q.cancel(h),
+            Queue::Boxed(q) => q.cancel(h),
         }
     }
 
@@ -626,6 +577,7 @@ impl<T> EventQueue<T> for Queue<T> {
         match self {
             Queue::Heap(q) => q.len(),
             Queue::Wheel(q) => q.len(),
+            Queue::Boxed(q) => q.len(),
         }
     }
 }
@@ -636,42 +588,6 @@ mod tests {
 
     fn nanos(ns: u64) -> SimTime {
         SimTime::from_nanos(ns)
-    }
-
-    #[test]
-    fn arena_reuses_slots_and_bumps_generation() {
-        let mut arena: EventArena<u32> = EventArena::new();
-        let a = arena.insert(1);
-        let b = arena.insert(2);
-        assert_eq!(arena.capacity(), 2);
-        assert_eq!(arena.take(a), Some(1));
-        let c = arena.insert(3);
-        // Slot reused, no growth.
-        assert_eq!(arena.capacity(), 2);
-        assert_eq!(c.slot, a.slot);
-        assert_ne!(c.generation, a.generation);
-        // The stale handle is inert.
-        assert_eq!(arena.take(a), None);
-        assert!(!arena.cancel(a));
-        assert!(!arena.is_live(a));
-        assert_eq!(arena.take(b), Some(2));
-        assert_eq!(arena.take(c), Some(3));
-        assert_eq!(arena.live(), 0);
-    }
-
-    #[test]
-    fn arena_cancel_tombstones_until_reaped() {
-        let mut arena: EventArena<u32> = EventArena::new();
-        let a = arena.insert(7);
-        assert!(arena.cancel(a));
-        assert!(!arena.cancel(a), "double cancel is a no-op");
-        assert_eq!(arena.live(), 0);
-        // The record owner reaps the tombstone.
-        assert_eq!(arena.take(a), None);
-        // Now the slot is genuinely free.
-        let b = arena.insert(8);
-        assert_eq!(b.slot, a.slot);
-        assert_eq!(arena.take(b), Some(8));
     }
 
     fn drain<Q: EventQueue<u64>>(q: &mut Q) -> Vec<(u64, u64)> {
@@ -731,7 +647,7 @@ mod tests {
 
     #[test]
     fn same_at_ties_break_by_insertion_order() {
-        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        for kind in [QueueKind::Heap, QueueKind::Wheel, QueueKind::Boxed] {
             let mut q: Queue<u64> = Queue::new(kind);
             for i in 0..32u64 {
                 q.push(nanos(5_000), i);
@@ -747,7 +663,7 @@ mod tests {
 
     #[test]
     fn cancel_reaps_lazily_and_len_matches_heap_semantics() {
-        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        for kind in [QueueKind::Heap, QueueKind::Wheel, QueueKind::Boxed] {
             let mut q: Queue<u64> = Queue::new(kind);
             let _a = q.push(nanos(1_000), 0);
             let b = q.push(nanos(2_000), 1);
@@ -767,7 +683,7 @@ mod tests {
 
     #[test]
     fn peek_reaps_leading_tombstones() {
-        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        for kind in [QueueKind::Heap, QueueKind::Wheel, QueueKind::Boxed] {
             let mut q: Queue<u64> = Queue::new(kind);
             let a = q.push(nanos(1_000), 0);
             q.push(nanos(2_000), 1);

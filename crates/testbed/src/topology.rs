@@ -52,6 +52,18 @@ pub struct TestbedConfig {
     pub cross_traffic: bool,
     /// When the cross traffic stops (ignored unless enabled).
     pub cross_stop: SimTime,
+    /// Cross-traffic emission scheduling: `true` (default) drives every
+    /// datagram off its own timer; `false` selects the batched fast path
+    /// (one timer per gap period scheduling the whole period's datagrams
+    /// at their exact per-packet instants — see
+    /// [`netem::LoadConfig::per_packet`]). The two produce byte-identical
+    /// campaigns; the batched path just dispatches far fewer events.
+    pub cross_per_packet: bool,
+    /// Whether sniffers capture cross-traffic data frames. The paper's
+    /// sniffers do (default `true`); fleet campaigns, whose analysis only
+    /// ever queries probe packets, turn this off so a congested channel
+    /// does not cost three sniffer deliveries per blaster datagram.
+    pub sniffer_capture_cross: bool,
     /// Whether the phone's host-bus sleep feature is enabled (Table 3 and
     /// Fig. 9 disable it, as the paper does by patching the driver).
     pub bus_sleep: bool,
@@ -97,6 +109,8 @@ impl TestbedConfig {
             emulated_rtt: SimDuration::from_millis(emulated_rtt_ms),
             cross_traffic: false,
             cross_stop: SimTime::from_secs(3600),
+            cross_per_packet: true,
+            sniffer_capture_cross: true,
             bus_sleep: true,
             psm_override: None,
             listen_interval_override: None,
@@ -158,6 +172,20 @@ impl TestbedConfig {
     pub fn with_cross_traffic(mut self, stop: SimTime) -> Self {
         self.cross_traffic = true;
         self.cross_stop = stop;
+        self
+    }
+
+    /// Builder: emit cross traffic through the batched fast path (see
+    /// [`TestbedConfig::cross_per_packet`]).
+    pub fn with_batched_cross_traffic(mut self) -> Self {
+        self.cross_per_packet = false;
+        self
+    }
+
+    /// Builder: stop sniffers from capturing cross-traffic data frames
+    /// (see [`TestbedConfig::sniffer_capture_cross`]).
+    pub fn without_sniffer_cross_capture(mut self) -> Self {
+        self.sniffer_capture_cross = false;
         self
     }
 
@@ -260,7 +288,11 @@ impl Testbed {
             medium,
             switch,
         )));
-        sim.node_mut::<MediumNode>(medium).attach(ap);
+        // The AP only acts on frames addressed to it (beacons are its
+        // own), and it needs TX confirmations to pace its downlink
+        // queue, so it attaches as a station with feedback.
+        sim.node_mut::<MediumNode>(medium)
+            .attach_station(ap, AP_MAC, true);
 
         // Sniffers.
         let names = ["Sniffer A", "Sniffer B", "Sniffer C", "Sniffer D"];
@@ -270,7 +302,8 @@ impl Testbed {
                 names[i % names.len()],
                 cfg.sniffer_loss,
             )));
-            sim.node_mut::<MediumNode>(medium).attach(s);
+            sim.node_mut::<MediumNode>(medium)
+                .attach_monitor(s, cfg.sniffer_capture_cross);
             sniffers.push(s);
         }
 
@@ -290,7 +323,11 @@ impl Testbed {
             120, PHONE_MAC, AP_MAC, sta_cfg, medium,
             switch, // placeholder host; re-pointed below
         )));
-        sim.node_mut::<MediumNode>(medium).attach(sta);
+        // Stations hear only frames addressed to them (plus broadcasts,
+        // i.e. beacons) and ignore TX confirmations, so they opt out of
+        // both the promiscuous fan-out and the feedback events.
+        sim.node_mut::<MediumNode>(medium)
+            .attach_station(sta, PHONE_MAC, false);
         let mut phone_node = PhoneNode::new(1, cfg.profile.clone(), addr::PHONE, sta);
         phone_node.core_mut().bus.set_sleep_enabled(cfg.bus_sleep);
         let phone = sim.add_node(Box::new(phone_node));
@@ -315,14 +352,16 @@ impl Testbed {
                 medium,
                 switch, // placeholder; re-pointed below
             )));
-            sim.node_mut::<MediumNode>(medium).attach(load_sta);
+            sim.node_mut::<MediumNode>(medium)
+                .attach_station(load_sta, LOAD_MAC, false);
             sim.node_mut::<ApNode>(ap)
                 .associate(LOAD_MAC, addr::LOAD_GEN);
-            let b = sim.add_node(Box::new(UdpBlasterNode::new(
-                140,
-                LoadConfig::paper_cross_traffic(addr::LOAD_GEN, addr::LOAD_SERVER, cfg.cross_stop),
-                load_sta,
-            )));
+            let mut load_cfg =
+                LoadConfig::paper_cross_traffic(addr::LOAD_GEN, addr::LOAD_SERVER, cfg.cross_stop);
+            if !cfg.cross_per_packet {
+                load_cfg = load_cfg.batched();
+            }
+            let b = sim.add_node(Box::new(UdpBlasterNode::new(140, load_cfg, load_sta)));
             sim.node_mut::<StaMacNode>(load_sta).set_host(b);
             Some(b)
         } else {
@@ -547,6 +586,41 @@ mod tests {
         let mbps = sink.stats.udp_discarded_bytes as f64 * 8.0 / 1e6;
         assert!(mbps > 5.0, "goodput={mbps}");
         assert!(mbps < 22.0, "goodput={mbps}");
+    }
+
+    #[test]
+    fn batched_cross_traffic_is_byte_identical() {
+        // The batched blaster must leave every observable of a congested
+        // run untouched: probe delays, blaster emission count, and the
+        // bytes the load server absorbs.
+        fn run(batched: bool) -> (Vec<f64>, u64, u64) {
+            let mut cfg = TestbedConfig::new(11, phone::nexus5(), 30)
+                .with_cross_traffic(SimTime::from_secs(2));
+            if batched {
+                cfg = cfg.with_batched_cross_traffic();
+            }
+            let mut tb = Testbed::build(cfg);
+            let app = tb.install_app(
+                Box::new(PingApp::new(PingConfig::new(
+                    addr::SERVER,
+                    10,
+                    SimDuration::from_millis(100),
+                ))),
+                RuntimeKind::Native,
+            );
+            tb.run_until(SimTime::from_secs(3));
+            let sent = tb.sim.node::<UdpBlasterNode>(tb.blaster.unwrap()).sent;
+            let bytes = tb
+                .sim
+                .node::<ServerNode>(tb.load_server)
+                .stats
+                .udp_discarded_bytes;
+            (tb.app::<PingApp>(app).records.du(), sent, bytes)
+        }
+        let reference = run(false);
+        let batched = run(true);
+        assert!(reference.1 > 1000, "blaster barely ran: {}", reference.1);
+        assert_eq!(reference, batched, "batched cross traffic diverged");
     }
 
     #[test]

@@ -9,14 +9,103 @@
 use crate::addr::Mac;
 use crate::packet::Packet;
 
+/// Maximum stations a [`Tim`] can list. The testbeds associate at most a
+/// handful of stations per AP; 8 leaves headroom without growing
+/// [`Frame`] past the `Data` variant (a [`Packet`] is larger).
+pub const TIM_CAPACITY: usize = 8;
+
+/// A traffic indication map: the station list a beacon advertises
+/// buffered downlink traffic for.
+///
+/// `Tim` is a fixed-capacity inline array rather than a `Vec<Mac>` so
+/// that [`Frame`] — and therefore the whole [`crate::Msg`] vocabulary —
+/// is `Copy` and owns no heap. That property is what lets the simulation
+/// engine keep event payloads inline in its slot arena and dispatch at
+/// steady state without allocating (see `simcore::arena`).
+///
+/// Unused slots are kept at `Mac::default()` so the derived equality and
+/// hashing are consistent regardless of construction order. Building a
+/// TIM with more than [`TIM_CAPACITY`] entries panics: a silent
+/// truncation would under-advertise buffered traffic and stall dozing
+/// stations, which is a simulation bug, not a recoverable condition.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Tim {
+    entries: [Mac; TIM_CAPACITY],
+    len: u8,
+}
+
+impl Tim {
+    /// The empty TIM (no station has buffered traffic).
+    pub const EMPTY: Tim = Tim {
+        entries: [Mac([0; 6]); TIM_CAPACITY],
+        len: 0,
+    };
+
+    /// Add a station. Panics if the TIM is full (see type docs).
+    pub fn push(&mut self, mac: Mac) {
+        assert!(
+            (self.len as usize) < TIM_CAPACITY,
+            "TIM overflow: more than {TIM_CAPACITY} stations with buffered traffic"
+        );
+        self.entries[self.len as usize] = mac;
+        self.len += 1;
+    }
+
+    /// The advertised stations, in insertion order.
+    pub fn as_slice(&self) -> &[Mac] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Mutable view of the advertised stations, e.g. to sort them into
+    /// a canonical order after building.
+    pub fn as_mut_slice(&mut self) -> &mut [Mac] {
+        &mut self.entries[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Tim {
+    type Target = [Mac];
+    fn deref(&self) -> &[Mac] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<Mac>> for Tim {
+    fn from(macs: Vec<Mac>) -> Tim {
+        macs.into_iter().collect()
+    }
+}
+
+impl From<&[Mac]> for Tim {
+    fn from(macs: &[Mac]) -> Tim {
+        macs.iter().copied().collect()
+    }
+}
+
+impl FromIterator<Mac> for Tim {
+    fn from_iter<I: IntoIterator<Item = Mac>>(iter: I) -> Tim {
+        let mut tim = Tim::EMPTY;
+        for mac in iter {
+            tim.push(mac);
+        }
+        tim
+    }
+}
+
+impl std::fmt::Debug for Tim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
 /// Body of an 802.11 frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
     /// AP beacon. `tim` lists the stations for which traffic is buffered
     /// (the traffic indication map).
     Beacon {
         /// Stations with buffered downlink traffic.
-        tim: Vec<Mac>,
+        tim: Tim,
     },
     /// A data frame carrying an IP packet. On uplink frames `pm` mirrors
     /// the station's power-management bit (true = "I am going to doze").
@@ -38,7 +127,11 @@ pub enum FrameKind {
 }
 
 /// An 802.11 frame as seen on the air.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Frame` is `Copy`: every variant, including the beacon TIM, stores
+/// its body inline, so cloning a frame for each listener on the medium
+/// is a memcpy rather than a heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Frame {
     /// Simulation-unique frame id (for TX-done correlation and sniffers).
     pub id: u64,
@@ -99,12 +192,12 @@ impl Frame {
     }
 
     /// Convenience constructor for a beacon.
-    pub fn beacon(id: u64, src: Mac, tim: Vec<Mac>) -> Frame {
+    pub fn beacon(id: u64, src: Mac, tim: impl Into<Tim>) -> Frame {
         Frame {
             id,
             src,
             dst: Mac::BROADCAST,
-            kind: FrameKind::Beacon { tim },
+            kind: FrameKind::Beacon { tim: tim.into() },
         }
     }
 
@@ -180,5 +273,34 @@ mod tests {
         let empty = Frame::beacon(1, Mac::local(0), vec![]);
         let loaded = Frame::beacon(2, Mac::local(0), vec![Mac::local(1), Mac::local(2)]);
         assert_eq!(loaded.air_bytes() - empty.air_bytes(), 2);
+    }
+
+    #[test]
+    fn tim_is_inline_and_order_preserving() {
+        let tim: Tim = [Mac::local(3), Mac::local(1)].as_slice().into();
+        assert_eq!(tim.len(), 2);
+        assert_eq!(tim[0], Mac::local(3));
+        assert!(tim.contains(&Mac::local(1)));
+        assert!(!tim.contains(&Mac::local(2)));
+        assert!(Tim::EMPTY.is_empty());
+        // Equality ignores construction history of the spare slots.
+        let mut a = Tim::EMPTY;
+        a.push(Mac::local(7));
+        let b: Tim = vec![Mac::local(7)].into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "TIM overflow")]
+    fn tim_overflow_is_loud() {
+        let _ = (0..=TIM_CAPACITY as u16).map(Mac::local).collect::<Tim>();
+    }
+
+    #[test]
+    fn frame_and_msg_are_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Frame>();
+        assert_copy::<FrameKind>();
+        assert_copy::<Tim>();
     }
 }

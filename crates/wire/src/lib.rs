@@ -35,7 +35,7 @@ pub mod pcap;
 pub mod telemetry;
 
 pub use addr::{Ip, Mac, ParseIpError};
-pub use frame::{Frame, FrameKind};
+pub use frame::{Frame, FrameKind, Tim, TIM_CAPACITY};
 pub use msg::Msg;
 pub use packet::{IcmpKind, Packet, PacketIdGen, PacketTag, TcpFlags, L4};
 pub use pcap::{read_pcap, PcapReadError, PcapRecord, PcapWriter};

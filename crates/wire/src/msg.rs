@@ -9,7 +9,11 @@ use crate::frame::Frame;
 use crate::packet::Packet;
 
 /// A message between simulation nodes.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Msg` is `Copy`: frames and packets store their bodies inline, so an
+/// event's payload lives directly in the scheduler's slot arena and the
+/// engine's dispatch loop never touches the heap (see `simcore::arena`).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Msg {
     /// An IP packet travelling a wired segment (link, switch, server).
     Wire(Packet),
@@ -76,7 +80,7 @@ mod tests {
         assert!(m.frame().is_none());
 
         let f = Frame::null_data(9, Mac::local(1), Mac::local(2), true);
-        let m = Msg::MediumTx(f.clone());
+        let m = Msg::MediumTx(f);
         assert_eq!(m.frame().unwrap().id, 9);
         let m = Msg::AirRx(f);
         assert!(m.wire().is_none());

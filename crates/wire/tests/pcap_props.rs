@@ -66,9 +66,13 @@ fn build(spec: &Spec, i: u64) -> Frame {
                 false,
             )
         }
-        Spec::Beacon { tim } => {
-            Frame::beacon(i, dst, (0..*tim).map(|k| Mac::local(k as u16)).collect())
-        }
+        Spec::Beacon { tim } => Frame::beacon(
+            i,
+            dst,
+            (0..*tim)
+                .map(|k| Mac::local(k as u16))
+                .collect::<wire::Tim>(),
+        ),
         Spec::Null { pm } => Frame::null_data(i, src, dst, *pm),
         Spec::PsPoll => Frame::ps_poll(i, src, dst),
     }
